@@ -1,0 +1,226 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact; see DESIGN.md section 4),
+// plus micro-benchmarks of the two engines. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute the same code paths as
+// cmd/mtexp; heavyweight reference-engine sweeps run with the
+// documented reduced vector budgets (the full-fidelity runs are the
+// CLI's job).
+package mtcmos_test
+
+import (
+	"strings"
+	"testing"
+
+	"mtcmos"
+)
+
+func runExp(b *testing.B, id string, cfg mtcmos.ExperimentConfig) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := mtcmos.RunExperiment(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Tables)+len(out.Series) == 0 {
+			b.Fatal("experiment produced no artifacts")
+		}
+	}
+}
+
+// --- One benchmark per paper artifact ---
+
+func BenchmarkFig5InverterTreeTransients(b *testing.B) {
+	runExp(b, "fig5", mtcmos.ExperimentConfig{})
+}
+
+func BenchmarkFig7MultiplierVectorSweep(b *testing.B) {
+	runExp(b, "fig7", mtcmos.ExperimentConfig{})
+}
+
+func BenchmarkTable1DegradationTable(b *testing.B) {
+	runExp(b, "table1", mtcmos.ExperimentConfig{})
+}
+
+func BenchmarkFig10TreeDelayComparison(b *testing.B) {
+	runExp(b, "fig10", mtcmos.ExperimentConfig{})
+}
+
+func BenchmarkFig11GroundBounce(b *testing.B) {
+	runExp(b, "fig11", mtcmos.ExperimentConfig{})
+}
+
+func BenchmarkFig13AdderDelayComparison(b *testing.B) {
+	runExp(b, "fig13", mtcmos.ExperimentConfig{})
+}
+
+func BenchmarkFig14VectorDegradationSpread(b *testing.B) {
+	// 8 reference-engine overlay vectors; the paper plots 800 (hours).
+	runExp(b, "fig14", mtcmos.ExperimentConfig{SpiceVectors: 8})
+}
+
+func BenchmarkSpeedupExhaustiveAdderVBS(b *testing.B) {
+	// The switch-level half of the section 6.2 comparison: all 4096
+	// vectors, switch-level only.
+	runExp(b, "speedup", mtcmos.ExperimentConfig{Fast: true})
+}
+
+func BenchmarkSpeedupExhaustiveAdderSpice(b *testing.B) {
+	// Includes the measured-and-extrapolated reference-engine column.
+	runExp(b, "speedup", mtcmos.ExperimentConfig{SpiceVectors: 3})
+}
+
+func BenchmarkPeakCurrentSizing(b *testing.B) {
+	runExp(b, "peak", mtcmos.ExperimentConfig{})
+}
+
+func BenchmarkSumOfWidthsSizing(b *testing.B) {
+	runExp(b, "widths", mtcmos.ExperimentConfig{})
+}
+
+func BenchmarkAblationCx(b *testing.B) {
+	runExp(b, "cx", mtcmos.ExperimentConfig{})
+}
+
+func BenchmarkAblationReverseConduction(b *testing.B) {
+	runExp(b, "reverse", mtcmos.ExperimentConfig{})
+}
+
+func BenchmarkAblationBodyEffect(b *testing.B) {
+	runExp(b, "body", mtcmos.ExperimentConfig{})
+}
+
+// --- Engine micro-benchmarks ---
+
+// BenchmarkVBSAdderVector times one switch-level transition on the
+// paper's 3-bit adder: the unit of work the 4096-vector sweep repeats.
+func BenchmarkVBSAdderVector(b *testing.B) {
+	tech := mtcmos.Tech07()
+	ad := mtcmos.RippleCarryAdder(&tech, 3, 20e-15)
+	ad.SleepWL = 10
+	stim := mtcmos.Stimulus{
+		Old:   ad.Inputs(0, 0, false),
+		New:   ad.Inputs(7, 5, false),
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtcmos.Simulate(ad.Circuit, stim, mtcmos.SwitchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVBSMultiplier8x8Vector times one switch-level transition on
+// the paper's largest circuit (the 8x8 carry-save multiplier, vector A).
+func BenchmarkVBSMultiplier8x8Vector(b *testing.B) {
+	tech := mtcmos.Tech03()
+	m := mtcmos.CarrySaveMultiplier(&tech, 8, 15e-15)
+	m.SleepWL = 170
+	stim := mtcmos.Stimulus{
+		Old:   m.Inputs(0, 0),
+		New:   m.Inputs(0xFF, 0x81),
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtcmos.Simulate(m.Circuit, stim, mtcmos.SwitchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpiceMTCMOSInverter times the reference engine on a single
+// MTCMOS inverter transition (its unit of work).
+func BenchmarkSpiceMTCMOSInverter(b *testing.B) {
+	tech := mtcmos.Tech07()
+	c := mtcmos.InverterChain(&tech, 1, 50e-15)
+	c.SleepWL = 10
+	stim := mtcmos.Stimulus{
+		Old:   map[string]bool{"in": false},
+		New:   map[string]bool{"in": true},
+		TEdge: 0.5e-9, TRise: 50e-12,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtcmos.SimulateSpice(c, stim, mtcmos.SpiceOptions{
+			Options: mtcmos.EngineOptions{TStop: 5e-9},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpiceAdderVector times one reference-engine transient on the
+// 3-bit adder: the per-vector cost behind the paper's 4.78-hour sweep.
+func BenchmarkSpiceAdderVector(b *testing.B) {
+	tech := mtcmos.Tech07()
+	ad := mtcmos.RippleCarryAdder(&tech, 3, 20e-15)
+	ad.SleepWL = 10
+	stim := mtcmos.Stimulus{
+		Old:   ad.Inputs(0, 0, false),
+		New:   ad.Inputs(7, 5, false),
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtcmos.SimulateSpice(ad.Circuit, stim, mtcmos.SpiceOptions{
+			Options: mtcmos.EngineOptions{TStop: 15e-9},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetlistExpandParse times circuit expansion to the SPICE
+// dialect plus a parse round trip (the netlist substrate).
+func BenchmarkNetlistExpandParse(b *testing.B) {
+	tech := mtcmos.Tech07()
+	ad := mtcmos.RippleCarryAdder(&tech, 3, 20e-15)
+	ad.SleepWL = 10
+	stim := mtcmos.Stimulus{
+		Old:   ad.Inputs(0, 0, false),
+		New:   ad.Inputs(7, 5, false),
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nl, err := ad.Circuit.Netlist(stim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mtcmos.ParseNetlist(strings.NewReader(nl.String())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierarchicalSizing times the DAC'98-extension analysis:
+// activity recording, overlap detection, grouping and sizing.
+func BenchmarkHierarchicalSizing(b *testing.B) {
+	runExp(b, "hier", mtcmos.ExperimentConfig{})
+}
+
+// BenchmarkAccuracyRefinements times the section 5.3 extension study
+// (switch-level only).
+func BenchmarkAccuracyRefinements(b *testing.B) {
+	runExp(b, "accuracy", mtcmos.ExperimentConfig{Fast: true})
+}
+
+// BenchmarkStandbyDC times the reference-engine DC standby analysis.
+func BenchmarkStandbyDC(b *testing.B) {
+	runExp(b, "standby", mtcmos.ExperimentConfig{})
+}
+
+// BenchmarkVectorScreening times the screening-comparison experiment.
+func BenchmarkVectorScreening(b *testing.B) {
+	runExp(b, "screen", mtcmos.ExperimentConfig{})
+}

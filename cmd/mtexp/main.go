@@ -1,0 +1,24 @@
+// Command mtexp regenerates the tables and figures of the paper's
+// evaluation (Kao et al., DAC 1997). Run with no flags to list the
+// available experiments; -e all runs everything.
+//
+// Usage:
+//
+//	mtexp -e fig10                # one experiment, full fidelity
+//	mtexp -e fig7 -fast           # switch-level only (no reference engine)
+//	mtexp -e fig14 -spicevectors 100
+//	mtexp -e all -fast -plot
+//	mtexp -e table1 -csv          # machine-readable output
+package main
+
+import (
+	"os"
+
+	"mtcmos/internal/cli"
+)
+
+func main() {
+	if err := cli.Exp(os.Args[1:], os.Stdout); err != nil {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,27 @@
+// Command mtsim simulates one input-vector transition on a benchmark
+// MTCMOS circuit (or a netlist deck) and reports delays, virtual-ground
+// bounce, and optionally waveforms.
+//
+// Usage:
+//
+//	mtsim -circuit tree -wl 8                     # paper Fig. 4 tree
+//	mtsim -circuit adder -wl 10 -old 0,0 -new 7,5
+//	mtsim -circuit mult -wl 170 -old 00,00 -new ff,81
+//	mtsim -circuit tree -wl 8 -engine spice       # reference engine
+//	mtsim -netlist deck.sp -tech 0.7 -tstop 10n   # raw deck transient
+//	mtsim -circuit tree -wl 8 -trace s3_0 -plot
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mtcmos/internal/cli"
+)
+
+func main() {
+	if err := cli.Sim(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mtsim:", err)
+		os.Exit(1)
+	}
+}

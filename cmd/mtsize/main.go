@@ -1,0 +1,26 @@
+// Command mtsize sizes the sleep transistor of a benchmark MTCMOS
+// circuit with each of the paper's methodologies and prints the
+// comparison: the naive sum-of-widths bound, the conservative
+// peak-current size, and the delay-target size the switch-level
+// simulator makes practical.
+//
+// Usage:
+//
+//	mtsize -circuit tree -target 5
+//	mtsize -circuit mult -bits 8 -target 5 -bounce 50m
+//	mtsize -circuit adder -target 10 -vectors 16 -seed 7
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mtcmos/internal/cli"
+)
+
+func main() {
+	if err := cli.Size(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mtsize:", err)
+		os.Exit(1)
+	}
+}

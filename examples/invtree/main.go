@@ -1,0 +1,91 @@
+// Invtree walks through the paper's inverter-tree experiments (Fig. 4,
+// 5, 10, 11): it cross-checks the fast switch-level simulator against
+// the transistor-level reference engine on the same circuit, printing
+// the delay-vs-W/L comparison and the virtual-ground bounce waveforms.
+//
+// This example runs the reference engine, so it takes a few seconds;
+// see examples/quickstart for the instant version.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtcmos"
+)
+
+func main() {
+	tech := mtcmos.Tech07()
+	stim := mtcmos.Stimulus{
+		Old:   map[string]bool{"in": false},
+		New:   map[string]bool{"in": true},
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	outs := []string{"s3_0", "s3_1", "s3_2", "s3_3", "s3_4", "s3_5", "s3_6", "s3_7", "s3_8"}
+
+	// Fig. 10: delay vs W/L from both engines.
+	cmp := &mtcmos.Series{
+		Title:   "Inverter-tree delay vs sleep W/L (Fig. 10)",
+		XLabel:  "W/L",
+		YLabels: []string{"switch-level ns", "reference ns"},
+	}
+	for _, wl := range []float64{2, 5, 8, 11, 14, 17, 20} {
+		tree := mtcmos.InverterTree(&tech, 3, 3, 50e-15)
+		tree.SleepWL = wl
+
+		fast, err := mtcmos.Simulate(tree, stim, mtcmos.SwitchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dFast, _, _ := fast.MaxDelay(outs)
+
+		// The detailed engine shows more slowdown at extreme bounce
+		// than the first-order switch-level model, so give it room.
+		ref, err := mtcmos.SimulateSpice(tree, stim, mtcmos.SpiceOptions{
+			Options: mtcmos.EngineOptions{TStop: stim.TEdge + 6*dFast + 5e-9},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dRef, _, err := ref.MaxDelay(outs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp.Add(wl, dFast*1e9, dRef*1e9)
+	}
+	fmt.Println(cmp.String())
+	fmt.Println(cmp.Plot(64, 14))
+
+	// Fig. 11: the bounce waveform — stepwise from the switch-level
+	// tool, smooth from the reference engine.
+	tree := mtcmos.InverterTree(&tech, 3, 3, 50e-15)
+	tree.SleepWL = 8
+	fast, err := mtcmos.Simulate(tree, stim, mtcmos.SwitchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := mtcmos.SimulateSpice(tree, stim, mtcmos.SpiceOptions{
+		Options: mtcmos.EngineOptions{TStop: 12e-9, SampleDT: 50e-12},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vg := &mtcmos.Series{
+		Title:   "Virtual-ground bounce at W/L=8 (Fig. 11)",
+		XLabel:  "t_ns",
+		YLabels: []string{"switch-level Vx", "reference Vx"},
+	}
+	refVg := ref.VGndTrace()
+	for i := 0; i <= 60; i++ {
+		t := 12e-9 * float64(i) / 60
+		vg.Add(t*1e9, fast.VGnd.At(t), refVg.At(t))
+	}
+	fmt.Println(vg.Plot(64, 14))
+	fmt.Printf("peak bounce: switch-level %.0f mV, reference %.0f mV\n",
+		fast.PeakVx*1e3, peakOf(refVg)*1e3)
+}
+
+func peakOf(tr *mtcmos.Trace) float64 {
+	v, _ := tr.Peak(0, 1)
+	return v
+}

@@ -1,0 +1,135 @@
+// Multiplier reproduces the paper's input-vector dependency study on
+// the 8x8 carry-save multiplier (Fig. 6/7, Table 1, section 4): two
+// transitions with identical CMOS delay degrade very differently under
+// MTCMOS, so sizing by the wrong vector under-sizes the sleep device.
+// It finishes with the greedy worst-vector search the fast simulator
+// makes affordable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtcmos"
+)
+
+func main() {
+	const n = 8
+	tech := mtcmos.Tech03() // the paper's 0.3um node: Vdd=1.0V
+	m := mtcmos.CarrySaveMultiplier(&tech, n, 15e-15)
+	st := m.Stats()
+	fmt.Printf("%dx%d carry-save multiplier: %d gates, %d transistors\n\n",
+		n, n, st.Gates, st.Transistors)
+
+	// The paper's two vectors.
+	stimA := mtcmos.Stimulus{ // large simultaneous currents
+		Old: m.Inputs(0x00, 0x00), New: m.Inputs(0xFF, 0x81),
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	stimB := mtcmos.Stimulus{ // rippling, small currents
+		Old: m.Inputs(0x7F, 0x81), New: m.Inputs(0xFF, 0x81),
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+
+	delay := func(stim mtcmos.Stimulus) float64 {
+		res, err := mtcmos.Simulate(m.Circuit, stim, mtcmos.SwitchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, _, ok := res.MaxDelay(m.ProductNets)
+		if !ok {
+			log.Fatal("no product bit toggled")
+		}
+		return d
+	}
+
+	m.SleepWL = 0
+	baseA, baseB := delay(stimA), delay(stimB)
+	fmt.Printf("CMOS baselines: A=%.3f ns, B=%.3f ns (similar, as the paper notes)\n\n", baseA*1e9, baseB*1e9)
+
+	// Fig. 7: delay vs W/L per vector.
+	s := &mtcmos.Series{
+		Title:   "Delay degradation vs sleep W/L (Fig. 7 / Table 1)",
+		XLabel:  "W/L",
+		YLabels: []string{"A %", "B %"},
+	}
+	for _, wl := range []float64{20, 40, 60, 90, 130, 170, 230, 300, 400, 500} {
+		m.SleepWL = wl
+		dA, dB := delay(stimA), delay(stimB)
+		s.Add(wl, 100*(dA-baseA)/baseA, 100*(dB-baseB)/baseB)
+	}
+	fmt.Println(s.String())
+	fmt.Println(s.Plot(64, 14))
+
+	// Table 1's trap: size for 5% using only vector B, then measure A.
+	trA := mtcmos.Transition{Old: stimA.Old, New: stimA.New, Label: "A"}
+	trB := mtcmos.Transition{Old: stimB.Old, New: stimB.New, Label: "B"}
+	cfg := mtcmos.SizingConfig{Outputs: m.ProductNets}
+	hi := 64 * mtcmos.SumOfWidths(m.Circuit)
+
+	szB, err := mtcmos.SizeForDelayTarget(m.Circuit, cfg, []mtcmos.Transition{trB}, 0.05, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	szA, err := mtcmos.SizeForDelayTarget(m.Circuit, cfg, []mtcmos.Transition{trA}, 0.05, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trap, err := mtcmos.Degradation(m.Circuit, cfg, []mtcmos.Transition{trA}, szB.WL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5%% sizing by vector B alone: W/L=%.0f\n", szB.WL)
+	fmt.Printf("5%% sizing by vector A:       W/L=%.0f\n", szA.WL)
+	fmt.Printf("the trap: a B-sized device degrades vector A by %.1f%% (paper: 18.1%%)\n\n", trap*100)
+
+	// Section 4: the peak-current method is ~3x conservative.
+	pk, err := mtcmos.SizeForPeakCurrent(m.Circuit, cfg, []mtcmos.Transition{trA}, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("peak-current sizing: Ipeak=%.3f mA -> W/L=%.0f (%.1fx the delay-target size)\n\n",
+		pk.Ipeak*1e3, pk.WL, pk.WL/szA.WL)
+
+	// Extension: greedy search for bad vectors without exhaustive
+	// enumeration (2^32 pairs would be unthinkable even for this tool).
+	fmt.Println("greedy worst-vector search at W/L=170 (4x4 submultiplier for brevity):")
+	small := mtcmos.CarrySaveMultiplier(&tech, 4, 15e-15)
+	worst, err := searchWorst(small, 170)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  found (x:%x,y:%x)->(x:%x,y:%x) with %.1f%% degradation\n",
+		worst.ox, worst.oy, worst.nx, worst.ny, worst.deg*100)
+}
+
+type worstVec struct {
+	ox, oy, nx, ny uint64
+	deg            float64
+}
+
+func searchWorst(m *mtcmos.Multiplier, wl float64) (worstVec, error) {
+	space, err := mtcmos.NewVectorSpace(append(mtcmos.BitNames("x", m.N), mtcmos.BitNames("y", m.N)...)...)
+	if err != nil {
+		return worstVec{}, err
+	}
+	half := uint64(1) << uint(m.N)
+	cfg := mtcmos.SizingConfig{Outputs: m.ProductNets}
+	metric := func(o, w uint64) float64 {
+		tr := mtcmos.Transition{
+			Old: m.Inputs(o%half, o/half),
+			New: m.Inputs(w%half, w/half),
+		}
+		deg, err := mtcmos.Degradation(m.Circuit, cfg, []mtcmos.Transition{tr}, wl)
+		if err != nil {
+			return -1
+		}
+		return deg
+	}
+	best := space.GreedySearch(1, 3, metric)
+	return worstVec{
+		ox: best.OldV % half, oy: best.OldV / half,
+		nx: best.NewV % half, ny: best.NewV / half,
+		deg: best.Metric,
+	}, nil
+}

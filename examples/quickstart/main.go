@@ -1,0 +1,72 @@
+// Quickstart: build the paper's MTCMOS inverter tree (Fig. 4), watch
+// the sleep transistor slow it down, and size the device for a 5%
+// speed budget — the complete workflow of the DAC'97 paper in one
+// small program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtcmos"
+)
+
+func main() {
+	// 1. The technology: the paper's 0.7um node (Vdd=1.2V, low Vt
+	//    +-0.35V, high sleep Vt 0.75V).
+	tech := mtcmos.Tech07()
+
+	// 2. The circuit: a 1-3-9 inverter tree with 50fF leaf loads,
+	//    gated by one NMOS sleep transistor (paper Fig. 4).
+	tree := mtcmos.InverterTree(&tech, 3, 3, 50e-15)
+
+	// 3. The stimulus: the paper's 0->1 input transition, which makes
+	//    all nine third-stage inverters discharge simultaneously
+	//    through the sleep device.
+	stim := mtcmos.Stimulus{
+		Old:   map[string]bool{"in": false},
+		New:   map[string]bool{"in": true},
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+
+	// 4. Sweep the sleep size with the variable-breakpoint switch-level
+	//    simulator: each run costs microseconds, not SPICE minutes.
+	fmt.Println("sleep W/L    worst delay    virtual-ground bounce")
+	for _, wl := range []float64{0, 20, 14, 11, 8, 5, 2} {
+		tree.SleepWL = wl
+		res, err := mtcmos.Simulate(tree, stim, mtcmos.SwitchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, net, _ := res.MaxDelay([]string{"s3_0", "s3_1", "s3_2", "s3_3", "s3_4", "s3_5", "s3_6", "s3_7", "s3_8"})
+		label := fmt.Sprintf("W/L=%g", wl)
+		if wl == 0 {
+			label = "CMOS"
+		}
+		fmt.Printf("%-9s    %6.3f ns (%s)   %5.1f mV\n", label, d*1e9, net, res.PeakVx*1e3)
+	}
+
+	// 5. Size it: the smallest device that keeps the worst-case
+	//    penalty under 5% for both input edges.
+	trs := []mtcmos.Transition{
+		{Old: map[string]bool{"in": false}, New: map[string]bool{"in": true}, Label: "0->1"},
+		{Old: map[string]bool{"in": true}, New: map[string]bool{"in": false}, Label: "1->0"},
+	}
+	sz, err := mtcmos.SizeForDelayTarget(tree, mtcmos.SizingConfig{}, trs, 0.05, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsized for <=5%% penalty: W/L = %.1f (measured %.2f%%, %d simulations)\n",
+		sz.WL, sz.Degradation*100, sz.Evals)
+
+	// 6. What the gating buys: leakage reduction and its energy cost.
+	tree.SleepWL = sz.WL
+	ps, err := mtcmos.AnalyzePower(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sleep-mode leakage: %.3g nA vs %.3g nA ungated (%.0fx reduction)\n",
+		ps.LeakageMTCMOS*1e9, ps.LeakageCMOS*1e9, ps.LeakageReduction)
+	fmt.Printf("sleep-transistor switching energy: %.3g fJ; break-even idle: %.3g us\n",
+		ps.SleepSwitchEnergy*1e15, ps.BreakEvenIdle*1e6)
+}

@@ -1,0 +1,3 @@
+module mtcmos
+
+go 1.22

@@ -1,0 +1,388 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mtcmos/internal/mosfet"
+	"mtcmos/internal/netlist"
+)
+
+func newTech() *mosfet.Tech {
+	t := mosfet.Tech07()
+	return &t
+}
+
+func TestKindTruthTables(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		in   []bool
+		want bool
+	}{
+		{Inv, []bool{false}, true},
+		{Inv, []bool{true}, false},
+		{Buf, []bool{true}, true},
+		{Nand2, []bool{true, true}, false},
+		{Nand2, []bool{true, false}, true},
+		{Nand3, []bool{true, true, true}, false},
+		{Nand3, []bool{true, true, false}, true},
+		{Nor2, []bool{false, false}, true},
+		{Nor2, []bool{false, true}, false},
+		{Nor3, []bool{false, false, false}, true},
+		{And2, []bool{true, true}, true},
+		{And2, []bool{true, false}, false},
+		{Or2, []bool{false, true}, true},
+		{Xor2, []bool{true, false}, true},
+		{Xor2, []bool{true, true}, false},
+		{Xnor2, []bool{true, true}, true},
+		{Aoi21, []bool{true, true, false}, false},
+		{Aoi21, []bool{false, false, false}, true},
+		{Oai21, []bool{true, false, true}, false},
+		{Oai21, []bool{false, false, true}, true},
+	}
+	for _, c := range cases {
+		if got := c.kind.Eval(c.in); got != c.want {
+			t.Errorf("%s%v = %v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+func TestMirrorGatesImplementFullAdder(t *testing.T) {
+	// MirrorCarry = NOT(carry-out); MirrorSum(a,b,c,ncout) = NOT(sum).
+	for i := 0; i < 8; i++ {
+		a, b, cin := i&1 != 0, i&2 != 0, i&4 != 0
+		nco := MirrorCarry.Eval([]bool{a, b, cin})
+		nsum := MirrorSum.Eval([]bool{a, b, cin, nco})
+		sum := (a != b) != cin
+		carry := (a && b) || (cin && (a || b))
+		if nco != !carry {
+			t.Errorf("a=%v b=%v c=%v: mcarry=%v want %v", a, b, cin, nco, !carry)
+		}
+		if nsum != !sum {
+			t.Errorf("a=%v b=%v c=%v: msum=%v want %v", a, b, cin, nsum, !sum)
+		}
+	}
+}
+
+func TestMirrorAdderTransistorCount(t *testing.T) {
+	// Paper Fig. 12: a mirror full adder is 28 transistors — the carry
+	// gate (10), the sum gate (14), and two output inverters (4).
+	total := MirrorCarry.Transistors() + MirrorSum.Transistors() + 2*Inv.Transistors()
+	if total != 28 {
+		t.Errorf("mirror FA transistor count = %d, want 28", total)
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	k, err := KindByName("nand2")
+	if err != nil || k != Nand2 {
+		t.Errorf("KindByName(nand2) = %v, %v", k, err)
+	}
+	if _, err := KindByName("frob"); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if Kind(99).String() == "" {
+		t.Error("out-of-range Kind String must not be empty")
+	}
+}
+
+func buildNandInv(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("pair", newTech())
+	c.Input("a")
+	c.Input("b")
+	if _, err := c.AddGate(Nand2, "g1", "n1", 1, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate(Inv, "g2", "y", 1, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkOutput("y")
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEvaluate(t *testing.T) {
+	c := buildNandInv(t)
+	for i := 0; i < 4; i++ {
+		a, b := i&1 != 0, i&2 != 0
+		vals, err := c.Evaluate(map[string]bool{"a": a, "b": b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals["y"] != (a && b) {
+			t.Errorf("y(%v,%v) = %v", a, b, vals["y"])
+		}
+		if vals["n1"] != !(a && b) {
+			t.Errorf("n1(%v,%v) = %v", a, b, vals["n1"])
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	c := New("bad", newTech())
+	c.Input("a")
+	if _, err := c.AddGate(Inv, "g", "y", 1, "a", "a"); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if _, err := c.AddGate(Inv, "g", "y", 0, "a"); err == nil {
+		t.Error("zero size must fail")
+	}
+	if _, err := c.AddGate(Inv, "g", "a", 1, "a"); err == nil {
+		t.Error("driving an input net must fail")
+	}
+	if _, err := c.AddGate(Inv, "g1", "y", 1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate(Inv, "g2", "y", 1, "a"); err == nil {
+		t.Error("double-driving a net must fail")
+	}
+}
+
+func TestCheckDanglingNet(t *testing.T) {
+	c := New("dangle", newTech())
+	c.Input("a")
+	c.MustGate(Nand2, "g", "y", 1, "a", "floating")
+	if err := c.Check(); err == nil {
+		t.Error("undriven non-input net must fail Check")
+	}
+}
+
+func TestTopoCycleDetection(t *testing.T) {
+	c := New("cyc", newTech())
+	c.Input("a")
+	c.MustGate(Nand2, "g1", "p", 1, "a", "q")
+	c.MustGate(Inv, "g2", "q", 1, "p")
+	if _, err := c.Topo(); err == nil {
+		t.Error("combinational cycle must fail Topo")
+	}
+}
+
+func TestEquivAndCaps(t *testing.T) {
+	c := buildNandInv(t)
+	c.SetLoad("y", 50e-15)
+	eq := c.Equiv()
+	tech := c.Tech
+	// Both library gates are sized for unit drive.
+	for i, g := range c.Gates {
+		if math.Abs(eq[i].BetaN-tech.KPn*2) > 1e-18 {
+			t.Errorf("gate %s BetaN = %g", g.Name, eq[i].BetaN)
+		}
+		if math.Abs(eq[i].BetaP-tech.KPp*4) > 1e-18 {
+			t.Errorf("gate %s BetaP = %g", g.Name, eq[i].BetaP)
+		}
+	}
+	// n1 load: inverter input cap + nand drain cap.
+	g1 := c.Gates[0]
+	n1cap := c.NetCap(g1.Out)
+	wantCin := tech.CoxArea * tech.Lmin * tech.Lmin * (2.0 + 4.0) // inv in0: wn1+wp1
+	wantDrain := tech.CjWidth * tech.Lmin * (2*2.0 + 4.0 + 4.0)   // nand2 out devices
+	if math.Abs(n1cap-(wantCin+wantDrain)) > 1e-20 {
+		t.Errorf("NetCap(n1) = %g, want %g", n1cap, wantCin+wantDrain)
+	}
+	// y load includes the explicit 50fF.
+	y := c.FindNet("y")
+	if got := c.NetCap(y); got < 50e-15 {
+		t.Errorf("NetCap(y) = %g, must include 50fF", got)
+	}
+	// Doubling size doubles caps and betas.
+	c2 := New("big", newTech())
+	c2.Input("a")
+	c2.MustGate(Inv, "g", "y", 2, "a")
+	if b := c2.Equiv()[0].BetaN; math.Abs(b-tech.KPn*4) > 1e-18 {
+		t.Errorf("size-2 BetaN = %g", b)
+	}
+}
+
+func TestStatsAndSumWidths(t *testing.T) {
+	c := buildNandInv(t)
+	st := c.Stats()
+	if st.Gates != 2 || st.Inputs != 2 || st.Outputs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Transistors != Nand2.Transistors()+Inv.Transistors() {
+		t.Errorf("transistors = %d", st.Transistors)
+	}
+	// Sum of NMOS widths: nand2 has 2 devices of W/L=4, inv one of 2.
+	want := 4.0 + 4.0 + 2.0
+	if got := c.SumNMOSWidthWL(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SumNMOSWidthWL = %g, want %g", got, want)
+	}
+}
+
+func TestSleepResistanceOfCircuit(t *testing.T) {
+	c := buildNandInv(t)
+	r, err := c.SleepResistance()
+	if err != nil || r != 0 {
+		t.Errorf("no sleep device must give 0 resistance, got %g, %v", r, err)
+	}
+	c.SleepWL = 10
+	r, err = c.SleepResistance()
+	if err != nil || r <= 0 {
+		t.Errorf("sleep resistance = %g, %v", r, err)
+	}
+}
+
+func TestNetlistExpansionCMOS(t *testing.T) {
+	c := buildNandInv(t)
+	nl, err := c.Netlist(Stimulus{
+		Old:   map[string]bool{"a": false, "b": true},
+		New:   map[string]bool{"a": true, "b": true},
+		TEdge: 1e-9, TRise: 50e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := nl.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.MOS) != 6 {
+		t.Errorf("device count = %d, want 6", len(f.MOS))
+	}
+	// No sleep device: pulldowns go to real ground.
+	for _, m := range f.MOS {
+		if m.Model == ModelNMOSHvt {
+			t.Error("CMOS expansion must not contain a sleep device")
+		}
+	}
+	// Sources: vdd + 2 inputs, a is a PWL edge, b is DC high.
+	if len(f.Vs) != 3 {
+		t.Fatalf("source count = %d", len(f.Vs))
+	}
+	for _, v := range f.Vs {
+		switch v.Name {
+		case "va":
+			if v.PWL == nil {
+				t.Error("input a must be a PWL edge")
+			}
+			if got := v.At(2e-9); math.Abs(got-1.2) > 1e-12 {
+				t.Errorf("a(2ns) = %g", got)
+			}
+		case "vb":
+			if v.PWL != nil || v.DC != 1.2 {
+				t.Errorf("input b must be DC high: %+v", v)
+			}
+		}
+	}
+}
+
+func TestNetlistExpansionMTCMOS(t *testing.T) {
+	c := buildNandInv(t)
+	c.SleepWL = 15
+	c.VGndCap = 1e-12
+	nl, err := c.Netlist(Stimulus{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := nl.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sleep *netlist.MOS
+	nOnVgnd := 0
+	for i, m := range f.MOS {
+		if m.Model == ModelNMOSHvt {
+			sleep = &f.MOS[i]
+		}
+		if m.Model == ModelNMOS && m.S == NodeVGnd {
+			nOnVgnd++
+		}
+	}
+	if sleep == nil {
+		t.Fatal("missing sleep transistor")
+	}
+	if sleep.D != NodeVGnd || sleep.S != netlist.Ground {
+		t.Errorf("sleep device wired wrong: %+v", sleep)
+	}
+	if got := sleep.WL(); math.Abs(got-15) > 1e-9 {
+		t.Errorf("sleep W/L = %g", got)
+	}
+	if nOnVgnd == 0 {
+		t.Error("no pulldown connected to virtual ground")
+	}
+	foundCx := false
+	for _, cp := range f.Caps {
+		if cp.A == NodeVGnd {
+			foundCx = true
+			if cp.F != 1e-12 {
+				t.Errorf("Cx = %g", cp.F)
+			}
+		}
+	}
+	if !foundCx {
+		t.Error("virtual ground cap missing")
+	}
+}
+
+func TestNetlistReservedNameCollision(t *testing.T) {
+	c := New("clash", newTech())
+	c.Input("vdd")
+	c.MustGate(Inv, "g", "y", 1, "vdd")
+	if _, err := c.Netlist(Stimulus{}); err == nil {
+		t.Error("reserved net name must be rejected")
+	}
+}
+
+// Property: Evaluate agrees with direct truth-table evaluation for a
+// random 2-level network.
+func TestEvaluateProperty(t *testing.T) {
+	c := New("prop", newTech())
+	c.Input("a")
+	c.Input("b")
+	c.Input("d")
+	c.MustGate(Xor2, "g1", "x", 1, "a", "b")
+	c.MustGate(Aoi21, "g2", "y", 1, "x", "d", "a")
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, d bool) bool {
+		vals, err := c.Evaluate(map[string]bool{"a": a, "b": b, "d": d})
+		if err != nil {
+			return false
+		}
+		x := a != b
+		y := !((x && d) || a)
+		return vals["y"] == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTemplatesAreWellFormed(t *testing.T) {
+	// Every template node label must be one of the recognized forms and
+	// every template must touch out, and have at least one N and P
+	// device.
+	for k := Kind(0); k < numKinds; k++ {
+		d := descs[k]
+		hasN, hasP, touchesOut := false, false, false
+		for _, dev := range d.devs {
+			if dev.pol == nmos {
+				hasN = true
+			} else {
+				hasP = true
+			}
+			if dev.d == "out" || dev.s == "out" {
+				touchesOut = true
+			}
+		}
+		if !hasN || !hasP || !touchesOut {
+			t.Errorf("%s template malformed: n=%v p=%v out=%v", d.Name, hasN, hasP, touchesOut)
+		}
+		if len(d.cinWL) != d.Arity {
+			t.Errorf("%s cinWL arity mismatch", d.Name)
+		}
+		for i, c := range d.cinWL {
+			if c <= 0 {
+				t.Errorf("%s input %d has zero gate cap: template never uses it", d.Name, i)
+			}
+		}
+		if d.drainWL <= 0 {
+			t.Errorf("%s has zero drain cap", d.Name)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/mosfet"
+)
+
+func tech07() *mosfet.Tech { t := mosfet.Tech07(); return &t }
+func tech03() *mosfet.Tech { t := mosfet.Tech03(); return &t }
+
+func TestInverterTreeShape(t *testing.T) {
+	c := InverterTree(tech07(), 3, 3, 50e-15)
+	st := c.Stats()
+	if st.Gates != 1+3+9 {
+		t.Errorf("gates = %d, want 13", st.Gates)
+	}
+	if st.Outputs != 9 {
+		t.Errorf("outputs = %d, want 9", st.Outputs)
+	}
+	// Logic: three inversions, so out = NOT(in).
+	vals, err := c.Evaluate(map[string]bool{"in": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if vals[fmt.Sprintf("s3_%d", i)] != false {
+			t.Errorf("leaf s3_%d should be low for high input", i)
+		}
+	}
+	// Paper parameters on the leaf loads.
+	leaf := c.FindNet("s3_0")
+	if leaf.CLoad != 50e-15 {
+		t.Errorf("leaf load = %g", leaf.CLoad)
+	}
+}
+
+func TestInverterTreeDegenerate(t *testing.T) {
+	c := InverterTree(tech07(), 1, 5, 1e-15)
+	if len(c.Gates) != 1 {
+		t.Errorf("single-level tree must have 1 root inverter, got %d", len(c.Gates))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("levels=0 must panic")
+		}
+	}()
+	InverterTree(tech07(), 0, 3, 0)
+}
+
+func TestInverterChain(t *testing.T) {
+	c := InverterChain(tech07(), 4, 10e-15)
+	vals, err := c.Evaluate(map[string]bool{"in": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["out"] != true { // even number of inversions
+		t.Error("4-chain must be non-inverting")
+	}
+	c3 := InverterChain(tech07(), 3, 10e-15)
+	vals, _ = c3.Evaluate(map[string]bool{"in": true})
+	if vals["out"] != false {
+		t.Error("3-chain must invert")
+	}
+}
+
+func TestRippleCarryAdderExhaustive(t *testing.T) {
+	// The paper's instance: 3 bits, exhaustive functional check.
+	ad := RippleCarryAdder(tech07(), 3, 20e-15)
+	st := ad.Stats()
+	if st.Transistors != 3*28 {
+		t.Errorf("3-bit mirror RCA = %d transistors, paper says 3x28 = 84", st.Transistors)
+	}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			for _, cin := range []bool{false, true} {
+				vals, err := ad.Evaluate(ad.Inputs(a, b, cin))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum, cout := ad.Result(vals)
+				want := a + b
+				if cin {
+					want++
+				}
+				if sum != want&7 || cout != (want > 7) {
+					t.Fatalf("%d+%d+%v: got sum=%d cout=%v, want %d", a, b, cin, sum, cout, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAdderWiderWidths(t *testing.T) {
+	for _, bits := range []int{1, 2, 5, 8} {
+		ad := RippleCarryAdder(tech07(), bits, 0)
+		rng := rand.New(rand.NewSource(int64(bits)))
+		mask := uint64(1)<<uint(bits) - 1
+		for k := 0; k < 50; k++ {
+			a := rng.Uint64() & mask
+			b := rng.Uint64() & mask
+			cin := rng.Intn(2) == 1
+			vals, err := ad.Evaluate(ad.Inputs(a, b, cin))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, cout := ad.Result(vals)
+			want := a + b
+			if cin {
+				want++
+			}
+			if sum != want&mask || cout != (want > mask) {
+				t.Fatalf("bits=%d %d+%d+%v: sum=%d cout=%v", bits, a, b, cin, sum, cout)
+			}
+		}
+	}
+}
+
+func TestMultiplier4x4Exhaustive(t *testing.T) {
+	m := CarrySaveMultiplier(tech03(), 4, 15e-15)
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			vals, err := m.Evaluate(m.Inputs(x, y))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Result(vals); got != x*y {
+				t.Fatalf("%d*%d = %d, want %d", x, y, got, x*y)
+			}
+		}
+	}
+}
+
+func TestMultiplier8x8Random(t *testing.T) {
+	m := CarrySaveMultiplier(tech03(), 8, 15e-15)
+	st := m.Stats()
+	if st.Inputs != 16 || st.Outputs != 16 {
+		t.Errorf("8x8 io = %d/%d", st.Inputs, st.Outputs)
+	}
+	t.Logf("8x8 multiplier: %d gates, %d transistors", st.Gates, st.Transistors)
+	f := func(x, y uint8) bool {
+		vals, err := m.Evaluate(m.Inputs(uint64(x), uint64(y)))
+		if err != nil {
+			return false
+		}
+		return m.Result(vals) == uint64(x)*uint64(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Paper vectors must be representable: A (00,00)->(FF,81).
+	vals, _ := m.Evaluate(m.Inputs(0xFF, 0x81))
+	if m.Result(vals) != 0xFF*0x81 {
+		t.Error("paper vector A end state wrong")
+	}
+}
+
+func TestMultiplier2x2(t *testing.T) {
+	m := CarrySaveMultiplier(tech03(), 2, 0)
+	for x := uint64(0); x < 4; x++ {
+		for y := uint64(0); y < 4; y++ {
+			vals, err := m.Evaluate(m.Inputs(x, y))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Result(vals); got != x*y {
+				t.Fatalf("%d*%d = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"chain0": func() { InverterChain(tech07(), 0, 0) },
+		"rca0":   func() { RippleCarryAdder(tech07(), 0, 0) },
+		"csm1":   func() { CarrySaveMultiplier(tech03(), 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMTCMOSWrapping(t *testing.T) {
+	c := InverterTree(tech07(), 3, 3, 50e-15)
+	c.SleepWL = 11
+	nl, err := c.Netlist(circuit.Stimulus{
+		Old:   map[string]bool{"in": false},
+		New:   map[string]bool{"in": true},
+		TEdge: 1e-9, TRise: 50e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := nl.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13 inverters x 2 devices + sleep transistor.
+	if len(f.MOS) != 27 {
+		t.Errorf("MTCMOS tree devices = %d, want 27", len(f.MOS))
+	}
+}

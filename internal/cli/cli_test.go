@@ -1,0 +1,216 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExpListsExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"fig5", "fig7", "table1", "speedup", "hier", "standby"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestExpRunsOneExperimentFast(t *testing.T) {
+	var buf bytes.Buffer
+	err := Exp([]string{"-e", "widths", "-fast", "-mult", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "==== widths") || !strings.Contains(out, "sum-of-widths") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExpCSVAndPlot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp([]string{"-e", "cx", "-fast", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Cx_pF,peakVx_mV") {
+		t.Errorf("CSV header missing:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Exp([]string{"-e", "cx", "-fast", "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "+---") {
+		t.Error("plot frame missing")
+	}
+}
+
+func TestExpUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp([]string{"-e", "nosuch"}, &buf); err == nil {
+		t.Error("unknown experiment must return an error")
+	}
+}
+
+func TestSimTreeVBS(t *testing.T) {
+	var buf bytes.Buffer
+	err := Sim([]string{"-circuit", "tree", "-wl", "8"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "worst delay") || !strings.Contains(out, "virtual ground peak") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}
+
+func TestSimAdderWithVectors(t *testing.T) {
+	var buf bytes.Buffer
+	err := Sim([]string{"-circuit", "adder", "-wl", "10", "-old", "0,0", "-new", "7,5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "delay s0") {
+		t.Errorf("missing per-output delays:\n%s", buf.String())
+	}
+}
+
+func TestSimMultHexVectors(t *testing.T) {
+	var buf bytes.Buffer
+	err := Sim([]string{"-circuit", "mult", "-bits", "4", "-wl", "40", "-old", "0,0", "-new", "f,9"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "worst delay") {
+		t.Errorf("missing delay:\n%s", buf.String())
+	}
+}
+
+func TestSimSpiceEngine(t *testing.T) {
+	var buf bytes.Buffer
+	err := Sim([]string{"-circuit", "chain", "-bits", "2", "-wl", "10",
+		"-engine", "spice", "-tstop", "6n", "-trace", "out"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "steps:") || !strings.Contains(out, "trace out") {
+		t.Errorf("missing engine stats:\n%s", out)
+	}
+}
+
+func TestSimTraceAndPlot(t *testing.T) {
+	var buf bytes.Buffer
+	err := Sim([]string{"-circuit", "tree", "-wl", "5", "-trace", "s3_0", "-plot"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wave s3_0") {
+		t.Errorf("missing traced wave:\n%s", buf.String())
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	cases := [][]string{
+		{"-circuit", "nosuch"},
+		{"-circuit", "adder", "-old", "zz,0"},
+		{"-circuit", "adder", "-old", "1"},
+		{"-engine", "warp"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := Sim(args, &buf); err == nil {
+			t.Errorf("args %v must fail", args)
+		}
+	}
+}
+
+func TestSimNetlistDeck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rc.sp")
+	deck := "rc deck\nV1 in 0 PWL(0 0 1n 0 1.1n 1)\nR1 in a 1k\nC1 a 0 0.2p\n"
+	if err := os.WriteFile(path, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := Sim([]string{"-netlist", path, "-tstop", "4n", "-trace", "a"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "node a") {
+		t.Errorf("missing node summary:\n%s", buf.String())
+	}
+	if err := Sim([]string{"-netlist", filepath.Join(dir, "missing.sp")}, &buf); err == nil {
+		t.Error("missing deck must fail")
+	}
+}
+
+func TestSizeTree(t *testing.T) {
+	var buf bytes.Buffer
+	err := Size([]string{"-circuit", "tree", "-target", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sum-of-widths", "peak-current", "delay-target", "overdesign", "break-even"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSizeAdderNoPower(t *testing.T) {
+	var buf bytes.Buffer
+	err := Size([]string{"-circuit", "adder", "-target", "15", "-vectors", "2", "-power=false"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "break-even") {
+		t.Error("-power=false must suppress the power summary")
+	}
+}
+
+func TestSizeUnknownCircuit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Size([]string{"-circuit", "warp"}, &buf); err == nil {
+		t.Error("unknown circuit must fail")
+	}
+}
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"20n": 20e-9, "5p": 5e-12, "3u": 3e-6, "1.5": 1.5, "2m": 2e-3, "7f": 7e-15,
+	}
+	for in, want := range cases {
+		got, err := parseValue(in)
+		if err != nil || got != want {
+			t.Errorf("parseValue(%q) = %g, %v", in, got, err)
+		}
+	}
+	if _, err := parseValue("zz"); err == nil {
+		t.Error("bad value must fail")
+	}
+}
+
+func TestSimCSVOut(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := Sim([]string{"-circuit", "tree", "-wl", "8", "-trace", "s3_0", "-csvout", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"s3_0.csv", "vgnd.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !strings.HasPrefix(string(data), "t,") {
+			t.Errorf("%s: bad header %q", f, string(data[:10]))
+		}
+	}
+}

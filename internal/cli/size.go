@@ -1,0 +1,125 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mtcmos"
+)
+
+// Size implements the mtsize command: size a benchmark circuit's sleep
+// transistor with each of the paper's methodologies.
+func Size(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mtsize", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		circ   = fs.String("circuit", "tree", "benchmark circuit: tree | adder | mult")
+		bits   = fs.Int("bits", 0, "operand width for adder/mult (defaults 3 / 8)")
+		target = fs.Float64("target", 5, "delay degradation budget in percent")
+		bounce = fs.Float64("bounce", 0.05, "bounce budget for the peak-current method (volts)")
+		nvec   = fs.Int("vectors", 8, "random stressing transitions to evaluate (plus the paper's named vectors)")
+		seed   = fs.Int64("seed", 1, "random vector seed")
+		powerF = fs.Bool("power", true, "print the power/leakage summary at the chosen size")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, cfg, trs, err := build(*circ, *bits, *nvec, *seed)
+	if err != nil {
+		return err
+	}
+
+	sw := mtcmos.SumOfWidths(c)
+	fmt.Fprintf(w, "circuit: %s (%d gates, %d transistors)\n", c.Name, len(c.Gates), c.Stats().Transistors)
+	fmt.Fprintf(w, "transitions evaluated: %d\n\n", len(trs))
+	fmt.Fprintf(w, "%-22s W/L = %8.1f   (paper: 'unnecessarily large')\n", "sum-of-widths:", sw)
+
+	pk, err := mtcmos.SizeForPeakCurrent(c, cfg, trs, *bounce)
+	if err != nil {
+		return fmt.Errorf("peak-current: %w", err)
+	}
+	fmt.Fprintf(w, "%-22s W/L = %8.1f   (Ipeak %.4g mA held to %.0f mV)\n",
+		"peak-current:", pk.WL, pk.Ipeak*1e3, *bounce*1e3)
+
+	dt, err := mtcmos.SizeForDelayTarget(c, cfg, trs, *target/100, 64*sw)
+	if err != nil {
+		return fmt.Errorf("delay-target: %w", err)
+	}
+	fmt.Fprintf(w, "%-22s W/L = %8.1f   (measured %.2f%% vs %.0f%% budget; base %.4g ns; %d sims)\n",
+		"delay-target:", dt.WL, dt.Degradation*100, *target, dt.BaseDelay*1e9, dt.Evals)
+	fmt.Fprintf(w, "\noverdesign: sum-of-widths %.1fx, peak-current %.1fx vs delay-target\n",
+		sw/dt.WL, pk.WL/dt.WL)
+
+	if *powerF {
+		c.SleepWL = dt.WL
+		ps, err := mtcmos.AnalyzePower(c)
+		if err != nil {
+			return fmt.Errorf("power: %w", err)
+		}
+		fmt.Fprintf(w, "\nat W/L=%.1f: leakage %.4g nA sleeping vs %.4g nA ungated (%.0fx reduction)\n",
+			dt.WL, ps.LeakageMTCMOS*1e9, ps.LeakageCMOS*1e9, ps.LeakageReduction)
+		fmt.Fprintf(w, "sleep-gate switching energy %.4g fJ; break-even idle %.4g us\n",
+			ps.SleepSwitchEnergy*1e15, ps.BreakEvenIdle*1e6)
+	}
+	return nil
+}
+
+func build(kind string, bits, nvec int, seed int64) (*mtcmos.Circuit, mtcmos.SizingConfig, []mtcmos.Transition, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "tree":
+		tech := mtcmos.Tech07()
+		c := mtcmos.InverterTree(&tech, 3, 3, 50e-15)
+		trs := []mtcmos.Transition{
+			{Old: map[string]bool{"in": false}, New: map[string]bool{"in": true}, Label: "0->1"},
+			{Old: map[string]bool{"in": true}, New: map[string]bool{"in": false}, Label: "1->0"},
+		}
+		return c, mtcmos.SizingConfig{}, trs, nil
+	case "adder":
+		tech := mtcmos.Tech07()
+		if bits == 0 {
+			bits = 3
+		}
+		ad := mtcmos.RippleCarryAdder(&tech, bits, 20e-15)
+		mask := uint64(1)<<uint(bits) - 1
+		trs := []mtcmos.Transition{
+			{Old: ad.Inputs(0, 0, false), New: ad.Inputs(mask, 1, false), Label: "carry ripple"},
+			{Old: ad.Inputs(0, 0, false), New: ad.Inputs(mask, mask, false), Label: "all on"},
+		}
+		for i := 0; i < nvec; i++ {
+			oa, ob := rng.Uint64()&mask, rng.Uint64()&mask
+			na, nb := rng.Uint64()&mask, rng.Uint64()&mask
+			trs = append(trs, mtcmos.Transition{
+				Old:   ad.Inputs(oa, ob, false),
+				New:   ad.Inputs(na, nb, false),
+				Label: fmt.Sprintf("rand%d", i),
+			})
+		}
+		return ad.Circuit, mtcmos.SizingConfig{}, trs, nil
+	case "mult":
+		tech := mtcmos.Tech03()
+		if bits == 0 {
+			bits = 8
+		}
+		m := mtcmos.CarrySaveMultiplier(&tech, bits, 15e-15)
+		mask := uint64(1)<<uint(bits) - 1
+		y := (1 | 1<<uint(bits-1)) & mask
+		trs := []mtcmos.Transition{
+			{Old: m.Inputs(0, 0), New: m.Inputs(mask, y), Label: "A (paper)"},
+			{Old: m.Inputs(mask>>1, y), New: m.Inputs(mask, y), Label: "B (paper)"},
+		}
+		for i := 0; i < nvec; i++ {
+			trs = append(trs, mtcmos.Transition{
+				Old:   m.Inputs(rng.Uint64()&mask, rng.Uint64()&mask),
+				New:   m.Inputs(rng.Uint64()&mask, rng.Uint64()&mask),
+				Label: fmt.Sprintf("rand%d", i),
+			})
+		}
+		return m.Circuit, mtcmos.SizingConfig{Outputs: m.ProductNets}, trs, nil
+	default:
+		return nil, mtcmos.SizingConfig{}, nil, fmt.Errorf("unknown circuit %q (tree|adder|mult)", kind)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/circuits"
+)
+
+func treeDelay(t *testing.T, wl float64, opts Options) float64 {
+	t.Helper()
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	c.SleepWL = wl
+	res, err := Simulate(c, stepStim("in", false, true), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]string, 9)
+	for i := range outs {
+		outs[i] = "s3_" + string(rune('0'+i))
+	}
+	d, _, ok := res.MaxDelay(outs)
+	if !ok {
+		t.Fatal("no output toggled")
+	}
+	return d
+}
+
+func TestInputSlopeSlowsCascadedGates(t *testing.T) {
+	plain := treeDelay(t, 10, Options{})
+	slope := treeDelay(t, 10, Options{InputSlope: true})
+	if slope <= plain {
+		t.Errorf("input-slope model must add delay: %g vs %g", slope, plain)
+	}
+	if slope > plain*1.5 {
+		t.Errorf("input-slope correction implausibly large: %g vs %g", slope, plain)
+	}
+}
+
+func TestInputSlopeNoEffectOnSingleGate(t *testing.T) {
+	// A gate driven directly by a primary input sees an ideal edge, so
+	// the correction must not change its delay.
+	c := circuits.InverterChain(tech07(), 1, 50e-15)
+	stim := stepStim("in", false, true)
+	plain, err := Simulate(c, stim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope, err := Simulate(c, stim, Options{InputSlope: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := plain.Delay("out")
+	d2, _ := slope.Delay("out")
+	if math.Abs(d1-d2) > 1e-15 {
+		t.Errorf("primary-input-driven gate changed: %g vs %g", d1, d2)
+	}
+}
+
+func TestTriodeRefinementAddsBreakpoints(t *testing.T) {
+	c := circuits.InverterChain(tech07(), 2, 50e-15)
+	stim := stepStim("in", false, true)
+	plain, err := Simulate(c, stim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := Simulate(c, stim, Options{Triode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.Events <= plain.Events {
+		t.Errorf("triode mode must refine with extra breakpoints: %d vs %d", tri.Events, plain.Events)
+	}
+	// Functional result unchanged.
+	for net, v := range plain.Final {
+		if tri.Final[net] != v {
+			t.Errorf("triode mode changed logic of %s", net)
+		}
+	}
+}
+
+func TestTriodeSlowsRisingTransitions(t *testing.T) {
+	// The PMOS pullup spends most of a rise in triode (Vdd - |Vtp| =
+	// 0.85V of a 1.2V swing), so the low-to-high delay must grow
+	// under the triode model.
+	c := circuits.InverterChain(tech07(), 1, 50e-15)
+	stim := stepStim("in", true, false) // output rises
+	plain, err := Simulate(c, stim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := Simulate(c, stim, Options{Triode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := plain.Delay("out")
+	d2, _ := tri.Delay("out")
+	if d2 <= d1 {
+		t.Errorf("triode model must slow the rise: %g vs %g", d2, d1)
+	}
+}
+
+func TestCombinedRefinementsMonotone(t *testing.T) {
+	for _, wl := range []float64{5, 20} {
+		plain := treeDelay(t, wl, Options{})
+		both := treeDelay(t, wl, Options{InputSlope: true, Triode: true})
+		if both < plain {
+			t.Errorf("wl=%g: refinements must not speed the model up: %g vs %g", wl, both, plain)
+		}
+	}
+}
+
+func TestRampFactorProperties(t *testing.T) {
+	// The ramp-averaged drive is always in (0, 1] and decreases with
+	// higher thresholds (less of the ramp conducts).
+	f1 := rampFactor(1.2, 0.2, 1.8)
+	f2 := rampFactor(1.2, 0.35, 1.8)
+	f3 := rampFactor(1.2, 0.55, 1.8)
+	for _, f := range []float64{f1, f2, f3} {
+		if f <= 0 || f > 1 {
+			t.Fatalf("ramp factor out of range: %g", f)
+		}
+	}
+	if !(f1 > f2 && f2 > f3) {
+		t.Errorf("ramp factor must fall with Vt: %g %g %g", f1, f2, f3)
+	}
+	if rampFactor(1.2, 1.3, 1.8) != 1 {
+		t.Error("unusable device must degrade to factor 1 (guard)")
+	}
+}
+
+func TestTriodeRatios(t *testing.T) {
+	// Saturated: ratio 1.
+	if r := triodeRatioN(1.0, 0, 0.85); r != 1 {
+		t.Errorf("saturated ratio = %g", r)
+	}
+	// Deep triode: ratio below 1, monotone in vds.
+	r1 := triodeRatioN(0.5, 0, 0.85)
+	r2 := triodeRatioN(0.2, 0, 0.85)
+	if !(r1 < 1 && r2 < r1 && r2 > 0) {
+		t.Errorf("triode ratios wrong: %g %g", r1, r2)
+	}
+	// Output at the source: only the termination floor remains.
+	if triodeRatioN(0.3, 0.3, 0.85) != triodeFloor {
+		t.Error("vds=0 must give the termination floor")
+	}
+	if triodeRatioN(0.3001, 0.3, 0.85) < triodeFloor {
+		t.Error("ratio must never drop below the floor")
+	}
+	// Pullup dual.
+	if r := triodeRatioP(0.2, 1.2, 0.85); r != 1 {
+		t.Errorf("pullup saturated ratio = %g", r)
+	}
+	rp := triodeRatioP(1.0, 1.2, 0.85)
+	if rp >= 1 || rp <= 0 {
+		t.Errorf("pullup triode ratio = %g", rp)
+	}
+}
+
+func TestRefinedModelStillFunctionallyCorrect(t *testing.T) {
+	ad := circuits.RippleCarryAdder(tech07(), 3, 20e-15)
+	ad.SleepWL = 8
+	stim := circuit.Stimulus{
+		Old:   ad.Inputs(2, 5, false),
+		New:   ad.Inputs(7, 6, false),
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	res, err := Simulate(ad.Circuit, stim, Options{InputSlope: true, Triode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ad.Evaluate(stim.New)
+	sum, cout := ad.Result(res.Final)
+	wsum, wcout := ad.Result(want)
+	if sum != wsum || cout != wcout {
+		t.Fatalf("refined model settles wrong: %d/%v want %d/%v", sum, cout, wsum, wcout)
+	}
+	if res.Stalled {
+		t.Error("refined model stalled")
+	}
+}

@@ -1,0 +1,214 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md section 4 for the index). Each
+// experiment is a pure function from a Config to an Output holding
+// tables and series; cmd/mtexp prints them and bench_test.go times
+// them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/circuits"
+	"mtcmos/internal/core"
+	"mtcmos/internal/mosfet"
+	"mtcmos/internal/report"
+	"mtcmos/internal/spice"
+)
+
+// Config tunes experiment cost. The zero value reproduces every figure
+// at publication scale except where the reference engine would take
+// minutes; those default to a documented subset and scale up via the
+// fields here.
+type Config struct {
+	// Fast skips the reference-engine (SPICE-class) columns entirely,
+	// leaving switch-level results only.
+	Fast bool
+
+	// SpiceVectors caps how many reference-engine transients the big
+	// vector sweeps run (Fig. 14, speedup). 0 means the per-experiment
+	// default. The paper itself used 800 (Fig. 14) and 4096 (runtime
+	// comparison); set accordingly if you have the hours.
+	SpiceVectors int
+
+	// MultiplierBits sizes the carry-save multiplier (default 8, the
+	// paper's instance; smoke tests use 4).
+	MultiplierBits int
+
+	// AdderBits sizes the ripple-carry adder (default 3, the paper's).
+	AdderBits int
+
+	// Seed drives any sampling (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MultiplierBits == 0 {
+		c.MultiplierBits = 8
+	}
+	if c.AdderBits == 0 {
+		c.AdderBits = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Output is the result of one experiment.
+type Output struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+	Series []*report.Series
+	Notes  []string
+}
+
+func (o *Output) note(format string, args ...any) {
+	o.Notes = append(o.Notes, fmt.Sprintf(format, args...))
+}
+
+// Experiment couples an ID to its runner.
+type Experiment struct {
+	ID    string
+	Desc  string
+	Run   func(Config) (*Output, error)
+	Paper string // which paper artifact it regenerates
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig5", "inverter-tree output and virtual-ground transients vs sleep W/L", Fig5, "Fig. 5"},
+		{"fig7", "8x8 multiplier delay vs sleep W/L for vectors A and B", Fig7, "Fig. 7"},
+		{"table1", "multiplier delay degradation at selected W/L; per-vector 5% sizing", Table1, "Table 1"},
+		{"fig10", "inverter-tree delay vs W/L: reference engine vs switch-level", Fig10, "Fig. 10"},
+		{"fig11", "ground-bounce transient: reference engine vs stepwise switch-level", Fig11, "Fig. 11"},
+		{"fig13", "3-bit adder delay vs W/L: reference engine vs switch-level", Fig13, "Fig. 13"},
+		{"fig14", "per-vector MTCMOS degradation spread on the 3-bit adder", Fig14, "Fig. 14"},
+		{"speedup", "exhaustive 4096-vector runtime: switch-level vs reference engine", Speedup, "Sec. 6.2"},
+		{"peak", "peak-current sizing vs delay-target sizing on the multiplier", Peak, "Sec. 4"},
+		{"widths", "sum-of-widths vs peak-current vs delay-target sizes", Widths, "Sec. 2"},
+		{"cx", "virtual-ground parasitic capacitance ablation", AblationCx, "Sec. 2.2"},
+		{"reverse", "reverse-conduction ablation", AblationReverse, "Sec. 2.3"},
+		{"body", "body-effect ablation in the switch-level model", AblationBody, "Sec. 5.3"},
+		{"hier", "hierarchical sizing via mutually exclusive discharge (DAC'98 extension)", Hier, "extension"},
+		{"accuracy", "input-slope and triode model refinements vs the reference engine", Accuracy, "Sec. 5.3"},
+		{"standby", "sleep-mode leakage and sleep-device overhead (reference-engine DC)", StandbyExp, "Sec. 1/2.1"},
+		{"screen", "vector-space narrowing: static screens vs the switch-level tool", Screen, "Sec. 5/7"},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try: %s)", id, ids())
+}
+
+func ids() string {
+	var s []string
+	for _, e := range Registry() {
+		s = append(s, e.ID)
+	}
+	sort.Strings(s)
+	return fmt.Sprint(s)
+}
+
+// --- shared circuit builders and measurement helpers ---
+
+// paperTree builds the Fig. 4 inverter tree (1-3-9, 50 fF leaf loads)
+// in the 0.7um technology.
+func paperTree() (*circuit.Circuit, *mosfet.Tech) {
+	tech := mosfet.Tech07()
+	c := circuits.InverterTree(&tech, 3, 3, 50e-15)
+	return c, c.Tech
+}
+
+// paperAdder builds the Fig. 12 mirror ripple-carry adder.
+func paperAdder(bits int) *circuits.Adder {
+	tech := mosfet.Tech07()
+	return circuits.RippleCarryAdder(&tech, bits, 20e-15)
+}
+
+// paperMultiplier builds the Fig. 6 carry-save multiplier in the 0.3um
+// technology.
+func paperMultiplier(bits int) *circuits.Multiplier {
+	tech := mosfet.Tech03()
+	return circuits.CarrySaveMultiplier(&tech, bits, 15e-15)
+}
+
+func treeStim() circuit.Stimulus {
+	return circuit.Stimulus{
+		Old:   map[string]bool{"in": false},
+		New:   map[string]bool{"in": true},
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+}
+
+func outputNames(c *circuit.Circuit) []string {
+	var out []string
+	for _, n := range c.Outputs() {
+		out = append(out, n.Name)
+	}
+	return out
+}
+
+// vbsDelay measures the worst settling delay over the outputs with the
+// switch-level simulator.
+func vbsDelay(c *circuit.Circuit, stim circuit.Stimulus, opts core.Options) (float64, *core.Result, error) {
+	res, err := core.Simulate(c, stim, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	d, _, ok := res.MaxDelay(outputNames(c))
+	if !ok {
+		return 0, res, fmt.Errorf("experiments: no output toggled")
+	}
+	return d, res, nil
+}
+
+// spiceDelay measures the worst settling delay over the outputs with
+// the reference engine. TStop must comfortably cover the transition.
+func spiceDelay(c *circuit.Circuit, stim circuit.Stimulus, tstop float64) (float64, *spice.RunResult, error) {
+	res, err := spice.Run(c, stim, spice.RunOptions{Options: spice.Options{TStop: tstop}})
+	if err != nil {
+		return 0, nil, err
+	}
+	worst := 0.0
+	any := false
+	vdd := c.Tech.Vdd
+	for _, n := range outputNames(c) {
+		tr := res.OutTrace(n)
+		if tr == nil {
+			continue
+		}
+		// Last crossing of Vdd/2 after the edge = settling delay,
+		// consistent with the switch-level measure.
+		from := stim.TEdge + stim.TRise/2
+		last, found := 0.0, false
+		at := from
+		for {
+			tc, ok := tr.Crossing(vdd/2, at, 0)
+			if !ok {
+				break
+			}
+			last, found = tc, true
+			at = tc + 1e-13
+		}
+		if found {
+			any = true
+			if d := last - from; d > worst {
+				worst = d
+			}
+		}
+	}
+	if !any {
+		return 0, res, fmt.Errorf("experiments: no output toggled in reference engine")
+	}
+	return worst, res, nil
+}

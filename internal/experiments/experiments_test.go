@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// fastCfg keeps the smoke tests quick: switch-level only, 4x4
+// multiplier, 2-bit adder where legal.
+func fastCfg() Config {
+	return Config{Fast: true, MultiplierBits: 4}
+}
+
+func TestRegistryIDsUniqueAndFindable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := Find(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("Find(%q) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	if _, err := Find("nosuch"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	out, err := Fig5(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) != 2 {
+		t.Fatalf("series count = %d", len(out.Series))
+	}
+	vout := out.Series[0]
+	// The smallest device (first column, W/L=2) must end lower-slower:
+	// at mid-transition its output is higher (slower fall) than the
+	// biggest device's.
+	small, _ := vout.Col("W/L=2")
+	big, _ := vout.Col("W/L=20")
+	midIdx := len(vout.X) / 3
+	if small[midIdx] <= big[midIdx] {
+		t.Errorf("W/L=2 output should lag W/L=20 at t=%.2gns: %.3g vs %.3g",
+			vout.X[midIdx], small[midIdx], big[midIdx])
+	}
+	// Ground bounce: peak of W/L=2 exceeds peak of W/L=20.
+	vg := out.Series[1]
+	s2, _ := vg.Col("W/L=2")
+	s20, _ := vg.Col("W/L=20")
+	if maxOf(s2) <= maxOf(s20) {
+		t.Errorf("bounce ordering wrong: %.3g vs %.3g", maxOf(s2), maxOf(s20))
+	}
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestFig10MonotoneShape(t *testing.T) {
+	out, err := Fig10(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Series[0]
+	col, _ := s.Col("vbs_ns")
+	for i := 1; i < len(col); i++ {
+		if col[i] >= col[i-1] {
+			t.Errorf("delay must fall as W/L grows: %v", col)
+			break
+		}
+	}
+}
+
+func TestFig11Runs(t *testing.T) {
+	out, err := Fig11(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Series[0]
+	col, _ := s.Col("vbs_Vx")
+	if maxOf(col) <= 0.01 {
+		t.Error("no visible bounce in Fig11 series")
+	}
+	if len(out.Notes) < 2 {
+		t.Error("missing notes")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	cfg := fastCfg()
+	out, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := out.Series[0].Col("vbs_ns")
+	if col[0] <= col[len(col)-1] {
+		t.Errorf("smallest W/L must be slowest: %v", col)
+	}
+}
+
+func TestFig14ShapeSortedTail(t *testing.T) {
+	out, err := Fig14(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Series[0]
+	col, _ := s.Col("vbs_deg_pct")
+	if len(col) < 10 {
+		t.Fatalf("too few vectors: %d", len(col))
+	}
+	// Sorted descending; head must dominate tail.
+	for i := 1; i < len(col); i++ {
+		if col[i] > col[i-1]+1e-9 {
+			t.Errorf("not sorted at %d: %v", i, col[i-1:i+1])
+		}
+	}
+	if col[0] < col[len(col)-1]+1 {
+		t.Errorf("expected a visible spread, head=%.2f%% tail=%.2f%%", col[0], col[len(col)-1])
+	}
+}
+
+func TestSpeedupFast(t *testing.T) {
+	cfg := fastCfg()
+	cfg.AdderBits = 2 // 256 vectors: quick
+	out, err := Speedup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 1 || len(out.Tables[0].Rows) < 1 {
+		t.Fatal("missing runtime table")
+	}
+}
+
+func TestTable1Trap(t *testing.T) {
+	out, err := Table1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 2 {
+		t.Fatalf("table count = %d", len(out.Tables))
+	}
+	// The trap row exists and the sizing table orders A >= B.
+	t2 := out.Tables[1]
+	if len(t2.Rows) != 3 {
+		t.Fatalf("sizing rows = %d", len(t2.Rows))
+	}
+}
+
+func TestFig7VectorOrdering(t *testing.T) {
+	out, err := Fig7(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Series[0]
+	degA, _ := s.Col("A_deg_pct")
+	degB, _ := s.Col("B_deg_pct")
+	// Paper's core claim: vector A degrades more than B at small W/L.
+	if degA[0] <= degB[0] {
+		t.Errorf("vector A must degrade more at W/L=%g: A=%.2f%% B=%.2f%%", s.X[0], degA[0], degB[0])
+	}
+	// Both shrink as W/L grows.
+	last := len(degA) - 1
+	if degA[last] >= degA[0] || degB[last] > degB[0]+1e-9 {
+		t.Errorf("degradation must shrink with W/L: A %v B %v", degA, degB)
+	}
+}
+
+func TestPeakConservative(t *testing.T) {
+	out, err := Peak(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables[0].Rows) != 3 {
+		t.Fatal("peak table must have 3 rows")
+	}
+}
+
+func TestWidthsTable(t *testing.T) {
+	out, err := Widths(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables[0].Rows) != 3 {
+		t.Fatalf("widths rows = %d", len(out.Tables[0].Rows))
+	}
+}
+
+func TestAblationCxShape(t *testing.T) {
+	out, err := AblationCx(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Series[0]
+	peaks, _ := s.Col("peakVx_mV")
+	if peaks[len(peaks)-1] >= peaks[0] {
+		t.Errorf("largest Cx must filter the bounce: %v", peaks)
+	}
+	rec, _ := s.Col("recovery_ns")
+	if rec[len(rec)-1] <= rec[0] {
+		t.Errorf("recovery must grow with Cx: %v", rec)
+	}
+}
+
+func TestAblationReverse(t *testing.T) {
+	out, err := AblationReverse(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables[0].Rows) != 3 {
+		t.Fatal("reverse table rows")
+	}
+}
+
+func TestAblationBodyFast(t *testing.T) {
+	out, err := AblationBody(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Series[0]
+	body, _ := s.Col("vbs_body_ns")
+	nobody, _ := s.Col("vbs_nobody_ns")
+	// Body effect adds delay, most at small W/L (first entry).
+	if body[0] <= nobody[0] {
+		t.Errorf("body effect must slow the model: %v vs %v", body, nobody)
+	}
+}
+
+func TestVectorConstantsMatchPaper(t *testing.T) {
+	ox, oy, nx, ny := vectorA(8)
+	if ox != 0 || oy != 0 || nx != 0xFF || ny != 0x81 {
+		t.Errorf("vector A = (%x,%x)->(%x,%x)", ox, oy, nx, ny)
+	}
+	ox, oy, nx, ny = vectorB(8)
+	if ox != 0x7F || oy != 0x81 || nx != 0xFF || ny != 0x81 {
+		t.Errorf("vector B = (%x,%x)->(%x,%x)", ox, oy, nx, ny)
+	}
+}
+
+func TestWorstVectorSearch(t *testing.T) {
+	m := paperMultiplier(4)
+	best, err := WorstVectorSearch(m, 20, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Metric <= 0 {
+		t.Errorf("greedy search found no degrading vector: %+v", best)
+	}
+	t.Logf("worst found: old=%04b/%04b new=%04b/%04b deg=%.1f%%",
+		best.OldV&0xF, best.OldV>>4, best.NewV&0xF, best.NewV>>4, best.Metric*100)
+}

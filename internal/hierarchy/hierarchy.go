@@ -1,0 +1,348 @@
+// Package hierarchy implements hierarchical sleep-transistor sizing
+// based on mutually exclusive discharge patterns — the extension the
+// DAC'97 paper's authors published as their DAC'98 follow-up ("MTCMOS
+// Hierarchical Sizing Based on Mutual Exclusive Discharge Patterns",
+// Kao, Narendra, Chandrakasan).
+//
+// The idea: a single sleep transistor must carry the *sum* of all
+// simultaneous discharge currents, but a circuit partitioned into
+// blocks can gate each block separately — and blocks whose discharge
+// windows never overlap (e.g. successive stages of a ripple-carry
+// chain) can share one device sized for the *maximum* of their needs
+// rather than the sum. The switch-level simulator supplies the
+// discharge windows (core.Result.Activity); this package builds the
+// overlap graph, greedily groups compatible blocks, sizes each group
+// for a virtual-ground bounce budget, and can apply the resulting
+// multi-domain plan to the circuit for verification.
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/core"
+	"mtcmos/internal/mosfet"
+)
+
+// Transition is one input-vector pair analyzed for discharge overlap.
+type Transition struct {
+	Old, New map[string]bool
+	Label    string
+}
+
+// Config controls the analysis.
+type Config struct {
+	// Blocks holds gate IDs per block. Use PartitionByLevel or
+	// PartitionByPrefix to build one, or supply your own.
+	Blocks [][]int
+
+	// MaxBounce is the virtual-ground budget each group is sized for
+	// (default 50mV, the paper's running figure).
+	MaxBounce float64
+
+	// TEdge/TRise shape the applied edges (defaults 1ns / 50ps).
+	TEdge, TRise float64
+
+	// Sim options forwarded to the switch-level simulator.
+	Sim core.Options
+}
+
+// Plan is the hierarchical sizing outcome.
+type Plan struct {
+	// Groups lists the block indices merged into each sleep domain.
+	Groups [][]int
+	// GroupWL is the sleep W/L of each group's shared device.
+	GroupWL []float64
+	// BlockWL is the standalone requirement of each block.
+	BlockWL []float64
+	// BlockPeakI is each block's worst simultaneous discharge current.
+	BlockPeakI []float64
+	// Overlap[i][j] reports whether blocks i and j ever discharge at
+	// the same time under the analyzed transitions.
+	Overlap [][]bool
+
+	// TotalWL is the summed W/L of the hierarchical plan's devices;
+	// SingleWL is the size one shared device would need for the same
+	// bounce budget; PerBlockWL is the total without merging. The
+	// hierarchical saving is SingleWL (or PerBlockWL) vs TotalWL.
+	TotalWL    float64
+	SingleWL   float64
+	PerBlockWL float64
+}
+
+// PartitionByLevel groups gates by topological depth into nLevels
+// blocks — the natural partition for ripple/array structures whose
+// stages discharge in sequence.
+func PartitionByLevel(c *circuit.Circuit, nLevels int) ([][]int, error) {
+	if nLevels < 1 {
+		return nil, fmt.Errorf("hierarchy: need at least one level")
+	}
+	order, err := c.Topo()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, len(c.Gates))
+	maxDepth := 0
+	for _, g := range order {
+		d := 0
+		for _, in := range g.In {
+			if in.Driver != nil && depth[in.Driver.ID]+1 > d {
+				d = depth[in.Driver.ID] + 1
+			}
+		}
+		depth[g.ID] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	blocks := make([][]int, nLevels)
+	for _, g := range c.Gates {
+		b := depth[g.ID] * nLevels / (maxDepth + 1)
+		blocks[b] = append(blocks[b], g.ID)
+	}
+	// Drop empty blocks.
+	out := blocks[:0]
+	for _, b := range blocks {
+		if len(b) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// PartitionByPrefix groups gates by a name prefix extracted with fn
+// (e.g. the full-adder instance name); gates mapping to "" share a
+// catch-all block.
+func PartitionByPrefix(c *circuit.Circuit, fn func(gateName string) string) [][]int {
+	byKey := map[string][]int{}
+	var keys []string
+	for _, g := range c.Gates {
+		k := fn(g.Name)
+		if _, ok := byKey[k]; !ok {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], g.ID)
+	}
+	sort.Strings(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// Analyze runs the switch-level simulator over the transitions with
+// activity recording, computes per-block discharge requirements and
+// the pairwise overlap relation, greedily merges compatible blocks,
+// and sizes every group for the bounce budget.
+func Analyze(c *circuit.Circuit, cfg Config, trs []Transition) (*Plan, error) {
+	if len(cfg.Blocks) == 0 {
+		return nil, fmt.Errorf("hierarchy: no blocks configured")
+	}
+	if len(trs) == 0 {
+		return nil, fmt.Errorf("hierarchy: no transitions to analyze")
+	}
+	if cfg.MaxBounce <= 0 {
+		cfg.MaxBounce = 0.05
+	}
+	if cfg.TEdge <= 0 {
+		cfg.TEdge = 1e-9
+	}
+	if cfg.TRise <= 0 {
+		cfg.TRise = 50e-12
+	}
+	blockOf := make([]int, len(c.Gates))
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	for b, ids := range cfg.Blocks {
+		for _, id := range ids {
+			if id < 0 || id >= len(c.Gates) {
+				return nil, fmt.Errorf("hierarchy: block %d references unknown gate %d", b, id)
+			}
+			if blockOf[id] != -1 {
+				return nil, fmt.Errorf("hierarchy: gate %d in two blocks", id)
+			}
+			blockOf[id] = b
+		}
+	}
+	for id, b := range blockOf {
+		if b == -1 {
+			return nil, fmt.Errorf("hierarchy: gate %d (%s) not assigned to any block", id, c.Gates[id].Name)
+		}
+	}
+
+	nb := len(cfg.Blocks)
+	plan := &Plan{
+		BlockWL:    make([]float64, nb),
+		BlockPeakI: make([]float64, nb),
+		Overlap:    make([][]bool, nb),
+	}
+	for i := range plan.Overlap {
+		plan.Overlap[i] = make([]bool, nb)
+	}
+
+	// Measure activity in plain-CMOS mode: worst-case current overlap
+	// (a sleep device would spread the windows, which only reduces
+	// instantaneous overlap current).
+	saved := c.SleepWL
+	c.SleepWL = 0
+	defer func() { c.SleepWL = saved }()
+
+	eq := c.Equiv()
+	// Per-gate discharge current at full drive (the CMOS saturation
+	// current of the equivalent pulldown).
+	igate := make([]float64, len(c.Gates))
+	for i := range c.Gates {
+		sol := mosfet.Equilibrium(c.Tech, 0, []float64{eq[i].BetaN}, false)
+		igate[i] = sol.Itotal
+	}
+
+	totalPeak := 0.0
+	opts := cfg.Sim
+	opts.RecordActivity = true
+	for _, tr := range trs {
+		stim := circuit.Stimulus{Old: tr.Old, New: tr.New, TEdge: cfg.TEdge, TRise: cfg.TRise}
+		res, err := core.Simulate(c, stim, opts)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: transition %s: %w", tr.Label, err)
+		}
+		// Sweep the event timeline: at each activity edge, recompute
+		// per-block concurrent currents.
+		type edge struct {
+			t     float64
+			gate  int
+			start bool
+		}
+		var edges []edge
+		for g, ivs := range res.Activity {
+			for _, iv := range ivs {
+				edges = append(edges, edge{iv.Start, g, true}, edge{iv.End, g, false})
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].t != edges[j].t {
+				return edges[i].t < edges[j].t
+			}
+			return !edges[i].start && edges[j].start // process ends first
+		})
+		cur := make([]float64, nb)
+		active := make([]int, nb)
+		total := 0.0
+		for _, e := range edges {
+			b := blockOf[e.gate]
+			if e.start {
+				cur[b] += igate[e.gate]
+				active[b]++
+				total += igate[e.gate]
+			} else {
+				cur[b] -= igate[e.gate]
+				active[b]--
+				total -= igate[e.gate]
+			}
+			if cur[b] > plan.BlockPeakI[b] {
+				plan.BlockPeakI[b] = cur[b]
+			}
+			if total > totalPeak {
+				totalPeak = total
+			}
+			if e.start {
+				for ob := 0; ob < nb; ob++ {
+					if ob != b && active[ob] > 0 {
+						plan.Overlap[b][ob] = true
+						plan.Overlap[ob][b] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Size: W/L such that R = MaxBounce / Ipeak.
+	wlFor := func(ipeak float64) (float64, error) {
+		if ipeak <= 0 {
+			return 0, nil
+		}
+		return mosfet.SleepWLForResistance(c.Tech, cfg.MaxBounce/ipeak)
+	}
+	for b := 0; b < nb; b++ {
+		wl, err := wlFor(plan.BlockPeakI[b])
+		if err != nil {
+			return nil, err
+		}
+		plan.BlockWL[b] = wl
+		plan.PerBlockWL += wl
+	}
+	single, err := wlFor(totalPeak)
+	if err != nil {
+		return nil, err
+	}
+	plan.SingleWL = single
+
+	// Greedy grouping: largest blocks first; a block joins a group only
+	// if it overlaps none of its members. Group device = max member.
+	order := make([]int, nb)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return plan.BlockWL[order[i]] > plan.BlockWL[order[j]]
+	})
+	for _, b := range order {
+		placed := false
+		for gi, grp := range plan.Groups {
+			ok := true
+			for _, m := range grp {
+				if plan.Overlap[b][m] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				plan.Groups[gi] = append(plan.Groups[gi], b)
+				plan.GroupWL[gi] = math.Max(plan.GroupWL[gi], plan.BlockWL[b])
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			plan.Groups = append(plan.Groups, []int{b})
+			plan.GroupWL = append(plan.GroupWL, plan.BlockWL[b])
+		}
+	}
+	for _, wl := range plan.GroupWL {
+		plan.TotalWL += wl
+	}
+	return plan, nil
+}
+
+// Apply configures the circuit's sleep domains per the plan: one
+// domain per group, every gate assigned to its group's domain. The
+// circuit's previous domain configuration is replaced; domain 0 takes
+// the first group.
+func Apply(c *circuit.Circuit, cfg Config, plan *Plan) error {
+	if len(plan.Groups) == 0 {
+		return fmt.Errorf("hierarchy: empty plan")
+	}
+	blockDomain := make(map[int]int)
+	for gi, grp := range plan.Groups {
+		for _, b := range grp {
+			blockDomain[b] = gi
+		}
+	}
+	c.SleepWL = plan.GroupWL[0]
+	for gi := 1; gi < len(plan.Groups); gi++ {
+		c.AddDomain(circuit.Domain{
+			Name:    fmt.Sprintf("grp%d", gi),
+			SleepWL: plan.GroupWL[gi],
+		})
+	}
+	for b, ids := range cfg.Blocks {
+		dom := blockDomain[b]
+		for _, id := range ids {
+			c.Gates[id].Domain = dom
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package mosfet
+
+import "math"
+
+// EquilibriumResult is the solution of the virtual-ground equilibrium
+// (paper Eq. 4-5): with N gates discharging simultaneously through a
+// shared sleep resistance R, the virtual ground settles where the
+// resistor current Vx/R equals the sum of the gates' saturation
+// currents at the reduced gate drive Vdd - Vx - Vtn(Vx).
+type EquilibriumResult struct {
+	Vx     float64   // virtual ground voltage (V)
+	Itotal float64   // total current through the sleep device (A)
+	I      []float64 // per-gate discharge currents (A), parallel to betas
+}
+
+// Equilibrium solves the virtual-ground operating point for a set of
+// simultaneously discharging equivalent inverters with NMOS gain
+// factors betas (each beta = KPn * (W/L)_eff of the pulldown), sharing
+// a sleep resistance r. bodyEffect selects whether the pulldown
+// threshold rises with Vx (paper section 2.1 lists both the gate-drive
+// loss and the body effect).
+//
+// The equation
+//
+//	g(Vx) = Vx/R - (sum_j beta_j/2) Vdd^(2-a) (Vdd - Vx - Vt(Vx))^a = 0
+//
+// has a strictly increasing left side on [0, Vdd-Vt], so it is solved
+// with a bracketed Newton iteration (bisection fallback), which also
+// absorbs the body-effect term directly. r == 0 (ideal ground, plain
+// CMOS) returns Vx = 0 exactly; if no gate conducts the result is all
+// zeros.
+func Equilibrium(t *Tech, r float64, betas []float64, bodyEffect bool) EquilibriumResult {
+	res := EquilibriumResult{I: make([]float64, len(betas))}
+	btot := 0.0
+	for _, b := range betas {
+		btot += b
+	}
+	if btot <= 0 || t.Vdd-t.Vtn <= 0 {
+		return res
+	}
+	if r <= 0 {
+		res.Itotal = currents(t, 0, betas, bodyEffect, res.I)
+		return res
+	}
+
+	k := 0.5 * btot * math.Pow(t.Vdd, 2-t.Alpha)
+	vt := func(vx float64) float64 {
+		if bodyEffect {
+			return t.VtnBody(vx)
+		}
+		return t.Vtn
+	}
+	// g(vx): resistor current minus total device current. Increasing.
+	g := func(vx float64) float64 {
+		drive := t.Vdd - vx - vt(vx)
+		if drive <= 0 {
+			return vx / r
+		}
+		return vx/r - k*math.Pow(drive, t.Alpha)
+	}
+
+	lo, hi := 0.0, t.Vdd-t.Vtn // g(lo) < 0 <= g(hi)
+	vx := quadraticVx(btot, r, t.Vdd-t.Vtn)
+	if vx <= lo || vx >= hi {
+		vx = 0.5 * (lo + hi)
+	}
+	const h = 1e-7
+	for i := 0; i < 60; i++ {
+		gv := g(vx)
+		if gv > 0 {
+			hi = vx
+		} else {
+			lo = vx
+		}
+		if hi-lo < 1e-12 || math.Abs(gv) < 1e-15 {
+			break
+		}
+		dg := (g(vx+h) - g(vx-h)) / (2 * h)
+		next := vx
+		if dg > 0 {
+			next = vx - gv/dg
+		}
+		if next <= lo || next >= hi {
+			next = 0.5 * (lo + hi) // Newton left the bracket: bisect
+		}
+		if math.Abs(next-vx) < 1e-13 {
+			vx = next
+			break
+		}
+		vx = next
+	}
+	res.Vx = vx
+	res.Itotal = currents(t, vx, betas, bodyEffect, res.I)
+	return res
+}
+
+// quadraticVx solves vx/r = (btot/2)(v - vx)^2 for the root in [0, v]:
+// the exact alpha=2, no-body-effect solution, used as the Newton seed.
+func quadraticVx(btot, r, v float64) float64 {
+	a := 0.5 * btot
+	// a*vx^2 - (2av + 1/r)*vx + a*v^2 = 0
+	b := -(2*a*v + 1/r)
+	c := a * v * v
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		disc = 0
+	}
+	// The physical root is the smaller one (vx < v).
+	vx := (-b - math.Sqrt(disc)) / (2 * a)
+	if vx < 0 {
+		vx = 0
+	}
+	if vx > v {
+		vx = v
+	}
+	return vx
+}
+
+// currents fills out[] with per-gate saturation currents at virtual
+// ground vx and returns their sum.
+func currents(t *Tech, vx float64, betas []float64, bodyEffect bool, out []float64) float64 {
+	vt := t.Vtn
+	if bodyEffect {
+		vt = t.VtnBody(vx)
+	}
+	vov := t.Vdd - vx - vt
+	if vov <= 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return 0
+	}
+	scale := 0.5 * math.Pow(t.Vdd, 2-t.Alpha) * math.Pow(vov, t.Alpha)
+	sum := 0.0
+	for i, b := range betas {
+		out[i] = b * scale
+		sum += out[i]
+	}
+	return sum
+}

@@ -1,0 +1,142 @@
+package mosfet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEquilibriumIdealGround(t *testing.T) {
+	tech := Tech07()
+	res := Equilibrium(&tech, 0, []float64{4e-4, 2e-4}, true)
+	if res.Vx != 0 {
+		t.Fatalf("ideal ground Vx = %g, want 0", res.Vx)
+	}
+	// Currents are plain saturation currents at full drive.
+	d := Device{Kind: NMOS, WL: 1, Vt0: tech.Vtn, Tech: &tech}
+	want := 4e-4 / tech.KPn * d.IdsAlpha(tech.Vdd, 0)
+	if math.Abs(res.I[0]-want)/want > 1e-9 {
+		t.Errorf("I[0] = %g, want %g", res.I[0], want)
+	}
+}
+
+func TestEquilibriumNoConduction(t *testing.T) {
+	tech := Tech07()
+	res := Equilibrium(&tech, 1e3, nil, true)
+	if res.Vx != 0 || res.Itotal != 0 {
+		t.Fatal("empty discharge set must give zero")
+	}
+	res = Equilibrium(&tech, 1e3, []float64{0, 0}, false)
+	if res.Vx != 0 || res.Itotal != 0 {
+		t.Fatal("all-zero betas must give zero")
+	}
+}
+
+func TestEquilibriumKCL(t *testing.T) {
+	// The solution must satisfy Vx/R == sum of gate currents.
+	tech := Tech07()
+	for _, body := range []bool{false, true} {
+		for _, r := range []float64{100, 1e3, 1e4, 1e5} {
+			betas := []float64{3e-4, 1e-4, 5e-4}
+			res := Equilibrium(&tech, r, betas, body)
+			ir := res.Vx / r
+			if math.Abs(ir-res.Itotal) > 1e-6*math.Max(ir, res.Itotal)+1e-15 {
+				t.Errorf("body=%v r=%g: KCL violated: Vx/R=%g sumI=%g", body, r, ir, res.Itotal)
+			}
+		}
+	}
+}
+
+func TestEquilibriumKCLAlpha2Exact(t *testing.T) {
+	tech := Tech07()
+	tech.Alpha = 2
+	betas := []float64{2e-4, 2e-4, 2e-4}
+	res := Equilibrium(&tech, 2000, betas, false)
+	// Analytic check against the quadratic.
+	v := tech.Vdd - tech.Vtn
+	lhs := res.Vx / 2000
+	rhs := 0.5 * 6e-4 * (v - res.Vx) * (v - res.Vx)
+	if math.Abs(lhs-rhs)/rhs > 1e-9 {
+		t.Errorf("quadratic solution inexact: lhs=%g rhs=%g", lhs, rhs)
+	}
+}
+
+// Property: Vx is bounded by [0, Vdd-Vtn] and monotone increasing in R
+// and in total beta; per-gate current is monotone decreasing in R.
+func TestEquilibriumMonotonicity(t *testing.T) {
+	tech := Tech03()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		betas := make([]float64, n)
+		for i := range betas {
+			betas[i] = (0.1 + rng.Float64()) * 4e-4
+		}
+		r1 := 50 + rng.Float64()*5e3
+		r2 := r1 * (1.1 + rng.Float64()*4)
+		body := seed%2 == 0
+
+		a := Equilibrium(&tech, r1, betas, body)
+		b := Equilibrium(&tech, r2, betas, body)
+		if a.Vx < 0 || a.Vx > tech.Vdd-tech.Vtn+1e-12 {
+			return false
+		}
+		if b.Vx < a.Vx-1e-12 { // larger R -> more bounce
+			return false
+		}
+		if b.I[0] > a.I[0]+1e-15 { // larger R -> less current per gate
+			return false
+		}
+		// Adding a gate raises Vx.
+		more := append(append([]float64(nil), betas...), 3e-4)
+		c := Equilibrium(&tech, r1, more, body)
+		return c.Vx >= a.Vx-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquilibriumBodyEffectRaisesBounceImpact(t *testing.T) {
+	// With body effect on, the same bounce costs more drive, so the
+	// per-gate current must be lower (or equal) than without it.
+	tech := Tech07()
+	betas := []float64{4e-4, 4e-4, 4e-4, 4e-4}
+	r := 2e3
+	with := Equilibrium(&tech, r, betas, true)
+	without := Equilibrium(&tech, r, betas, false)
+	if with.I[0] >= without.I[0] {
+		t.Errorf("body effect must reduce discharge current: with=%g without=%g", with.I[0], without.I[0])
+	}
+}
+
+func TestEquilibriumManyGatesApproachSupplyLimit(t *testing.T) {
+	// With an absurd number of gates the bounce approaches the point
+	// where gates barely conduct; Vx stays below Vdd-Vt.
+	tech := Tech07()
+	betas := make([]float64, 500)
+	for i := range betas {
+		betas[i] = 1e-3
+	}
+	res := Equilibrium(&tech, 1e4, betas, false)
+	lim := tech.Vdd - tech.Vtn
+	if res.Vx >= lim || res.Vx < 0.9*lim {
+		t.Errorf("Vx = %g, want just below %g", res.Vx, lim)
+	}
+}
+
+func TestEquilibriumGeneralAlphaBisection(t *testing.T) {
+	tech := Tech07()
+	tech.Alpha = 1.4
+	betas := []float64{3e-4, 3e-4}
+	res := Equilibrium(&tech, 3e3, betas, false)
+	// KCL must hold for the alpha-power RHS too.
+	v := tech.Vdd - tech.Vtn
+	k := 0.5 * 6e-4 * math.Pow(tech.Vdd, 2-tech.Alpha)
+	rhs := k * math.Pow(v-res.Vx, tech.Alpha)
+	lhs := res.Vx / 3e3
+	if math.Abs(lhs-rhs)/rhs > 1e-6 {
+		t.Errorf("alpha=1.4 KCL: lhs=%g rhs=%g", lhs, rhs)
+	}
+}

@@ -1,0 +1,206 @@
+package mosfet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTechPresetsValidate(t *testing.T) {
+	for _, tech := range []Tech{Tech07(), Tech03()} {
+		if err := tech.Validate(); err != nil {
+			t.Errorf("%s: %v", tech.Name, err)
+		}
+	}
+}
+
+func TestTechValidateRejectsBadParams(t *testing.T) {
+	base := Tech07()
+	mut := []func(*Tech){
+		func(c *Tech) { c.Vdd = 0 },
+		func(c *Tech) { c.Vtn = -0.1 },
+		func(c *Tech) { c.Vtn = c.Vdd + 1 },
+		func(c *Tech) { c.Vtp = 0.2 },
+		func(c *Tech) { c.VtnHigh = c.Vtn - 0.01 },
+		func(c *Tech) { c.VtnHigh = c.Vdd },
+		func(c *Tech) { c.KPn = 0 },
+		func(c *Tech) { c.Alpha = 2.5 },
+		func(c *Tech) { c.Lmin = 0 },
+	}
+	for i, m := range mut {
+		c := base
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestIdsRegions(t *testing.T) {
+	tech := Tech07()
+	d := NewNMOS(&tech, 4)
+
+	// Saturation: vds > vov.
+	isat := d.Ids(1.2, 1.2, 0)
+	want := 0.5 * d.Beta() * (1.2 - 0.35) * (1.2 - 0.35) * (1 + tech.Lambda*1.2)
+	// The model carries a weak-inversion floor (~0.2% here), so compare
+	// loosely.
+	if math.Abs(isat-want)/want > 5e-3 {
+		t.Errorf("saturation Ids = %g, want %g", isat, want)
+	}
+
+	// Triode current at small vds is roughly vds/Ron.
+	itri := d.Ids(1.2, 0.01, 0)
+	ron := 1 / (d.Beta() * (1.2 - 0.35))
+	if math.Abs(itri-0.01/ron)/(0.01/ron) > 0.05 {
+		t.Errorf("triode Ids = %g, want about %g", itri, 0.01/ron)
+	}
+
+	// Monotone in vds.
+	prev := 0.0
+	for vds := 0.0; vds <= 1.2; vds += 0.01 {
+		i := d.Ids(1.2, vds, 0)
+		if i < prev-1e-15 {
+			t.Fatalf("Ids not monotone in vds at %g", vds)
+		}
+		prev = i
+	}
+
+	// Subthreshold: decades per ~n*vT*ln(10).
+	i1 := d.Ids(0.2, 1.2, 0)
+	i2 := d.Ids(0.1, 1.2, 0)
+	ratio := i1 / i2
+	nvt := tech.SubN * 0.02587
+	wantRatio := math.Exp(0.1 / nvt)
+	if math.Abs(ratio-wantRatio)/wantRatio > 0.02 {
+		t.Errorf("subthreshold slope ratio = %g, want %g", ratio, wantRatio)
+	}
+}
+
+func TestIdsContinuousAtThresholdAndSatBoundary(t *testing.T) {
+	tech := Tech07()
+	d := NewNMOS(&tech, 2)
+	// Across vgs = Vt.
+	below := d.Ids(tech.Vtn-1e-7, 0.6, 0)
+	above := d.Ids(tech.Vtn+1e-7, 0.6, 0)
+	if below <= 0 || above <= 0 {
+		t.Fatalf("currents near threshold must be positive: %g %g", below, above)
+	}
+	if math.Abs(above-below)/above > 0.01 {
+		t.Errorf("discontinuity at threshold: %g vs %g", below, above)
+	}
+	// Across vds = vov.
+	vov := 1.0 - tech.Vtn
+	i1 := d.Ids(1.0, vov-1e-7, 0)
+	i2 := d.Ids(1.0, vov+1e-7, 0)
+	if math.Abs(i2-i1)/i2 > 1e-4 {
+		t.Errorf("discontinuity at sat boundary: %g vs %g", i1, i2)
+	}
+}
+
+func TestIdsReverseSymmetry(t *testing.T) {
+	tech := Tech07()
+	d := NewNMOS(&tech, 3)
+	// Current must be odd under terminal exchange.
+	fwd := d.Ids(1.0, 0.4, 0.1)
+	rev := d.Ids(1.0-0.4, -0.4, 0.1+0.4)
+	if math.Abs(fwd+rev) > 1e-12*math.Abs(fwd) {
+		t.Errorf("reverse symmetry violated: fwd=%g rev=%g", fwd, rev)
+	}
+}
+
+func TestBodyEffectRaisesVt(t *testing.T) {
+	tech := Tech07()
+	d := NewNMOS(&tech, 1)
+	if d.VtBody(0) != tech.Vtn {
+		t.Error("zero vsb must give Vt0")
+	}
+	prev := tech.Vtn
+	for vsb := 0.05; vsb <= 1.0; vsb += 0.05 {
+		vt := d.VtBody(vsb)
+		if vt <= prev {
+			t.Fatalf("VtBody not increasing at vsb=%g", vsb)
+		}
+		prev = vt
+	}
+}
+
+func TestLeakageOrdersOfMagnitude(t *testing.T) {
+	tech := Tech07()
+	low := NewNMOS(&tech, 4).Leakage()
+	high := NewSleepNMOS(&tech, 4).Leakage()
+	if low <= 0 || high <= 0 {
+		t.Fatalf("leakages must be positive: %g %g", low, high)
+	}
+	// The whole point of MTCMOS: the high-Vt device leaks orders of
+	// magnitude less. (0.75-0.35)V / (n*vT*ln10) = about 4.8 decades.
+	if low/high < 1e3 {
+		t.Errorf("high-Vt leakage reduction only %.1fx, want >1000x", low/high)
+	}
+}
+
+func TestSleepResistance(t *testing.T) {
+	tech := Tech07()
+	r10, err := SleepResistance(&tech, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r20, err := SleepResistance(&tech, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r10-2*r20)/r10 > 1e-12 {
+		t.Errorf("R must scale as 1/(W/L): r10=%g r20=%g", r10, r20)
+	}
+	wl, err := SleepWLForResistance(&tech, r10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wl-10)/10 > 1e-12 {
+		t.Errorf("round trip W/L = %g, want 10", wl)
+	}
+	if _, err := SleepResistance(&tech, 0); err == nil {
+		t.Error("zero W/L must error")
+	}
+	if _, err := SleepWLForResistance(&tech, -1); err == nil {
+		t.Error("negative R must error")
+	}
+	bad := tech
+	bad.VtnHigh = bad.Vdd + 0.1
+	if _, err := SleepResistance(&bad, 10); err == nil {
+		t.Error("sleep device that never turns on must error")
+	}
+}
+
+func TestSleepResistanceScalingWithVdd(t *testing.T) {
+	// Paper section 2.1: "As one continues to scale Vdd to lower
+	// voltages, the effective resistance of the sleep transistors will
+	// increase dramatically."
+	tech := Tech07()
+	rHigh, _ := SleepResistance(&tech, 10)
+	tech.Vdd = 0.9
+	rLow, _ := SleepResistance(&tech, 10)
+	if rLow <= rHigh {
+		t.Errorf("R must increase as Vdd scales down: %g at 1.2V vs %g at 0.9V", rHigh, rLow)
+	}
+}
+
+func TestIdsAlphaMatchesSquareLawAtAlpha2(t *testing.T) {
+	tech := Tech07()
+	tech.Alpha = 2
+	tech.Lambda = 0
+	d := NewNMOS(&tech, 5)
+	ia := d.IdsAlpha(1.2, 0)
+	is := d.Ids(1.2, 5.0, 0)       // deep saturation, lambda=0
+	if math.Abs(ia-is)/is > 5e-3 { // Ids carries the weak-inversion floor
+		t.Errorf("alpha-power at alpha=2 = %g, square law = %g", ia, is)
+	}
+	if d.IdsAlpha(0.1, 0) != 0 {
+		t.Error("alpha-power below threshold must be zero")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Error("Kind strings wrong")
+	}
+}

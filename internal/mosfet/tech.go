@@ -1,0 +1,151 @@
+// Package mosfet implements the first-order MOSFET device models used by
+// both simulation engines: a level-1 square-law model, the Sakurai–Newton
+// alpha-power law model, body effect, weak-inversion (subthreshold)
+// conduction, and the linear-resistor approximation of an ON high-Vt
+// sleep transistor (paper section 2.1).
+package mosfet
+
+import "fmt"
+
+// Tech collects the per-process parameters that every device shares. The
+// toolkit ships two presets matching the nodes named in the paper:
+// Tech07 (0.7um, inverter tree and adder experiments) and Tech03 (0.3um,
+// multiplier experiments). Only Vdd, thresholds and Lmin are printed in
+// the paper; the remaining values are typical published numbers for those
+// nodes (see DESIGN.md, substitution table).
+type Tech struct {
+	Name string
+
+	Vdd float64 // supply voltage (V)
+
+	// Low-Vt logic transistor thresholds. Vtp is negative.
+	Vtn float64
+	Vtp float64
+
+	// High-Vt sleep device threshold (NMOS).
+	VtnHigh float64
+
+	Lmin float64 // minimum drawn channel length (m)
+
+	// Process transconductance KP = mu*Cox (A/V^2) for NMOS/PMOS.
+	KPn float64
+	KPp float64
+
+	// Alpha-power law velocity-saturation exponent (2.0 = long channel
+	// square law; ~1.3 for short channel per Sakurai-Newton).
+	Alpha float64
+
+	// Body effect: gamma (V^0.5) and surface potential 2*phiF (V).
+	Gamma float64
+	Phi   float64
+
+	// Lambda is the channel-length modulation coefficient (1/V).
+	Lambda float64
+
+	// Subthreshold slope factor n (S = n * vT * ln 10).
+	SubN float64
+
+	// I0 is the extrapolated subthreshold current per W/L square at
+	// Vgs = Vt (A). Leakage at Vgs=0 is I0 * (W/L) * exp(-Vt/(n*vT)).
+	I0 float64
+
+	// Capacitance estimation parameters used when expanding gates to
+	// netlists: gate capacitance per unit gate area (F/m^2) and drain
+	// junction capacitance per unit gate width (F/m).
+	CoxArea float64
+	CjWidth float64
+
+	TempK float64 // simulation temperature (K)
+}
+
+// Tech07 models the 0.7um technology of the paper's inverter tree and
+// ripple adder experiments (Fig. 4 and Fig. 12): Vdd=1.2V, Vtn=+0.35,
+// Vtp=-0.35, sleep Vth=0.75, Lmin=0.7um.
+func Tech07() Tech {
+	return Tech{
+		Name:    "mt0.7um",
+		Vdd:     1.2,
+		Vtn:     0.35,
+		Vtp:     -0.35,
+		VtnHigh: 0.75,
+		Lmin:    0.7e-6,
+		KPn:     100e-6,
+		KPp:     40e-6,
+		Alpha:   1.8,
+		Gamma:   0.45,
+		Phi:     0.65,
+		Lambda:  0.05,
+		SubN:    1.4,
+		I0:      8e-8,
+		CoxArea: 2.4e-3,
+		CjWidth: 0.7e-9,
+		TempK:   300.15,
+	}
+}
+
+// Tech03 models the 0.3um technology of the paper's 8x8 carry-save
+// multiplier experiment (Fig. 6): Vdd=1.0V, Vtn=+0.2, Vtp=-0.2, sleep
+// Vth=0.7, Lmin=0.3um.
+func Tech03() Tech {
+	return Tech{
+		Name:    "mt0.3um",
+		Vdd:     1.0,
+		Vtn:     0.2,
+		Vtp:     -0.2,
+		VtnHigh: 0.7,
+		Lmin:    0.3e-6,
+		KPn:     180e-6,
+		KPp:     70e-6,
+		Alpha:   1.5,
+		Gamma:   0.35,
+		Phi:     0.6,
+		Lambda:  0.08,
+		SubN:    1.45,
+		I0:      2e-7,
+		CoxArea: 4.5e-3,
+		CjWidth: 0.5e-9,
+		TempK:   300.15,
+	}
+}
+
+// Validate reports whether the technology parameters are self-consistent
+// enough to simulate with: positive supply, thresholds inside the rail,
+// positive transconductances.
+func (t Tech) Validate() error {
+	switch {
+	case t.Vdd <= 0:
+		return fmt.Errorf("mosfet: tech %q: Vdd must be positive, got %g", t.Name, t.Vdd)
+	case t.Vtn <= 0 || t.Vtn >= t.Vdd:
+		return fmt.Errorf("mosfet: tech %q: Vtn %g outside (0, Vdd)", t.Name, t.Vtn)
+	case t.Vtp >= 0 || -t.Vtp >= t.Vdd:
+		return fmt.Errorf("mosfet: tech %q: Vtp %g outside (-Vdd, 0)", t.Name, t.Vtp)
+	case t.VtnHigh <= t.Vtn:
+		return fmt.Errorf("mosfet: tech %q: sleep VtnHigh %g must exceed logic Vtn %g", t.Name, t.VtnHigh, t.Vtn)
+	case t.VtnHigh >= t.Vdd:
+		return fmt.Errorf("mosfet: tech %q: sleep VtnHigh %g must be below Vdd %g", t.Name, t.VtnHigh, t.Vdd)
+	case t.KPn <= 0 || t.KPp <= 0:
+		return fmt.Errorf("mosfet: tech %q: KP must be positive", t.Name)
+	case t.Alpha < 1 || t.Alpha > 2:
+		return fmt.Errorf("mosfet: tech %q: alpha %g outside [1,2]", t.Name, t.Alpha)
+	case t.Lmin <= 0:
+		return fmt.Errorf("mosfet: tech %q: Lmin must be positive", t.Name)
+	}
+	return nil
+}
+
+// BetaN returns the NMOS gain factor KPn*(W/L) for a device with the
+// given W/L ratio.
+func (t Tech) BetaN(wl float64) float64 { return t.KPn * wl }
+
+// BetaP returns the PMOS gain factor KPp*(W/L).
+func (t Tech) BetaP(wl float64) float64 { return t.KPp * wl }
+
+// VtnBody returns the NMOS threshold raised by the body effect when the
+// source sits at vsb above the bulk (paper section 2.1: the virtual
+// ground bounce raises Vt of the pulldown NMOS).
+func (t Tech) VtnBody(vsb float64) float64 {
+	if vsb <= 0 || t.Gamma == 0 {
+		return t.Vtn
+	}
+	return t.Vtn + t.Gamma*(sqrt(t.Phi+vsb)-sqrt(t.Phi))
+}

@@ -1,0 +1,279 @@
+// Package netlist implements the toolkit's SPICE-like netlist dialect:
+// a data model for transistor-level circuits, a parser, a hierarchical
+// flattener, and a writer. The transient engine (internal/spice)
+// simulates flattened netlists; the gate-level circuit package expands
+// its circuits into this representation.
+//
+// The dialect is a pragmatic subset of Berkeley SPICE decks:
+//
+//   - comment lines start with '*'; '+' continues the previous card
+//   - M<name> <d> <g> <s> <b> <model> W=<v> L=<v>   MOSFET
+//   - C<name> <a> <b> <value>                       capacitor
+//   - R<name> <a> <b> <value>                       resistor
+//   - V<name> <p> <n> DC <value>                    DC source
+//   - V<name> <p> <n> PWL(t1 v1 t2 v2 ...)          piecewise-linear source
+//   - X<name> <nodes...> <subckt>                   subcircuit instance
+//   - .subckt <name> <ports...> / .ends             definition
+//   - .end                                          optional terminator
+//
+// Values accept SI suffixes (a f p n u m k meg g) and plain exponents.
+// Node "0" (aliases "gnd", "vss") is ground. Model names are free-form
+// strings; the simulation engines map them onto device archetypes
+// ("nmos", "pmos", "nmos_hvt", "pmos_hvt").
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtcmos/internal/wave"
+)
+
+// Ground is the canonical ground node name.
+const Ground = "0"
+
+// MOS is a MOSFET card.
+type MOS struct {
+	Name       string
+	D, G, S, B string
+	Model      string
+	W, L       float64 // meters
+}
+
+// WL returns the device's W/L ratio.
+func (m MOS) WL() float64 {
+	if m.L == 0 {
+		return 0
+	}
+	return m.W / m.L
+}
+
+// Cap is a two-terminal capacitor card.
+type Cap struct {
+	Name string
+	A, B string
+	F    float64
+}
+
+// Res is a two-terminal resistor card.
+type Res struct {
+	Name string
+	A, B string
+	Ohms float64
+}
+
+// Vsrc is an independent voltage source. At most one of PWL and Pulse
+// is non-nil and defines the waveform; otherwise the source holds DC.
+type Vsrc struct {
+	Name  string
+	P, N  string
+	DC    float64
+	PWL   *wave.PWL
+	Pulse *Pulse
+}
+
+// Pulse is a periodic SPICE PULSE(v1 v2 td tr tf pw per) source.
+type Pulse struct {
+	V1, V2 float64 // initial and pulsed values
+	TD     float64 // delay before the first edge
+	TR, TF float64 // rise and fall times
+	PW     float64 // pulse width (time at V2)
+	Period float64 // repetition period (0 = single pulse)
+}
+
+// At evaluates the pulse at time t.
+func (p *Pulse) At(t float64) float64 {
+	if t < p.TD {
+		return p.V1
+	}
+	t -= p.TD
+	if p.Period > 0 {
+		cycles := int(t / p.Period)
+		t -= float64(cycles) * p.Period
+	}
+	switch {
+	case t < p.TR:
+		return p.V1 + (p.V2-p.V1)*t/p.TR
+	case t < p.TR+p.PW:
+		return p.V2
+	case t < p.TR+p.PW+p.TF:
+		return p.V2 + (p.V1-p.V2)*(t-p.TR-p.PW)/p.TF
+	default:
+		return p.V1
+	}
+}
+
+// At returns the source voltage at time t.
+func (v Vsrc) At(t float64) float64 {
+	switch {
+	case v.PWL != nil:
+		return v.PWL.At(t)
+	case v.Pulse != nil:
+		return v.Pulse.At(t)
+	default:
+		return v.DC
+	}
+}
+
+// Inst is a subcircuit instantiation card.
+type Inst struct {
+	Name  string
+	Nodes []string
+	Of    string // subckt name
+}
+
+// Subckt is a subcircuit definition (or the top level, with no ports).
+type Subckt struct {
+	Name  string
+	Ports []string
+	MOS   []MOS
+	Caps  []Cap
+	Ress  []Res
+	Vs    []Vsrc
+	Insts []Inst
+}
+
+// Netlist is a parsed deck: a top-level subcircuit plus named
+// definitions.
+type Netlist struct {
+	Title   string
+	Top     *Subckt
+	Subckts map[string]*Subckt
+}
+
+// New returns an empty netlist with the given title.
+func New(title string) *Netlist {
+	return &Netlist{
+		Title:   title,
+		Top:     &Subckt{Name: ""},
+		Subckts: map[string]*Subckt{},
+	}
+}
+
+// CanonNode normalizes a node name: ground aliases collapse to "0" and
+// names are lowercased (the dialect is case-insensitive, like SPICE).
+func CanonNode(n string) string {
+	n = strings.ToLower(n)
+	switch n {
+	case "0", "gnd", "vss", "ground":
+		return Ground
+	}
+	return n
+}
+
+// Flat is a flattened netlist: every hierarchical instance expanded,
+// node names dot-qualified by instance path.
+type Flat struct {
+	Title string
+	MOS   []MOS
+	Caps  []Cap
+	Ress  []Res
+	Vs    []Vsrc
+}
+
+// Nodes returns the sorted set of node names appearing in the flat
+// netlist (including ground).
+func (f *Flat) Nodes() []string {
+	set := map[string]bool{}
+	add := func(names ...string) {
+		for _, n := range names {
+			set[n] = true
+		}
+	}
+	for _, m := range f.MOS {
+		add(m.D, m.G, m.S, m.B)
+	}
+	for _, c := range f.Caps {
+		add(c.A, c.B)
+	}
+	for _, r := range f.Ress {
+		add(r.A, r.B)
+	}
+	for _, v := range f.Vs {
+		add(v.P, v.N)
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Flatten expands all subcircuit instances recursively. Instance-local
+// nodes are renamed to "<instpath>.<node>"; nodes bound to instance
+// ports are substituted with the caller's node names. Recursion depth
+// is capped to catch definition cycles.
+func (n *Netlist) Flatten() (*Flat, error) {
+	f := &Flat{Title: n.Title}
+	err := n.flattenInto(f, n.Top, "", nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (n *Netlist) flattenInto(f *Flat, s *Subckt, prefix string, binding map[string]string, depth int) error {
+	if depth > 64 {
+		return fmt.Errorf("netlist: subcircuit nesting deeper than 64 (definition cycle?) at %q", s.Name)
+	}
+	mapNode := func(node string) string {
+		node = CanonNode(node)
+		if node == Ground {
+			return Ground
+		}
+		if b, ok := binding[node]; ok {
+			return b
+		}
+		if prefix == "" {
+			return node
+		}
+		return prefix + "." + node
+	}
+	mapName := func(name string) string {
+		if prefix == "" {
+			return name
+		}
+		return prefix + "." + name
+	}
+	for _, m := range s.MOS {
+		m.Name = mapName(m.Name)
+		m.D, m.G, m.S, m.B = mapNode(m.D), mapNode(m.G), mapNode(m.S), mapNode(m.B)
+		f.MOS = append(f.MOS, m)
+	}
+	for _, c := range s.Caps {
+		c.Name = mapName(c.Name)
+		c.A, c.B = mapNode(c.A), mapNode(c.B)
+		f.Caps = append(f.Caps, c)
+	}
+	for _, r := range s.Ress {
+		r.Name = mapName(r.Name)
+		r.A, r.B = mapNode(r.A), mapNode(r.B)
+		f.Ress = append(f.Ress, r)
+	}
+	for _, v := range s.Vs {
+		v.Name = mapName(v.Name)
+		v.P, v.N = mapNode(v.P), mapNode(v.N)
+		f.Vs = append(f.Vs, v)
+	}
+	for _, inst := range s.Insts {
+		def, ok := n.Subckts[strings.ToLower(inst.Of)]
+		if !ok {
+			return fmt.Errorf("netlist: instance %s references undefined subckt %q", inst.Name, inst.Of)
+		}
+		if len(inst.Nodes) != len(def.Ports) {
+			return fmt.Errorf("netlist: instance %s connects %d nodes, subckt %q has %d ports",
+				inst.Name, len(inst.Nodes), inst.Of, len(def.Ports))
+		}
+		childBinding := make(map[string]string, len(def.Ports))
+		for i, port := range def.Ports {
+			childBinding[CanonNode(port)] = mapNode(inst.Nodes[i])
+		}
+		childPrefix := mapName(inst.Name)
+		if err := n.flattenInto(f, def, childPrefix, childBinding, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

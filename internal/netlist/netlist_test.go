@@ -1,0 +1,372 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const invDeck = `MTCMOS inverter example
+.subckt inv in out vdd vgnd
+  Mp out in vdd vdd pmos W=2.8u L=0.7u
+  Mn out in vgnd 0 nmos W=1.4u L=0.7u
+.ends
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.05n 1.2)
+Xinv1 in out vdd vg inv
+Msleep vg 0 0 0 nmos_hvt W=14u L=0.7u
+* wait, sleep drain is vg, gate tied high
+Cl out 0 50f
+.end
+`
+
+func TestParseBasics(t *testing.T) {
+	nl, err := ParseString(invDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Title != "MTCMOS inverter example" {
+		t.Errorf("title = %q", nl.Title)
+	}
+	sub, ok := nl.Subckts["inv"]
+	if !ok {
+		t.Fatal("missing subckt inv")
+	}
+	if len(sub.Ports) != 4 || sub.Ports[0] != "in" {
+		t.Errorf("ports = %v", sub.Ports)
+	}
+	if len(sub.MOS) != 2 {
+		t.Fatalf("subckt MOS count = %d", len(sub.MOS))
+	}
+	if sub.MOS[0].Model != "pmos" || math.Abs(sub.MOS[0].W-2.8e-6) > 1e-18 {
+		t.Errorf("pmos card parsed wrong: %+v", sub.MOS[0])
+	}
+	if got := sub.MOS[1].WL(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("nmos W/L = %g", got)
+	}
+	if len(nl.Top.Vs) != 2 {
+		t.Fatalf("top sources = %d", len(nl.Top.Vs))
+	}
+	vin := nl.Top.Vs[1]
+	if vin.PWL == nil {
+		t.Fatal("vin should be PWL")
+	}
+	if v := vin.At(2e-9); math.Abs(v-1.2) > 1e-12 {
+		t.Errorf("vin(2ns) = %g", v)
+	}
+	if len(nl.Top.Caps) != 1 || nl.Top.Caps[0].F != 50e-15 {
+		t.Errorf("cap parsed wrong: %+v", nl.Top.Caps)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"50f", 50e-15},
+		{"50fF", 50e-15},
+		{"2.8u", 2.8e-6},
+		{"1.2", 1.2},
+		{"3k", 3e3},
+		{"4MEG", 4e6},
+		{"10m", 10e-3},
+		{"1e-12", 1e-12},
+		{"-0.35", -0.35},
+		{"2.2kohm", 2.2e3},
+		{"7a", 7e-18},
+		{"1.5n", 1.5e-9},
+		{"9p", 9e-12},
+		{"2g", 2e9},
+		{"5v", 5},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want) {
+			t.Errorf("ParseValue(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "1x2", "k", "--3"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"deck\nMbad a b\n",                               // short mosfet
+		"deck\nM1 a b c d nmos W=1u\n",                   // missing L
+		"deck\nM1 a b c d nmos W=1u L=0\n",               // zero L
+		"deck\nM1 a b c d nmos W=1u L=1u X=3\n",          // unknown param
+		"deck\nC1 a b\n",                                 // short cap
+		"deck\nR1 a b xx\n",                              // bad value
+		"deck\nV1 a b FOO 3\n",                           // bad spec
+		"deck\nV1 a b PWL 0 0\n",                         // missing parens
+		"deck\nX1 a\n",                                   // short instance
+		"deck\n.subckt\n",                                // unnamed subckt
+		"deck\n.subckt s a\nM1 a a a a nmos W=1u L=1u\n", // unterminated
+		"deck\n.ends\n",                                  // stray .ends
+		"deck\n.include foo\n",                           // unsupported directive
+		"deck\nQ1 a b c\n",                               // unknown card
+		"deck\n.subckt s a\n.ends\n.subckt s a\n.ends\n", // duplicate
+	}
+	for i, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("case %d should fail to parse:\n%s", i, c)
+		}
+	}
+}
+
+func TestContinuationAndComments(t *testing.T) {
+	deck := "title\n* a comment\nM1 d g s 0\n+ nmos W=1u\n+ L=0.5u $ trailing\nC1 d 0 1f\n"
+	nl, err := ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Top.MOS) != 1 || nl.Top.MOS[0].WL() != 2 {
+		t.Fatalf("continuation parse wrong: %+v", nl.Top.MOS)
+	}
+}
+
+func TestNoTitleDetection(t *testing.T) {
+	nl, err := ParseString("V1 a 0 DC 1.0\nC1 a 0 1p\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Title != "" {
+		t.Errorf("title should be empty, got %q", nl.Title)
+	}
+	if len(nl.Top.Vs) != 1 || len(nl.Top.Caps) != 1 {
+		t.Error("cards lost when no title present")
+	}
+}
+
+func TestGroundAliases(t *testing.T) {
+	nl, err := ParseString("t\nR1 a GND 1k\nR2 b VSS 1k\nR3 c 0 1k\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range nl.Top.Ress {
+		if r.B != Ground {
+			t.Errorf("R%d ground not canonicalized: %q", i+1, r.B)
+		}
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	deck := `hier
+.subckt inv in out vdd vgnd
+  Mp out in vdd vdd pmos W=2u L=1u
+  Mn out in vgnd 0 nmos W=1u L=1u
+  Cint out 0 1f
+.ends
+.subckt buf in out vdd vgnd
+  Xa in mid vdd vgnd inv
+  Xb mid out vdd vgnd inv
+.ends
+Vdd vdd 0 DC 1.2
+Xbuf1 in out vdd vg buf
+Rsleep vg 0 100
+`
+	nl, err := ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := nl.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.MOS) != 4 {
+		t.Fatalf("flattened MOS = %d, want 4", len(f.MOS))
+	}
+	if len(f.Caps) != 2 {
+		t.Fatalf("flattened caps = %d, want 2", len(f.Caps))
+	}
+	// The internal node of buf must be qualified; ports must be bound.
+	foundMid := false
+	for _, m := range f.MOS {
+		if m.D == "xbuf1.mid" {
+			foundMid = true
+		}
+		if m.S == "vg" && m.Model == "nmos" {
+			// inner inv vgnd bound through two levels to top "vg"
+			if m.Name != "xbuf1.xa.mn" && m.Name != "xbuf1.xb.mn" {
+				t.Errorf("unexpected device on vg: %+v", m)
+			}
+		}
+	}
+	if !foundMid {
+		t.Error("hierarchical node xbuf1.mid not found")
+	}
+	nodes := f.Nodes()
+	want := map[string]bool{"0": true, "vdd": true, "vg": true, "in": true, "out": true, "xbuf1.mid": true}
+	for n := range want {
+		found := false
+		for _, got := range nodes {
+			if got == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("node %q missing from %v", n, nodes)
+		}
+	}
+}
+
+func TestFlattenErrors(t *testing.T) {
+	// Undefined subckt.
+	nl, _ := ParseString("t\nX1 a b nosuch\n")
+	if _, err := nl.Flatten(); err == nil {
+		t.Error("undefined subckt must fail")
+	}
+	// Port arity mismatch.
+	nl2, _ := ParseString("t\n.subckt s a b\nR1 a b 1\n.ends\nX1 n1 s\n")
+	if _, err := nl2.Flatten(); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	// Self-recursive definition.
+	nl3, _ := ParseString("t\n.subckt s a\nX1 a s\n.ends\nXtop n s\n")
+	if _, err := nl3.Flatten(); err == nil {
+		t.Error("recursive subckt must fail")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	nl, err := ParseString(invDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := nl.String()
+	nl2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	f1, err := nl.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := nl2.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.MOS) != len(f2.MOS) || len(f1.Caps) != len(f2.Caps) || len(f1.Vs) != len(f2.Vs) {
+		t.Fatalf("round trip changed device counts")
+	}
+	for i := range f1.MOS {
+		a, b := f1.MOS[i], f2.MOS[i]
+		if a != b {
+			t.Errorf("MOS %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+// Property: any generated netlist of random R/C/V cards round-trips
+// through Write/Parse preserving values to printing precision.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ohms, farads, volts float64) bool {
+		o := math.Abs(ohms)
+		c := math.Abs(farads)
+		if math.IsNaN(o) || math.IsInf(o, 0) || o == 0 {
+			o = 1234.5
+		}
+		if math.IsNaN(c) || math.IsInf(c, 0) || c == 0 {
+			c = 1e-15
+		}
+		if math.IsNaN(volts) || math.IsInf(volts, 0) {
+			volts = 1.2
+		}
+		nl := New("prop")
+		nl.Top.Ress = append(nl.Top.Ress, Res{Name: "r1", A: "a", B: "0", Ohms: o})
+		nl.Top.Caps = append(nl.Top.Caps, Cap{Name: "c1", A: "a", B: "0", F: c})
+		nl.Top.Vs = append(nl.Top.Vs, Vsrc{Name: "v1", P: "a", N: "0", DC: volts})
+		nl2, err := ParseString(nl.String())
+		if err != nil {
+			return false
+		}
+		r2 := nl2.Top.Ress[0].Ohms
+		c2 := nl2.Top.Caps[0].F
+		v2 := nl2.Top.Vs[0].DC
+		eq := func(x, y float64) bool {
+			if x == 0 {
+				return y == 0
+			}
+			return math.Abs(x-y) <= 1e-9*math.Abs(x)
+		}
+		return eq(o, r2) && eq(c, c2) && eq(volts, v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteContainsSubcktsSorted(t *testing.T) {
+	nl := New("x")
+	nl.Subckts["b"] = &Subckt{Name: "b", Ports: []string{"p"}}
+	nl.Subckts["a"] = &Subckt{Name: "a", Ports: []string{"p"}}
+	s := nl.String()
+	if strings.Index(s, ".subckt a") > strings.Index(s, ".subckt b") {
+		t.Error("subckts must be written in sorted order for determinism")
+	}
+}
+
+func TestPulseSource(t *testing.T) {
+	nl, err := ParseString("t\nVclk clk 0 PULSE(0 1.2 1n 0.1n 0.1n 2n 5n)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := nl.Top.Vs[0]
+	if v.Pulse == nil {
+		t.Fatal("pulse not parsed")
+	}
+	cases := []struct{ at, want float64 }{
+		{0, 0},         // before delay
+		{1.05e-9, 0.6}, // mid-rise
+		{2e-9, 1.2},    // high
+		{3.15e-9, 0.6}, // mid-fall
+		{4e-9, 0},      // low
+		{6e-9, 0},      // next period, before rise... t-td=5n -> wrapped 0
+		{7e-9, 1.2},    // next period high
+	}
+	for _, c := range cases {
+		if got := v.At(c.at); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("pulse(%g) = %g, want %g", c.at, got, c.want)
+		}
+	}
+	// Round trip through the writer.
+	nl2, err := ParseString(nl.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nl2.Top.Vs[0].At(7e-9); math.Abs(got-1.2) > 1e-9 {
+		t.Errorf("round-trip pulse broken: %g", got)
+	}
+}
+
+func TestPulseValidation(t *testing.T) {
+	for _, deck := range []string{
+		"t\nV1 a 0 PULSE(0 1 0 0.1n 0.1n 1n)\n",     // 6 values
+		"t\nV1 a 0 PULSE(0 1 0 0 0.1n 1n 2n)\n",     // zero rise
+		"t\nV1 a 0 PULSE(0 1 0 0.1n 0.1n -1n 2n)\n", // negative width
+	} {
+		if _, err := ParseString(deck); err == nil {
+			t.Errorf("deck should fail: %s", deck)
+		}
+	}
+}
+
+func TestSinglePulseNoPeriodRepeat(t *testing.T) {
+	nl, err := ParseString("t\nV1 a 0 PULSE(0 1 0 1n 1n 1n 0)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := nl.Top.Vs[0]
+	if v.At(10e-9) != 0 {
+		t.Errorf("single pulse must return to V1: %g", v.At(10e-9))
+	}
+}

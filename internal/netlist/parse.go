@@ -1,0 +1,354 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mtcmos/internal/wave"
+)
+
+// ParseError reports a syntax problem with its source line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("netlist: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a deck from r. The first line is the title, SPICE style,
+// unless it begins with a recognized card letter or directive, in which
+// case the title is empty (convenient for embedded snippets).
+func Parse(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	// Read raw lines, fold continuations, drop comments.
+	type srcLine struct {
+		num  int
+		text string
+	}
+	var lines []srcLine
+	num := 0
+	for sc.Scan() {
+		num++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '$'); i >= 0 { // trailing comment
+			text = text[:i]
+		}
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" || strings.HasPrefix(trimmed, "*") {
+			// Keep blank entry for the title slot on line 1.
+			if num == 1 {
+				lines = append(lines, srcLine{num, ""})
+			}
+			continue
+		}
+		if strings.HasPrefix(trimmed, "+") {
+			if len(lines) == 0 {
+				return nil, &ParseError{num, "continuation with nothing to continue"}
+			}
+			lines[len(lines)-1].text += " " + strings.TrimSpace(trimmed[1:])
+			continue
+		}
+		lines = append(lines, srcLine{num, trimmed})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: read: %w", err)
+	}
+
+	nl := New("")
+	start := 0
+	if len(lines) > 0 && !looksLikeCard(lines[0].text) {
+		nl.Title = lines[0].text
+		start = 1
+	}
+
+	cur := nl.Top
+	var stack []*Subckt
+	for _, ln := range lines[start:] {
+		if ln.text == "" {
+			continue
+		}
+		fields := strings.Fields(ln.text)
+		card := strings.ToLower(fields[0])
+		switch {
+		case card == ".end":
+			// ignore; terminates deck
+		case card == ".subckt":
+			if len(fields) < 2 {
+				return nil, &ParseError{ln.num, ".subckt needs a name"}
+			}
+			name := strings.ToLower(fields[1])
+			if _, dup := nl.Subckts[name]; dup {
+				return nil, &ParseError{ln.num, fmt.Sprintf("duplicate subckt %q", name)}
+			}
+			sub := &Subckt{Name: name}
+			for _, p := range fields[2:] {
+				sub.Ports = append(sub.Ports, CanonNode(p))
+			}
+			nl.Subckts[name] = sub
+			stack = append(stack, cur)
+			cur = sub
+		case card == ".ends":
+			if len(stack) == 0 {
+				return nil, &ParseError{ln.num, ".ends without .subckt"}
+			}
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case strings.HasPrefix(card, "."):
+			return nil, &ParseError{ln.num, fmt.Sprintf("unsupported directive %q", fields[0])}
+		case card[0] == 'm':
+			m, err := parseMOS(fields)
+			if err != nil {
+				return nil, &ParseError{ln.num, err.Error()}
+			}
+			cur.MOS = append(cur.MOS, m)
+		case card[0] == 'c':
+			if len(fields) != 4 {
+				return nil, &ParseError{ln.num, "capacitor needs: Cname a b value"}
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, &ParseError{ln.num, err.Error()}
+			}
+			cur.Caps = append(cur.Caps, Cap{Name: strings.ToLower(fields[0]), A: CanonNode(fields[1]), B: CanonNode(fields[2]), F: v})
+		case card[0] == 'r':
+			if len(fields) != 4 {
+				return nil, &ParseError{ln.num, "resistor needs: Rname a b value"}
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, &ParseError{ln.num, err.Error()}
+			}
+			cur.Ress = append(cur.Ress, Res{Name: strings.ToLower(fields[0]), A: CanonNode(fields[1]), B: CanonNode(fields[2]), Ohms: v})
+		case card[0] == 'v':
+			vs, err := parseVsrc(ln.text, fields)
+			if err != nil {
+				return nil, &ParseError{ln.num, err.Error()}
+			}
+			cur.Vs = append(cur.Vs, vs)
+		case card[0] == 'x':
+			if len(fields) < 3 {
+				return nil, &ParseError{ln.num, "instance needs: Xname nodes... subckt"}
+			}
+			inst := Inst{Name: strings.ToLower(fields[0]), Of: strings.ToLower(fields[len(fields)-1])}
+			for _, n := range fields[1 : len(fields)-1] {
+				inst.Nodes = append(inst.Nodes, CanonNode(n))
+			}
+			cur.Insts = append(cur.Insts, inst)
+		default:
+			return nil, &ParseError{ln.num, fmt.Sprintf("unrecognized card %q", fields[0])}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, &ParseError{num, "unterminated .subckt"}
+	}
+	return nl, nil
+}
+
+// ParseString parses a deck held in a string.
+func ParseString(s string) (*Netlist, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func looksLikeCard(line string) bool {
+	if line == "" {
+		return false
+	}
+	f := strings.Fields(line)
+	head := strings.ToLower(f[0])
+	switch head[0] {
+	case 'm':
+		_, err := parseMOS(f)
+		return err == nil
+	case 'v':
+		_, err := parseVsrc(line, f)
+		return err == nil
+	case 'x':
+		// Conservative: an instance card whose last token could be a
+		// subckt name and that has at least one node.
+		return len(f) >= 3 && !strings.Contains(line, "=")
+	case 'c', 'r':
+		if len(f) != 4 {
+			return false
+		}
+		_, err := ParseValue(f[3])
+		return err == nil
+	case '.':
+		return true
+	}
+	return false
+}
+
+func parseMOS(fields []string) (MOS, error) {
+	// Mname d g s b model W=... L=...
+	if len(fields) < 6 {
+		return MOS{}, fmt.Errorf("mosfet needs: Mname d g s b model W= L=")
+	}
+	m := MOS{
+		Name:  strings.ToLower(fields[0]),
+		D:     CanonNode(fields[1]),
+		G:     CanonNode(fields[2]),
+		S:     CanonNode(fields[3]),
+		B:     CanonNode(fields[4]),
+		Model: strings.ToLower(fields[5]),
+	}
+	for _, kv := range fields[6:] {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return MOS{}, fmt.Errorf("mosfet parameter %q is not key=value", kv)
+		}
+		key := strings.ToLower(kv[:eq])
+		val, err := ParseValue(kv[eq+1:])
+		if err != nil {
+			return MOS{}, err
+		}
+		switch key {
+		case "w":
+			m.W = val
+		case "l":
+			m.L = val
+		default:
+			return MOS{}, fmt.Errorf("unsupported mosfet parameter %q", key)
+		}
+	}
+	if m.W <= 0 || m.L <= 0 {
+		return MOS{}, fmt.Errorf("mosfet %s needs positive W and L", m.Name)
+	}
+	return m, nil
+}
+
+func parseVsrc(raw string, fields []string) (Vsrc, error) {
+	if len(fields) < 4 {
+		return Vsrc{}, fmt.Errorf("source needs: Vname p n DC v | Vname p n PWL(...)")
+	}
+	vs := Vsrc{Name: strings.ToLower(fields[0]), P: CanonNode(fields[1]), N: CanonNode(fields[2])}
+	rest := strings.Join(fields[3:], " ")
+	lower := strings.ToLower(rest)
+	switch {
+	case strings.HasPrefix(lower, "dc"):
+		v, err := ParseValue(strings.TrimSpace(rest[2:]))
+		if err != nil {
+			return Vsrc{}, err
+		}
+		vs.DC = v
+	case strings.HasPrefix(lower, "pulse"):
+		vals, err := parenValues(rest)
+		if err != nil {
+			return Vsrc{}, err
+		}
+		if len(vals) != 7 {
+			return Vsrc{}, fmt.Errorf("PULSE needs 7 values (v1 v2 td tr tf pw per), got %d", len(vals))
+		}
+		if vals[3] <= 0 || vals[4] <= 0 {
+			return Vsrc{}, fmt.Errorf("PULSE rise/fall times must be positive")
+		}
+		if vals[5] < 0 || vals[6] < 0 {
+			return Vsrc{}, fmt.Errorf("PULSE width/period must be non-negative")
+		}
+		vs.Pulse = &Pulse{V1: vals[0], V2: vals[1], TD: vals[2], TR: vals[3], TF: vals[4], PW: vals[5], Period: vals[6]}
+	case strings.HasPrefix(lower, "pwl"):
+		vals, err := parenValues(rest)
+		if err != nil {
+			return Vsrc{}, err
+		}
+		p, err := wave.NewPWL(vals...)
+		if err != nil {
+			return Vsrc{}, err
+		}
+		vs.PWL = p
+	default:
+		// Bare value: treat as DC.
+		v, err := ParseValue(rest)
+		if err != nil {
+			return Vsrc{}, fmt.Errorf("unrecognized source specification %q", rest)
+		}
+		vs.DC = v
+	}
+	return vs, nil
+}
+
+// parenValues extracts the numeric arguments of a FUNC(a b c, d)
+// source specification.
+func parenValues(rest string) ([]float64, error) {
+	open := strings.IndexByte(rest, '(')
+	closeP := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeP < open {
+		return nil, fmt.Errorf("source waveform needs parentheses: %q", rest)
+	}
+	var vals []float64
+	for _, tok := range strings.Fields(strings.ReplaceAll(rest[open+1:closeP], ",", " ")) {
+		v, err := ParseValue(tok)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// ParseValue parses a SPICE-style number: optional SI suffix (a f p n
+// u m k meg g; case-insensitive; "meg" before "m") after a float.
+// Trailing unit letters after the suffix are ignored, as in "50fF" or
+// "2.2kOhm".
+func ParseValue(s string) (float64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, fmt.Errorf("empty numeric value")
+	}
+	// Split mantissa from suffix: longest prefix parseable as float.
+	end := len(s)
+	for end > 0 {
+		if _, err := strconv.ParseFloat(s[:end], 64); err == nil {
+			break
+		}
+		end--
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("bad numeric value %q", s)
+	}
+	mant, _ := strconv.ParseFloat(s[:end], 64)
+	suffix := s[end:]
+	mul := 1.0
+	switch {
+	case suffix == "":
+	case strings.HasPrefix(suffix, "meg"):
+		mul = 1e6
+	case suffix[0] == 'a':
+		mul = 1e-18
+	case suffix[0] == 'f':
+		mul = 1e-15
+	case suffix[0] == 'p':
+		mul = 1e-12
+	case suffix[0] == 'n':
+		mul = 1e-9
+	case suffix[0] == 'u':
+		mul = 1e-6
+	case suffix[0] == 'm':
+		mul = 1e-3
+	case suffix[0] == 'k':
+		mul = 1e3
+	case suffix[0] == 'g':
+		mul = 1e9
+	default:
+		// Unit-only tail like "v" or "ohm": ignore.
+		if !isUnitTail(suffix) {
+			return 0, fmt.Errorf("bad numeric suffix %q in %q", suffix, s)
+		}
+	}
+	return mant * mul, nil
+}
+
+func isUnitTail(s string) bool {
+	for _, r := range s {
+		if !(r >= 'a' && r <= 'z') {
+			return false
+		}
+	}
+	return true
+}

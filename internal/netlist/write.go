@@ -1,0 +1,94 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Write renders the netlist in the dialect accepted by Parse, so that
+// Write→Parse round-trips.
+func (n *Netlist) Write(w io.Writer) error {
+	bw := &errWriter{w: w}
+	title := n.Title
+	if title == "" {
+		title = "* untitled"
+	}
+	bw.printf("%s\n", title)
+
+	names := make([]string, 0, len(n.Subckts))
+	for name := range n.Subckts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := n.Subckts[name]
+		bw.printf(".subckt %s %s\n", s.Name, strings.Join(s.Ports, " "))
+		writeCards(bw, s, "  ")
+		bw.printf(".ends\n")
+	}
+	writeCards(bw, n.Top, "")
+	bw.printf(".end\n")
+	return bw.err
+}
+
+// String renders the netlist to a string, panicking on writer errors
+// (which cannot happen with strings.Builder).
+func (n *Netlist) String() string {
+	var b strings.Builder
+	if err := n.Write(&b); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+func writeCards(bw *errWriter, s *Subckt, indent string) {
+	for _, m := range s.MOS {
+		bw.printf("%s%s %s %s %s %s %s W=%s L=%s\n",
+			indent, m.Name, m.D, m.G, m.S, m.B, m.Model, fmtValue(m.W), fmtValue(m.L))
+	}
+	for _, c := range s.Caps {
+		bw.printf("%s%s %s %s %s\n", indent, c.Name, c.A, c.B, fmtValue(c.F))
+	}
+	for _, r := range s.Ress {
+		bw.printf("%s%s %s %s %s\n", indent, r.Name, r.A, r.B, fmtValue(r.Ohms))
+	}
+	for _, v := range s.Vs {
+		if v.Pulse != nil {
+			p := v.Pulse
+			bw.printf("%s%s %s %s PULSE(%s %s %s %s %s %s %s)\n", indent, v.Name, v.P, v.N,
+				fmtValue(p.V1), fmtValue(p.V2), fmtValue(p.TD), fmtValue(p.TR),
+				fmtValue(p.TF), fmtValue(p.PW), fmtValue(p.Period))
+		} else if v.PWL != nil {
+			parts := make([]string, 0, 2*len(v.PWL.T))
+			for i := range v.PWL.T {
+				parts = append(parts, fmtValue(v.PWL.T[i]), fmtValue(v.PWL.V[i]))
+			}
+			bw.printf("%s%s %s %s PWL(%s)\n", indent, v.Name, v.P, v.N, strings.Join(parts, " "))
+		} else {
+			bw.printf("%s%s %s %s DC %s\n", indent, v.Name, v.P, v.N, fmtValue(v.DC))
+		}
+	}
+	for _, x := range s.Insts {
+		bw.printf("%s%s %s %s\n", indent, x.Name, strings.Join(x.Nodes, " "), x.Of)
+	}
+}
+
+// fmtValue prints a value in plain exponent notation that ParseValue
+// accepts exactly.
+func fmtValue(v float64) string {
+	return fmt.Sprintf("%.12g", v)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

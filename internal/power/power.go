@@ -1,0 +1,104 @@
+// Package power implements the first-order power models that motivate
+// MTCMOS (paper section 1): switching power a*C*Vdd^2*f, subthreshold
+// leakage in active and sleep modes, the switching-energy overhead of
+// the sleep transistor itself, and the idle-time break-even analysis
+// that tells a designer when gating pays off.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/mosfet"
+)
+
+// Switching returns the classic dynamic power a*C*Vdd^2*f (paper Eq. 1).
+func Switching(activity, totalCap, vdd, fclk float64) float64 {
+	return activity * totalCap * vdd * vdd * fclk
+}
+
+// AlphaPowerDelay returns the Sakurai-Newton propagation delay estimate
+// C*Vdd / (beta * (Vdd - Vt)^alpha) of paper Eq. 2, used for sanity
+// checks against the simulators.
+func AlphaPowerDelay(cl, vdd, vt, beta, alpha float64) float64 {
+	ov := vdd - vt
+	if ov <= 0 || beta <= 0 {
+		return 0
+	}
+	return cl * vdd / (beta * pow(ov, alpha))
+}
+
+func pow(x, a float64) float64 { return math.Pow(x, a) }
+
+// Summary aggregates a circuit's power figures.
+type Summary struct {
+	// TotalCap is the summed lumped capacitance over all gate outputs.
+	TotalCap float64
+	// SwitchingEnergyFull is the energy of one full toggle of every
+	// net: TotalCap * Vdd^2 (an upper bound per computation).
+	SwitchingEnergyFull float64
+	// LeakageCMOS is the idle subthreshold current of the plain-CMOS
+	// circuit: the sum over gates of one worst-case low-Vt leakage
+	// path (equivalent-inverter approximation).
+	LeakageCMOS float64
+	// LeakageMTCMOS is the idle current with the sleep device OFF: the
+	// high-Vt device in series limits the whole rail.
+	LeakageMTCMOS float64
+	// LeakageReduction is LeakageCMOS / LeakageMTCMOS.
+	LeakageReduction float64
+	// SleepGateCap and SleepSwitchEnergy are the sleep transistor's
+	// own gate capacitance and the energy to cycle it once.
+	SleepGateCap      float64
+	SleepSwitchEnergy float64
+	// BreakEvenIdle is the idle duration beyond which entering sleep
+	// saves net energy: SleepSwitchEnergy / (Pleak_cmos - Pleak_mt).
+	BreakEvenIdle float64
+}
+
+// Analyze computes the power summary of a circuit. An MTCMOS circuit
+// (SleepWL > 0) gets sleep-mode figures; for a plain CMOS circuit the
+// MTCMOS fields are zero and LeakageReduction is 1.
+func Analyze(c *circuit.Circuit) (*Summary, error) {
+	tech := c.Tech
+	if tech == nil {
+		return nil, fmt.Errorf("power: circuit %s has no technology", c.Name)
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Summary{}
+	eq := c.Equiv()
+	for i, g := range c.Gates {
+		s.TotalCap += eq[i].CL
+		// One equivalent low-Vt pulldown path per gate leaks when its
+		// output sits high (or the dual path when low); take the NMOS
+		// path as representative.
+		d := mosfet.NewNMOS(tech, eq[i].BetaN/tech.KPn)
+		_ = g
+		s.LeakageCMOS += d.Leakage()
+	}
+	vdd := tech.Vdd
+	s.SwitchingEnergyFull = s.TotalCap * vdd * vdd
+	s.LeakageReduction = 1
+
+	if c.SleepWL > 0 {
+		sleep := mosfet.NewSleepNMOS(tech, c.SleepWL)
+		s.LeakageMTCMOS = sleep.Leakage()
+		if s.LeakageMTCMOS > s.LeakageCMOS {
+			// A gigantic sleep device cannot leak more than the logic
+			// it gates: the series combination is limited by the
+			// smaller of the two.
+			s.LeakageMTCMOS = s.LeakageCMOS
+		}
+		if s.LeakageMTCMOS > 0 {
+			s.LeakageReduction = s.LeakageCMOS / s.LeakageMTCMOS
+		}
+		s.SleepGateCap = tech.CoxArea * c.SleepWL * tech.Lmin * tech.Lmin
+		s.SleepSwitchEnergy = s.SleepGateCap * vdd * vdd
+		if dp := (s.LeakageCMOS - s.LeakageMTCMOS) * vdd; dp > 0 {
+			s.BreakEvenIdle = s.SleepSwitchEnergy / dp
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,117 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"mtcmos/internal/circuits"
+	"mtcmos/internal/mosfet"
+)
+
+func tech07() *mosfet.Tech { t := mosfet.Tech07(); return &t }
+
+func TestSwitchingFormula(t *testing.T) {
+	// a=0.5, C=1pF, Vdd=1.2, f=100MHz -> 72uW.
+	got := Switching(0.5, 1e-12, 1.2, 100e6)
+	want := 0.5 * 1e-12 * 1.44 * 1e8
+	if math.Abs(got-want) > 1e-18 {
+		t.Errorf("switching = %g, want %g", got, want)
+	}
+}
+
+func TestSwitchingQuadraticInVdd(t *testing.T) {
+	p1 := Switching(1, 1e-12, 1.0, 1e8)
+	p2 := Switching(1, 1e-12, 2.0, 1e8)
+	if math.Abs(p2/p1-4) > 1e-12 {
+		t.Errorf("Vdd scaling not quadratic: %g", p2/p1)
+	}
+}
+
+func TestAlphaPowerDelay(t *testing.T) {
+	d := AlphaPowerDelay(50e-15, 1.2, 0.35, 2e-4, 2)
+	want := 50e-15 * 1.2 / (2e-4 * 0.85 * 0.85)
+	if math.Abs(d-want)/want > 1e-12 {
+		t.Errorf("delay = %g, want %g", d, want)
+	}
+	// Lower Vt -> faster (the paper's motivation for scaling Vt with Vdd).
+	dLow := AlphaPowerDelay(50e-15, 1.2, 0.2, 2e-4, 2)
+	if dLow >= d {
+		t.Error("lower threshold must reduce delay")
+	}
+	if AlphaPowerDelay(50e-15, 0.3, 0.35, 2e-4, 2) != 0 {
+		t.Error("no drive must return 0")
+	}
+}
+
+func TestAnalyzeCMOSvsMTCMOS(t *testing.T) {
+	c := circuits.RippleCarryAdder(tech07(), 3, 20e-15)
+	plain, err := Analyze(c.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalCap <= 0 || plain.LeakageCMOS <= 0 {
+		t.Fatalf("bad plain summary %+v", plain)
+	}
+	if plain.LeakageReduction != 1 || plain.SleepSwitchEnergy != 0 {
+		t.Error("plain CMOS must not report sleep figures")
+	}
+
+	c.SleepWL = 20
+	mt, err := Analyze(c.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point: orders of magnitude leakage reduction.
+	if mt.LeakageReduction < 100 {
+		t.Errorf("leakage reduction only %.1fx", mt.LeakageReduction)
+	}
+	if mt.SleepSwitchEnergy <= 0 || mt.BreakEvenIdle <= 0 {
+		t.Errorf("missing sleep overhead figures: %+v", mt)
+	}
+	// Break-even idle must be sane: sleep energy is tiny vs leakage
+	// power, so the break-even is well under a second.
+	if mt.BreakEvenIdle > 1 {
+		t.Errorf("break-even idle %.3gs implausible", mt.BreakEvenIdle)
+	}
+}
+
+func TestAnalyzeBiggerSleepDeviceCostsMore(t *testing.T) {
+	c := circuits.RippleCarryAdder(tech07(), 3, 20e-15)
+	c.SleepWL = 10
+	small, err := Analyze(c.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SleepWL = 100
+	big, err := Analyze(c.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.SleepSwitchEnergy <= small.SleepSwitchEnergy {
+		t.Error("larger sleep device must cost more switching energy")
+	}
+	if big.LeakageMTCMOS < small.LeakageMTCMOS {
+		t.Error("larger sleep device cannot leak less")
+	}
+}
+
+func TestAnalyzeSeriesLeakageCapped(t *testing.T) {
+	// An absurdly wide sleep device is capped by the logic leakage.
+	c := circuits.InverterChain(tech07(), 1, 10e-15)
+	c.SleepWL = 1e9
+	s, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LeakageMTCMOS > s.LeakageCMOS {
+		t.Error("series leakage must be capped by the logic path")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	c := circuits.InverterChain(tech07(), 1, 0)
+	c.Tech = nil
+	if _, err := Analyze(c); err == nil {
+		t.Error("nil tech must fail")
+	}
+}

@@ -1,0 +1,232 @@
+// Package report renders experiment results as aligned ASCII tables,
+// CSV, and quick ASCII plots — the output surface of cmd/mtexp and the
+// EXPERIMENTS.md record.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are an
+// error surfaced at render time to keep call sites terse.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row of formatted cells.
+func (t *Table) Addf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	ncol := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Columns)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, ncol)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is a shared-X, multi-column numeric dataset: the toolkit's
+// "figure".
+type Series struct {
+	Title   string
+	XLabel  string
+	YLabels []string
+	X       []float64
+	Y       [][]float64 // Y[i][j] = column j at X[i]
+}
+
+// NewSeries creates a series with the given labels.
+func NewSeries(title, xlabel string, ylabels ...string) *Series {
+	return &Series{Title: title, XLabel: xlabel, YLabels: ylabels}
+}
+
+// Add appends a point; len(ys) must match YLabels.
+func (s *Series) Add(x float64, ys ...float64) {
+	if len(ys) != len(s.YLabels) {
+		panic(fmt.Sprintf("report: series %q expects %d columns, got %d", s.Title, len(s.YLabels), len(ys)))
+	}
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, append([]float64(nil), ys...))
+}
+
+// Table converts the series to a printable table with %.4g cells.
+func (s *Series) Table() *Table {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.YLabels...)...)
+	for i, x := range s.X {
+		cells := []string{fmt.Sprintf("%.5g", x)}
+		for _, y := range s.Y[i] {
+			cells = append(cells, fmt.Sprintf("%.5g", y))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// String renders the series via its table form.
+func (s *Series) String() string { return s.Table().String() }
+
+// Col extracts one Y column by label; ok reports whether it exists.
+func (s *Series) Col(label string) ([]float64, bool) {
+	for j, l := range s.YLabels {
+		if l != label {
+			continue
+		}
+		out := make([]float64, len(s.Y))
+		for i := range s.Y {
+			out[i] = s.Y[i][j]
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// Plot renders an ASCII scatter of the series, one glyph per column
+// ('*', '+', 'o', 'x', ...), sized width x height characters. Useful
+// for eyeballing figure shapes in a terminal.
+func (s *Series) Plot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	if len(s.X) == 0 {
+		return s.Title + " (no data)\n"
+	}
+	glyphs := "*+ox#@%&"
+	xmin, xmax := minMax(s.X)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, row := range s.Y {
+		for _, v := range row {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				ymin = math.Min(ymin, v)
+				ymax = math.Max(ymax, v)
+			}
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return s.Title + " (no finite data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for i, x := range s.X {
+		cx := int(float64(width-1) * (x - xmin) / (xmax - xmin))
+		for j, v := range s.Y[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			cy := int(float64(height-1) * (v - ymin) / (ymax - ymin))
+			row := height - 1 - cy
+			grid[row][cx] = glyphs[j%len(glyphs)]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	for j, l := range s.YLabels {
+		fmt.Fprintf(&b, "  %c = %s", glyphs[j%len(glyphs)], l)
+	}
+	fmt.Fprintf(&b, "\n%10.3g +%s\n", ymax, strings.Repeat("-", width))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.3g +%s\n", ymin, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-.4g%*s%.4g (%s)\n", "", xmin, width-18, "", xmax, s.XLabel)
+	return b.String()
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "W/L", "delay", "deg%")
+	tb.AddRow("60", "8.1ns", "18.1")
+	tb.AddRow("170", "7.2ns", "4.8")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "W/L") {
+		t.Errorf("missing header:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), s)
+	}
+	// Columns align: "delay" column starts at the same offset everywhere.
+	h := strings.Index(lines[1], "delay")
+	if h < 0 || !strings.HasPrefix(lines[3][h:], "8.1ns") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Addf("%d\t%.1f", 3, 2.5)
+	if tb.Rows[0][0] != "3" || tb.Rows[0][1] != "2.5" {
+		t.Errorf("Addf rows = %v", tb.Rows)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(`x,y`, `he said "hi"`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("fig", "wl", "spice", "vbs")
+	s.Add(2, 8.2, 7.9)
+	s.Add(20, 5.1, 5.0)
+	if len(s.X) != 2 {
+		t.Fatal("points lost")
+	}
+	col, ok := s.Col("vbs")
+	if !ok || col[1] != 5.0 {
+		t.Errorf("Col = %v, %v", col, ok)
+	}
+	if _, ok := s.Col("nosuch"); ok {
+		t.Error("missing column must report !ok")
+	}
+	txt := s.String()
+	if !strings.Contains(txt, "spice") || !strings.Contains(txt, "20") {
+		t.Errorf("series table wrong:\n%s", txt)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity Add must panic")
+		}
+	}()
+	s.Add(1, 1)
+}
+
+func TestPlot(t *testing.T) {
+	s := NewSeries("shape", "x", "y")
+	for i := 0; i <= 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	p := s.Plot(40, 10)
+	if !strings.Contains(p, "*") || !strings.Contains(p, "shape") {
+		t.Errorf("plot missing content:\n%s", p)
+	}
+	// Monotone data: the first row (max) must contain the glyph near
+	// the right edge.
+	lines := strings.Split(p, "\n")
+	top := lines[3]
+	if !strings.Contains(top, "*") {
+		t.Errorf("max row empty:\n%s", p)
+	}
+	star := strings.LastIndex(top, "*")
+	if star < len(top)/2 {
+		t.Errorf("monotone series peak should be on the right:\n%s", p)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	s := NewSeries("empty", "x", "y")
+	if !strings.Contains(s.Plot(40, 10), "no data") {
+		t.Error("empty plot must say so")
+	}
+	s.Add(1, 5)
+	if out := s.Plot(1, 1); !strings.Contains(out, "empty") {
+		t.Error("tiny plot must still render")
+	}
+}

@@ -1,0 +1,230 @@
+// Package sizing implements the sleep-transistor sizing methodologies
+// discussed in the paper: the naive sum-of-widths estimate (section 2),
+// the conservative peak-current method (section 4), and the
+// delay-target method — find the smallest W/L whose worst-case speed
+// penalty over a set of input transitions stays within budget — which
+// is the workflow the variable-breakpoint simulator exists to make
+// practical.
+package sizing
+
+import (
+	"fmt"
+	"math"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/core"
+	"mtcmos/internal/mosfet"
+)
+
+// Transition is an input-vector pair evaluated during sizing.
+type Transition struct {
+	Old, New map[string]bool
+	Label    string
+}
+
+// Config carries the common sizing inputs.
+type Config struct {
+	// Outputs are the nets whose settling delay defines circuit speed;
+	// nil uses the circuit's marked outputs.
+	Outputs []string
+	// TEdge/TRise shape the applied edges (defaults 1ns / 50ps).
+	TEdge, TRise float64
+	// Sim options forwarded to the switch-level simulator.
+	Sim core.Options
+}
+
+func (cfg *Config) withDefaults(c *circuit.Circuit) Config {
+	out := *cfg
+	if out.Outputs == nil {
+		for _, n := range c.Outputs() {
+			out.Outputs = append(out.Outputs, n.Name)
+		}
+	}
+	if out.TEdge <= 0 {
+		out.TEdge = 1e-9
+	}
+	if out.TRise <= 0 {
+		out.TRise = 50e-12
+	}
+	return out
+}
+
+func (cfg *Config) stim(tr Transition) circuit.Stimulus {
+	return circuit.Stimulus{Old: tr.Old, New: tr.New, TEdge: cfg.TEdge, TRise: cfg.TRise}
+}
+
+// SumOfWidths returns the naive estimate the paper calls
+// "unnecessarily large": a sleep transistor as wide as every low-Vt
+// NMOS pulldown it gates, summed (in W/L units).
+func SumOfWidths(c *circuit.Circuit) float64 {
+	return c.SumNMOSWidthWL()
+}
+
+// Delays runs the switch-level simulator at the circuit's current
+// SleepWL and returns the worst settling delay over the transitions.
+func Delays(c *circuit.Circuit, cfg Config, trs []Transition) (float64, error) {
+	cf := cfg.withDefaults(c)
+	worst := 0.0
+	any := false
+	for _, tr := range trs {
+		res, err := core.Simulate(c, cf.stim(tr), cf.Sim)
+		if err != nil {
+			return 0, fmt.Errorf("sizing: transition %s: %w", tr.Label, err)
+		}
+		if d, _, ok := res.MaxDelay(cf.Outputs); ok {
+			any = true
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if !any {
+		return 0, fmt.Errorf("sizing: no transition toggled any observed output")
+	}
+	return worst, nil
+}
+
+// Degradation returns the fractional slowdown of the circuit at sleep
+// size wl relative to the plain-CMOS baseline, over the worst of the
+// given transitions: (t_mtcmos - t_cmos) / t_cmos.
+func Degradation(c *circuit.Circuit, cfg Config, trs []Transition, wl float64) (float64, error) {
+	saved := c.SleepWL
+	defer func() { c.SleepWL = saved }()
+
+	c.SleepWL = 0
+	base, err := Delays(c, cfg, trs)
+	if err != nil {
+		return 0, err
+	}
+	c.SleepWL = wl
+	mt, err := Delays(c, cfg, trs)
+	if err != nil {
+		return 0, err
+	}
+	return (mt - base) / base, nil
+}
+
+// DelayTargetResult reports the delay-target sizing outcome.
+type DelayTargetResult struct {
+	WL          float64 // smallest W/L meeting the target
+	Degradation float64 // measured degradation at WL
+	BaseDelay   float64 // plain-CMOS worst delay
+	Evals       int     // simulator invocations spent
+}
+
+// DelayTarget finds the smallest sleep-transistor W/L whose worst-case
+// degradation over the transitions does not exceed target (e.g. 0.05
+// for the paper's 5% budget), by bisection over log W/L. The search
+// space is [1, hi]; hi defaults to 64x the sum-of-widths bound, far
+// into ideal-ground territory.
+func DelayTarget(c *circuit.Circuit, cfg Config, trs []Transition, target, hi float64) (*DelayTargetResult, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("sizing: target degradation must be positive, got %g", target)
+	}
+	cf := cfg.withDefaults(c)
+	saved := c.SleepWL
+	defer func() { c.SleepWL = saved }()
+
+	res := &DelayTargetResult{}
+	c.SleepWL = 0
+	base, err := Delays(c, cf, trs)
+	if err != nil {
+		return nil, err
+	}
+	res.BaseDelay = base
+	res.Evals++
+
+	if hi <= 0 {
+		hi = 64 * SumOfWidths(c)
+	}
+	degAt := func(wl float64) (float64, error) {
+		c.SleepWL = wl
+		d, err := Delays(c, cf, trs)
+		if err != nil {
+			return 0, err
+		}
+		res.Evals++
+		return (d - base) / base, nil
+	}
+
+	dHi, err := degAt(hi)
+	if err != nil {
+		return nil, err
+	}
+	if dHi > target {
+		return nil, fmt.Errorf("sizing: even W/L=%g degrades %.1f%% (> %.1f%%); raise hi",
+			hi, dHi*100, target*100)
+	}
+	lo := 1.0
+	dLo, err := degAt(lo)
+	if err != nil {
+		return nil, err
+	}
+	if dLo <= target {
+		res.WL, res.Degradation = lo, dLo
+		return res, nil
+	}
+	// Bisect on log W/L; degradation is monotone decreasing in W/L.
+	for i := 0; i < 40 && hi/lo > 1.005; i++ {
+		mid := math.Sqrt(lo * hi)
+		d, err := degAt(mid)
+		if err != nil {
+			return nil, err
+		}
+		if d <= target {
+			hi, dHi = mid, d
+		} else {
+			lo = mid
+		}
+	}
+	res.WL, res.Degradation = hi, dHi
+	return res, nil
+}
+
+// PeakCurrentResult reports the conservative peak-current sizing.
+type PeakCurrentResult struct {
+	Ipeak     float64 // worst instantaneous discharge current (A)
+	MaxBounce float64 // the bounce budget used (V)
+	WL        float64 // resulting sleep size
+}
+
+// PeakCurrent sizes the sleep transistor so that, if the peak
+// simultaneous discharge current flowed through it continuously, the
+// virtual ground would stay below maxBounce volts: W/L such that
+// R_eff = maxBounce / Ipeak. The paper shows this is roughly 3x larger
+// than necessary on the 8x8 multiplier because currents do not stay at
+// their peak for a whole computation. Ipeak is measured with the
+// switch-level simulator in plain-CMOS mode (ideal ground), which is
+// the worst case for current magnitude.
+func PeakCurrent(c *circuit.Circuit, cfg Config, trs []Transition, maxBounce float64) (*PeakCurrentResult, error) {
+	if maxBounce <= 0 {
+		return nil, fmt.Errorf("sizing: maxBounce must be positive, got %g", maxBounce)
+	}
+	cf := cfg.withDefaults(c)
+	saved := c.SleepWL
+	defer func() { c.SleepWL = saved }()
+
+	// Measure the raw discharge-current profile on a huge sleep device:
+	// effectively ideal ground, but the MTCMOS path still records the
+	// total current through the rail.
+	c.SleepWL = 1e7
+	peak := 0.0
+	for _, tr := range trs {
+		res, err := core.Simulate(c, cf.stim(tr), cf.Sim)
+		if err != nil {
+			return nil, fmt.Errorf("sizing: transition %s: %w", tr.Label, err)
+		}
+		if res.PeakISleep > peak {
+			peak = res.PeakISleep
+		}
+	}
+	if peak <= 0 {
+		return nil, fmt.Errorf("sizing: no discharge current observed")
+	}
+	r := maxBounce / peak
+	wl, err := mosfet.SleepWLForResistance(c.Tech, r)
+	if err != nil {
+		return nil, err
+	}
+	return &PeakCurrentResult{Ipeak: peak, MaxBounce: maxBounce, WL: wl}, nil
+}

@@ -1,0 +1,142 @@
+package sizing
+
+import (
+	"testing"
+
+	"mtcmos/internal/circuits"
+	"mtcmos/internal/mosfet"
+)
+
+func tech07() *mosfet.Tech { t := mosfet.Tech07(); return &t }
+
+func treeTransitions() []Transition {
+	return []Transition{
+		{
+			Old:   map[string]bool{"in": false},
+			New:   map[string]bool{"in": true},
+			Label: "0->1",
+		},
+		{
+			Old:   map[string]bool{"in": true},
+			New:   map[string]bool{"in": false},
+			Label: "1->0",
+		},
+	}
+}
+
+func TestSumOfWidths(t *testing.T) {
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	// 13 inverters x NMOS W/L 2.
+	if got := SumOfWidths(c); got != 26 {
+		t.Errorf("sum of widths = %g, want 26", got)
+	}
+}
+
+func TestDegradationMonotone(t *testing.T) {
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	trs := treeTransitions()
+	d20, err := Degradation(c, Config{}, trs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5, err := Degradation(c, Config{}, trs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d20 <= 0 || d5 <= d20 {
+		t.Errorf("degradation must grow as W/L shrinks: d20=%g d5=%g", d20, d5)
+	}
+	if c.SleepWL != 0 {
+		t.Error("Degradation must restore the circuit's SleepWL")
+	}
+}
+
+func TestDelayTarget(t *testing.T) {
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	trs := treeTransitions()
+	res, err := DelayTarget(c, Config{}, trs, 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WL <= 1 {
+		t.Fatalf("implausible W/L %g", res.WL)
+	}
+	if res.Degradation > 0.10 {
+		t.Errorf("returned size misses target: %.2f%%", res.Degradation*100)
+	}
+	// One notch smaller must violate the target.
+	viol, err := Degradation(c, Config{}, trs, res.WL*0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol <= 0.10 {
+		t.Errorf("W/L=%g*0.9 still meets target (%.2f%%): not minimal", res.WL, viol*100)
+	}
+	t.Logf("tree: W/L=%.1f for <=10%% (measured %.2f%%), base=%.3gns, %d sims",
+		res.WL, res.Degradation*100, res.BaseDelay*1e9, res.Evals)
+}
+
+func TestDelayTargetTighterBudgetNeedsBiggerDevice(t *testing.T) {
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	trs := treeTransitions()
+	loose, err := DelayTarget(c, Config{}, trs, 0.20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := DelayTarget(c, Config{}, trs, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.WL <= loose.WL {
+		t.Errorf("5%% budget W/L=%g must exceed 20%% budget W/L=%g", tight.WL, loose.WL)
+	}
+}
+
+func TestDelayTargetValidation(t *testing.T) {
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	if _, err := DelayTarget(c, Config{}, treeTransitions(), 0, 0); err == nil {
+		t.Error("zero target must fail")
+	}
+	// Impossible target with tiny hi bound.
+	if _, err := DelayTarget(c, Config{}, treeTransitions(), 0.001, 1.5); err == nil {
+		t.Error("unreachable target must fail with a helpful error")
+	}
+}
+
+func TestPeakCurrentConservative(t *testing.T) {
+	// Paper section 4: the peak-current method oversizes vs the
+	// delay-target method by a large factor (about 3x there).
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	trs := treeTransitions()
+	pk, err := PeakCurrent(c, Config{}, trs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.Ipeak <= 0 || pk.WL <= 0 {
+		t.Fatalf("bad peak result %+v", pk)
+	}
+	// Delay-target at 5%: the peak-current size should exceed it.
+	dt, err := DelayTarget(c, Config{}, trs, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.WL < dt.WL {
+		t.Errorf("peak-current W/L=%g not conservative vs delay-target W/L=%g", pk.WL, dt.WL)
+	}
+	t.Logf("peak current %.3gmA -> W/L=%.0f; delay-target W/L=%.0f (%.1fx oversize)",
+		pk.Ipeak*1e3, pk.WL, dt.WL, pk.WL/dt.WL)
+	if _, err := PeakCurrent(c, Config{}, trs, 0); err == nil {
+		t.Error("zero bounce budget must fail")
+	}
+}
+
+func TestDelaysErrorsWhenNothingToggles(t *testing.T) {
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	quiet := []Transition{{
+		Old: map[string]bool{"in": false},
+		New: map[string]bool{"in": false},
+	}}
+	if _, err := Delays(c, Config{}, quiet); err == nil {
+		t.Error("quiescent transitions must error")
+	}
+}

@@ -1,0 +1,104 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/circuits"
+)
+
+func TestMeasuredCurrentResistor(t *testing.T) {
+	// 1V across 1k: the source must deliver exactly 1mA.
+	f := flatten(t, "i\nV1 a 0 DC 1\nR1 a 0 1k\n")
+	res, err := Simulate(f, tech07(), Options{TStop: 1e-9, MeasureCurrent: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Current("a")
+	if tr == nil {
+		t.Fatal("no current trace")
+	}
+	if i := tr.Final(); math.Abs(i-1e-3) > 1e-9 {
+		t.Errorf("I = %g, want 1mA", i)
+	}
+	// Energy over 1ns at 1V: 1mW * 1ns = 1pJ.
+	en, err := res.Energy("a", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(en-1e-12) > 2e-14 {
+		t.Errorf("energy = %g, want ~1pJ", en)
+	}
+	if _, err := res.Energy("nosuch", 1); err == nil {
+		t.Error("unmeasured node must error")
+	}
+}
+
+func TestSupplyEnergyOfInverterTransition(t *testing.T) {
+	// An output rise draws roughly CL*Vdd of charge from the supply:
+	// E = CL*Vdd^2 plus short-circuit and parasitic contributions.
+	c := circuits.InverterChain(tech07(), 1, 50e-15)
+	stim := circuit.Stimulus{
+		Old:   map[string]bool{"in": true}, // output low
+		New:   map[string]bool{"in": false},
+		TEdge: 0.5e-9, TRise: 50e-12,
+	}
+	nl, err := c.Netlist(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := nl.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(flat, c.Tech, Options{
+		TStop:          5e-9,
+		MeasureCurrent: []string{circuit.NodeVdd},
+		InitialV:       map[string]float64{"out": 0, "in": 1.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := res.Energy(circuit.NodeVdd, c.Tech.Vdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NetCap(c.FindNet("out"))
+	ideal := cl * c.Tech.Vdd * c.Tech.Vdd
+	if en < ideal*0.8 || en > ideal*3 {
+		t.Errorf("transition energy %g vs CV^2 = %g: outside plausible band", en, ideal)
+	}
+	t.Logf("rise energy %.3g fJ vs CV^2 %.3g fJ", en*1e15, ideal*1e15)
+}
+
+func TestStandbyLeakageDropsWithSleepOff(t *testing.T) {
+	// Quiescent adder: active mode leaks through the low-Vt logic;
+	// standby (sleep gate low) is limited by the high-Vt device while
+	// the virtual ground floats up (the stack / self-reverse-bias
+	// effect the paper's references [5][8] describe).
+	ad := circuits.RippleCarryAdder(tech07(), 2, 20e-15)
+	ad.SleepWL = 20
+	res, err := Standby(ad.Circuit, ad.Inputs(3, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VGndFloat < 0.1 || res.VGndFloat > ad.Tech.Vdd {
+		t.Errorf("virtual ground floats to %gV: expected a few hundred mV", res.VGndFloat)
+	}
+	if res.Active <= 0 || res.Standby <= 0 {
+		t.Fatalf("leakages must be positive: %+v", res)
+	}
+	if res.Reduction < 10 {
+		t.Errorf("standby reduction only %.1fx", res.Reduction)
+	}
+	t.Logf("leakage: active %.3g nA -> standby %.4g nA (%.0fx); Vgnd floats to %.3f V",
+		res.Active*1e9, res.Standby*1e9, res.Reduction, res.VGndFloat)
+}
+
+func TestStandbyNeedsSleepDevice(t *testing.T) {
+	ad := circuits.RippleCarryAdder(tech07(), 2, 20e-15)
+	if _, err := Standby(ad.Circuit, ad.Inputs(0, 0, false)); err == nil {
+		t.Error("plain CMOS standby must error")
+	}
+}

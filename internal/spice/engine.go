@@ -1,0 +1,592 @@
+// Package spice implements the toolkit's reference transistor-level
+// transient simulator: the stand-in for the commercial SPICE the paper
+// compares its switch-level tool against (see DESIGN.md substitutions).
+//
+// The engine is an iterated-timing-analysis relaxation simulator in the
+// SPLICE tradition: every node carries a grounded capacitance (explicit
+// caps plus a configurable floor), each backward-Euler timestep is
+// solved by Gauss-Seidel sweeps of per-node scalar Newton iterations,
+// and the timestep adapts to convergence behaviour. For the mostly
+// unidirectional digital MOS circuits this toolkit targets, the scheme
+// converges quickly and reproduces the first-order physics the paper's
+// comparisons rely on: gate-drive loss and body effect from virtual
+// ground bounce, vector-dependent discharge current overlap, and RC
+// relaxation of the virtual ground rail.
+package spice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mtcmos/internal/mosfet"
+	"mtcmos/internal/netlist"
+	"mtcmos/internal/wave"
+)
+
+// Options configures a transient run.
+type Options struct {
+	TStop float64 // simulation end time (required)
+
+	DTMax float64 // max timestep (default 5ps)
+	DTMin float64 // min timestep before giving up (default 1as)
+	Cmin  float64 // per-node capacitance floor (default 0.1fF)
+
+	// Convergence control.
+	VTol     float64 // per-sweep voltage convergence (default 20uV)
+	MaxSweep int     // Gauss-Seidel sweeps per step (default 60)
+
+	// Record lists node names to trace; nil records every node.
+	Record []string
+	// SampleDT decimates recording (0 = record every accepted step).
+	SampleDT float64
+
+	// InitialV seeds node voltages by name (e.g. from a logic
+	// evaluation); unlisted nodes start at 0.
+	InitialV map[string]float64
+
+	// MeasureCurrent lists nodes whose net device/resistor current is
+	// recorded into Result.Currents. For a source-driven node such as
+	// the supply this is the current the source must deliver, so
+	// integrating Currents["vdd"]*Vdd yields the drawn energy.
+	MeasureCurrent []string
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.DTMax <= 0 {
+		out.DTMax = 5e-12
+	}
+	if out.DTMin <= 0 {
+		out.DTMin = 1e-18
+	}
+	if out.Cmin <= 0 {
+		out.Cmin = 0.1e-15
+	}
+	if out.VTol <= 0 {
+		out.VTol = 20e-6
+	}
+	if out.MaxSweep <= 0 {
+		out.MaxSweep = 60
+	}
+	return out
+}
+
+// Result holds the traces and run statistics of a transient.
+type Result struct {
+	Traces map[string]*wave.Trace
+	// Currents holds the measured node supply currents (positive:
+	// delivered by the node's source into the devices), per
+	// Options.MeasureCurrent.
+	Currents map[string]*wave.Trace
+	Steps    int // accepted timesteps
+	Sweeps   int // total Gauss-Seidel sweeps
+	Evals    int // total device evaluations
+}
+
+// Current returns the measured current trace of a node, or nil.
+func (r *Result) Current(node string) *wave.Trace {
+	return r.Currents[netlist.CanonNode(node)]
+}
+
+// Energy integrates a measured node current against a constant rail
+// voltage over the trace: the energy delivered through that node.
+func (r *Result) Energy(node string, volts float64) (float64, error) {
+	tr := r.Current(node)
+	if tr == nil {
+		return 0, fmt.Errorf("spice: node %q current not measured", node)
+	}
+	e := 0.0
+	for i := 1; i < tr.Len(); i++ {
+		e += 0.5 * (tr.V[i] + tr.V[i-1]) * (tr.T[i] - tr.T[i-1])
+	}
+	return e * volts, nil
+}
+
+// deviceCurrentInto sums the current flowing into node i from MOS
+// devices and resistors at node voltages v (capacitors and sources
+// excluded).
+func (e *engine) deviceCurrentInto(i int32, v []float64) float64 {
+	into := 0.0
+	for _, mi := range e.nodeMOS[i] {
+		m := &e.mos[mi]
+		d, srcI := e.mosCurrents(m, v)
+		if m.d == i {
+			into += d
+		}
+		if m.s == i {
+			into += srcI
+		}
+	}
+	for _, ri := range e.nodeRes[i] {
+		r := &e.ress[ri]
+		var other int32
+		if r.a == i {
+			other = r.b
+		} else {
+			other = r.a
+		}
+		vo := 0.0
+		if other != groundIdx {
+			vo = v[other]
+		}
+		into += (vo - v[i]) * r.g
+	}
+	return into
+}
+
+// Trace returns the named node's trace or nil.
+func (r *Result) Trace(node string) *wave.Trace {
+	return r.Traces[netlist.CanonNode(node)]
+}
+
+type mosInst struct {
+	dev        mosfet.Device
+	d, g, s, b int32
+}
+
+type resInst struct {
+	a, b int32
+	g    float64 // conductance
+}
+
+type capInst struct { // floating capacitor between two free/fixed nodes
+	a, b int32
+	f    float64
+}
+
+type srcInst struct {
+	node int32
+	v    netlist.Vsrc
+}
+
+const groundIdx = int32(-1)
+
+// engine holds the compiled circuit.
+type engine struct {
+	tech  *mosfet.Tech
+	names []string
+	index map[string]int32
+
+	cg    []float64 // grounded capacitance per node (incl. Cmin)
+	fixed []int32   // source index per node, -1 if free
+
+	mos   []mosInst
+	ress  []resInst
+	fcaps []capInst
+	srcs  []srcInst
+
+	// adjacency: element indices touching each node
+	nodeMOS  [][]int32
+	nodeRes  [][]int32
+	nodeCaps [][]int32
+
+	order []int32 // free-node relaxation order
+}
+
+// Compile builds a simulation engine from a flattened netlist.
+func Compile(f *netlist.Flat, tech *mosfet.Tech) (*engine, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{tech: tech, index: map[string]int32{}}
+	idx := func(name string) int32 {
+		name = netlist.CanonNode(name)
+		if name == netlist.Ground {
+			return groundIdx
+		}
+		if i, ok := e.index[name]; ok {
+			return i
+		}
+		i := int32(len(e.names))
+		e.index[name] = i
+		e.names = append(e.names, name)
+		return i
+	}
+
+	for _, m := range f.MOS {
+		dev, err := deviceFor(tech, m)
+		if err != nil {
+			return nil, err
+		}
+		e.mos = append(e.mos, mosInst{dev: dev, d: idx(m.D), g: idx(m.G), s: idx(m.S), b: idx(m.B)})
+	}
+	for _, r := range f.Ress {
+		if r.Ohms <= 0 {
+			return nil, fmt.Errorf("spice: resistor %s must be positive, got %g", r.Name, r.Ohms)
+		}
+		e.ress = append(e.ress, resInst{a: idx(r.A), b: idx(r.B), g: 1 / r.Ohms})
+	}
+	grounded := map[int32]float64{}
+	for _, c := range f.Caps {
+		if c.F < 0 {
+			return nil, fmt.Errorf("spice: capacitor %s negative", c.Name)
+		}
+		a, b := idx(c.A), idx(c.B)
+		switch {
+		case a == groundIdx && b == groundIdx:
+			// no-op
+		case b == groundIdx:
+			grounded[a] += c.F
+		case a == groundIdx:
+			grounded[b] += c.F
+		default:
+			e.fcaps = append(e.fcaps, capInst{a: a, b: b, f: c.F})
+		}
+	}
+	for _, v := range f.Vs {
+		if netlist.CanonNode(v.N) != netlist.Ground {
+			return nil, fmt.Errorf("spice: source %s: negative terminal must be ground", v.Name)
+		}
+		e.srcs = append(e.srcs, srcInst{node: idx(v.P), v: v})
+	}
+
+	n := len(e.names)
+	e.cg = make([]float64, n)
+	e.fixed = make([]int32, n)
+	for i := range e.fixed {
+		e.fixed[i] = -1
+	}
+	for i := range e.cg {
+		e.cg[i] = grounded[int32(i)]
+	}
+	for si, s := range e.srcs {
+		if s.node == groundIdx {
+			continue
+		}
+		if e.fixed[s.node] >= 0 {
+			return nil, fmt.Errorf("spice: node %q driven by two sources", e.names[s.node])
+		}
+		e.fixed[s.node] = int32(si)
+	}
+
+	e.nodeMOS = make([][]int32, n)
+	e.nodeRes = make([][]int32, n)
+	e.nodeCaps = make([][]int32, n)
+	attach := func(lists [][]int32, node int32, ei int32) {
+		if node == groundIdx {
+			return
+		}
+		// Avoid duplicate entries when an element touches a node twice.
+		l := lists[node]
+		if len(l) > 0 && l[len(l)-1] == ei {
+			return
+		}
+		lists[node] = append(lists[node], ei)
+	}
+	for i, m := range e.mos {
+		attach(e.nodeMOS, m.d, int32(i))
+		attach(e.nodeMOS, m.s, int32(i))
+		// Gate and bulk draw no current; no attachment needed.
+	}
+	for i, r := range e.ress {
+		attach(e.nodeRes, r.a, int32(i))
+		attach(e.nodeRes, r.b, int32(i))
+	}
+	for i, c := range e.fcaps {
+		attach(e.nodeCaps, c.a, int32(i))
+		attach(e.nodeCaps, c.b, int32(i))
+	}
+
+	for i := int32(0); i < int32(n); i++ {
+		if e.fixed[i] < 0 {
+			e.order = append(e.order, i)
+		}
+	}
+	return e, nil
+}
+
+// deviceFor maps a netlist model name onto a device archetype.
+func deviceFor(tech *mosfet.Tech, m netlist.MOS) (mosfet.Device, error) {
+	wl := m.WL()
+	if wl <= 0 {
+		return mosfet.Device{}, fmt.Errorf("spice: device %s has non-positive W/L", m.Name)
+	}
+	switch strings.ToLower(m.Model) {
+	case "nmos":
+		return mosfet.NewNMOS(tech, wl), nil
+	case "pmos":
+		return mosfet.NewPMOS(tech, wl), nil
+	case "nmos_hvt":
+		return mosfet.NewSleepNMOS(tech, wl), nil
+	case "pmos_hvt":
+		return mosfet.Device{Kind: mosfet.PMOS, WL: wl, Vt0: tech.VtnHigh, Tech: tech}, nil
+	default:
+		return mosfet.Device{}, fmt.Errorf("spice: device %s: unknown model %q", m.Name, m.Model)
+	}
+}
+
+// NodeNames returns all node names known to the engine, sorted.
+func (e *engine) NodeNames() []string {
+	out := append([]string(nil), e.names...)
+	sort.Strings(out)
+	return out
+}
+
+// mosCurrents returns the current flowing into the drain and source
+// terminals of device m at node voltages v (ground = 0).
+func (e *engine) mosCurrents(m *mosInst, v []float64) (intoD, intoS float64) {
+	at := func(i int32) float64 {
+		if i == groundIdx {
+			return 0
+		}
+		return v[i]
+	}
+	vd, vg, vs, vb := at(m.d), at(m.g), at(m.s), at(m.b)
+	if m.dev.Kind == mosfet.NMOS {
+		ids := m.dev.Ids(vg-vs, vd-vs, vs-vb)
+		return -ids, ids
+	}
+	// PMOS in magnitudes: source is the high side by convention, but
+	// the model's terminal-exchange symmetry makes orientation safe.
+	isd := m.dev.Ids(vs-vg, vs-vd, vb-vs)
+	return isd, -isd
+}
+
+// residual computes the KCL residual at free node i: net current into
+// the node from devices and resistors minus capacitor charging current
+// (backward Euler over dt from vprev). A positive residual means the
+// node must rise.
+func (e *engine) residual(i int32, v, vprev []float64, dt float64, evals *int) float64 {
+	into := 0.0
+	for _, mi := range e.nodeMOS[i] {
+		m := &e.mos[mi]
+		d, s := e.mosCurrents(m, v)
+		*evals++
+		if m.d == i {
+			into += d
+		}
+		if m.s == i {
+			into += s
+		}
+	}
+	for _, ri := range e.nodeRes[i] {
+		r := &e.ress[ri]
+		var other int32
+		if r.a == i {
+			other = r.b
+		} else {
+			other = r.a
+		}
+		vo := 0.0
+		if other != groundIdx {
+			vo = v[other]
+		}
+		into += (vo - v[i]) * r.g
+	}
+	// Grounded cap (incl. Cmin).
+	icharge := e.cg[i] * (v[i] - vprev[i]) / dt
+	// Floating caps.
+	for _, ci := range e.nodeCaps[i] {
+		c := &e.fcaps[ci]
+		var other int32
+		if c.a == i {
+			other = c.b
+		} else {
+			other = c.a
+		}
+		vo, vop := 0.0, 0.0
+		if other != groundIdx {
+			vo, vop = v[other], vprev[other]
+		}
+		icharge += c.f * ((v[i] - vprev[i]) - (vo - vop)) / dt
+	}
+	return into - icharge
+}
+
+// Run executes the transient and returns recorded traces.
+func (e *engine) Run(opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if o.TStop <= 0 {
+		return nil, fmt.Errorf("spice: TStop must be positive")
+	}
+	n := len(e.names)
+	v := make([]float64, n)
+	vprev := make([]float64, n)
+
+	for name, val := range o.InitialV {
+		if i, ok := e.index[netlist.CanonNode(name)]; ok {
+			v[i] = val
+		}
+	}
+	for _, s := range e.srcs {
+		if s.node != groundIdx {
+			v[s.node] = s.v.At(0)
+		}
+	}
+
+	// Recording setup.
+	rec := map[string]*wave.Trace{}
+	var recNodes []int32
+	addRec := func(name string) {
+		name = netlist.CanonNode(name)
+		i, ok := e.index[name]
+		if !ok || rec[name] != nil {
+			return
+		}
+		rec[name] = &wave.Trace{Name: name}
+		recNodes = append(recNodes, i)
+	}
+	if o.Record == nil {
+		for _, name := range e.names {
+			addRec(name)
+		}
+	} else {
+		for _, name := range o.Record {
+			addRec(name)
+		}
+	}
+	// Current measurement setup.
+	curTraces := map[string]*wave.Trace{}
+	var curNodes []int32
+	for _, name := range o.MeasureCurrent {
+		name = netlist.CanonNode(name)
+		i, ok := e.index[name]
+		if !ok || curTraces[name] != nil {
+			continue
+		}
+		curTraces[name] = &wave.Trace{Name: "i(" + name + ")"}
+		curNodes = append(curNodes, i)
+	}
+
+	lastSample := math.Inf(-1)
+	record := func(t float64, force bool) {
+		if !force && o.SampleDT > 0 && t-lastSample < o.SampleDT*0.999 {
+			return
+		}
+		lastSample = t
+		for _, i := range recNodes {
+			rec[e.names[i]].Append(t, v[i])
+		}
+		for _, i := range curNodes {
+			// Positive = delivered by the node into the devices.
+			curTraces[e.names[i]].Append(t, -e.deviceCurrentInto(i, v))
+		}
+	}
+
+	// Source breakpoints: never step across a PWL or PULSE corner.
+	var breaks []float64
+	for _, s := range e.srcs {
+		if s.v.PWL != nil {
+			breaks = append(breaks, s.v.PWL.T...)
+		}
+		if p := s.v.Pulse; p != nil {
+			period := p.Period
+			oneShot := period <= 0
+			if oneShot {
+				period = o.TStop + 1 // single pulse: one set of corners
+			}
+			for t0 := p.TD; t0 <= o.TStop; t0 += period {
+				breaks = append(breaks,
+					t0, t0+p.TR, t0+p.TR+p.PW, t0+p.TR+p.PW+p.TF)
+			}
+		}
+	}
+	sort.Float64s(breaks)
+	nextBreak := func(t float64) float64 {
+		i := sort.SearchFloat64s(breaks, t*(1+1e-12)+1e-21)
+		if i < len(breaks) {
+			return breaks[i]
+		}
+		return math.Inf(1)
+	}
+
+	res := &Result{Traces: rec, Currents: curTraces}
+	record(0, true)
+
+	t := 0.0
+	dt := o.DTMax / 8
+	vtrial := make([]float64, n)
+	for t < o.TStop {
+		dtTry := math.Min(dt, o.TStop-t)
+		if nb := nextBreak(t); nb > t && nb-t < dtTry {
+			dtTry = nb - t
+		}
+	attempt:
+		for {
+			copy(vprev, v)
+			copy(vtrial, v)
+			tNew := t + dtTry
+			for _, s := range e.srcs {
+				if s.node != groundIdx {
+					vtrial[s.node] = s.v.At(tNew)
+				}
+			}
+			converged := false
+			sweeps := 0
+			for ; sweeps < o.MaxSweep; sweeps++ {
+				maxDelta := 0.0
+				for _, i := range e.order {
+					vi := vtrial[i]
+					start := vi
+					// Scalar Newton, at most two iterations per sweep;
+					// Gauss-Seidel supplies the outer fixed point.
+					for it := 0; it < 2; it++ {
+						g := e.residual(i, vtrial, vprev, dtTry, &res.Evals)
+						const h = 1e-5
+						vtrial[i] = vi + h
+						gp := e.residual(i, vtrial, vprev, dtTry, &res.Evals)
+						vtrial[i] = vi
+						dg := (gp - g) / h
+						if dg >= -1e-18 {
+							// Degenerate derivative; fall back to a
+							// capacitance-limited explicit move.
+							dg = -e.cg[i]/dtTry - 1e-12
+						}
+						step := -g / dg
+						// Damp huge steps to keep Newton stable.
+						lim := 0.5 * (math.Abs(e.tech.Vdd) + 1)
+						if step > lim {
+							step = lim
+						} else if step < -lim {
+							step = -lim
+						}
+						vi += step
+						vtrial[i] = vi
+						if math.Abs(step) < o.VTol/4 {
+							break
+						}
+					}
+					if d := math.Abs(vi - start); d > maxDelta {
+						maxDelta = d
+					}
+				}
+				if maxDelta < o.VTol {
+					converged = true
+					sweeps++
+					break
+				}
+			}
+			res.Sweeps += sweeps
+			if converged {
+				copy(v, vtrial)
+				t = tNew
+				res.Steps++
+				record(t, t >= o.TStop)
+				// Adapt: quick convergence earns a larger step.
+				if sweeps <= 6 {
+					dt = math.Min(dt*1.4, o.DTMax)
+				} else if sweeps > 20 {
+					dt = math.Max(dt/2, o.DTMin)
+				}
+				break attempt
+			}
+			dtTry /= 2
+			if dtTry < o.DTMin {
+				return nil, fmt.Errorf("spice: no convergence at t=%g even at dt=%g", t, dtTry)
+			}
+			dt = dtTry
+		}
+	}
+	return res, nil
+}
+
+// Simulate compiles and runs a flattened netlist in one call.
+func Simulate(f *netlist.Flat, tech *mosfet.Tech, opts Options) (*Result, error) {
+	e, err := Compile(f, tech)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}

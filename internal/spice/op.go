@@ -1,0 +1,184 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// OperatingPoint computes the DC steady state of the compiled circuit
+// with a full Newton iteration over all free nodes (dense Jacobian, LU
+// solve) and gmin stepping for robustness. Unlike the per-node
+// relaxation of the transient loop, the full Newton follows collective
+// slow modes — e.g. an MTCMOS virtual ground floating up in standby
+// together with every output-low load — which node-decoupled sweeps
+// cannot move. Sources are evaluated at time tEval; seed voltages (by
+// node name) accelerate convergence.
+func (e *engine) OperatingPoint(seed map[string]float64, tEval float64) ([]float64, error) {
+	n := len(e.names)
+	v := make([]float64, n)
+	for name, val := range seed {
+		if i, ok := e.index[name]; ok {
+			v[i] = val
+		}
+	}
+	for _, s := range e.srcs {
+		if s.node != groundIdx {
+			v[s.node] = s.v.At(tEval)
+		}
+	}
+	free := e.order
+	nf := len(free)
+	if nf == 0 {
+		return v, nil
+	}
+
+	residual := func(gmin float64, out []float64) {
+		for k, i := range free {
+			out[k] = e.deviceCurrentInto(i, v) - gmin*v[i]
+		}
+	}
+
+	f := make([]float64, nf)
+	fp := make([]float64, nf)
+	jac := make([][]float64, nf)
+	for i := range jac {
+		jac[i] = make([]float64, nf)
+	}
+	pos := make(map[int32]int, nf)
+	for k, i := range free {
+		pos[i] = k
+	}
+
+	// gmin stepping: start heavily loaded toward ground, relax to a
+	// 1e-16 S floor — 0.1 fA at 1 V, below the femtoamp leakage
+	// signals this solver exists to resolve, while keeping isolated
+	// OFF-stack nodes' Jacobian columns nonsingular.
+	gmins := []float64{1e-6, 1e-8, 1e-10, 1e-12, 1e-14, 1e-16}
+	for _, gmin := range gmins {
+		converged := false
+		for iter := 0; iter < 80; iter++ {
+			residual(gmin, f)
+			maxf := 0.0
+			for _, x := range f {
+				if a := math.Abs(x); a > maxf {
+					maxf = a
+				}
+			}
+			// Tolerance: machine-precision-scale for the physics, but
+			// never below the gmin homotopy artifact (a node held at
+			// the voltage clamp cannot balance its gmin load).
+			if maxf < math.Max(1e-15, 2*gmin*(e.tech.Vdd+1)) {
+				converged = true
+				break
+			}
+			// Numeric Jacobian, column by column (dense; the circuits
+			// this engine targets are a few hundred nodes).
+			const h = 1e-7
+			for col, j := range free {
+				old := v[j]
+				v[j] = old + h
+				residual(gmin, fp)
+				v[j] = old
+				for row := 0; row < nf; row++ {
+					jac[row][col] = (fp[row] - f[row]) / h
+				}
+			}
+			delta, err := solveDense(jac, f)
+			if err != nil {
+				return nil, fmt.Errorf("spice: operating point: %w", err)
+			}
+			// Damped update: cap the step to keep the exponential
+			// subthreshold terms in their basin.
+			scale := 1.0
+			for _, d := range delta {
+				if a := math.Abs(d); a*scale > 0.25 {
+					scale = 0.25 / a
+				}
+			}
+			for k, i := range free {
+				v[i] -= scale * delta[k]
+				// Voltages cannot leave the rail window by much.
+				v[i] = math.Max(-1, math.Min(v[i], e.tech.Vdd+1))
+			}
+		}
+		if !converged && gmin == gmins[len(gmins)-1] {
+			// The final refinement is allowed to stop above the strict
+			// tolerance: femtoamp-scale residuals ride rounding noise.
+			residual(0, f)
+			maxf := 0.0
+			for _, x := range f {
+				if a := math.Abs(x); a > maxf {
+					maxf = a
+				}
+			}
+			if maxf > 1e-12 {
+				return nil, fmt.Errorf("spice: operating point did not converge (max residual %g A)", maxf)
+			}
+		}
+	}
+	return v, nil
+}
+
+// solveDense solves J x = b in place with partial pivoting (J and b
+// are clobbered).
+func solveDense(j [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		best := math.Abs(j[col][col])
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(j[r][col]); a > best {
+				best, p = a, r
+			}
+		}
+		if best == 0 {
+			// Insensitive unknown (isolated node): leave it where it
+			// is rather than failing the whole solve.
+			j[col][col] = 1
+			b[col] = 0
+			continue
+		}
+		j[col], j[p] = j[p], j[col]
+		b[col], b[p] = b[p], b[col]
+		inv := 1 / j[col][col]
+		for r := col + 1; r < n; r++ {
+			fac := j[r][col] * inv
+			if fac == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				j[r][c] -= fac * j[col][c]
+			}
+			b[r] -= fac * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= j[r][c] * x[c]
+		}
+		x[r] = sum / j[r][r]
+	}
+	return x, nil
+}
+
+// NodeVoltage reads one node from an operating-point vector.
+func (e *engine) NodeVoltage(v []float64, name string) (float64, bool) {
+	i, ok := e.index[name]
+	if !ok {
+		return 0, false
+	}
+	return v[i], true
+}
+
+// SupplyCurrent returns the current a source-driven node delivers into
+// the devices at the operating point.
+func (e *engine) SupplyCurrent(v []float64, name string) (float64, bool) {
+	i, ok := e.index[name]
+	if !ok {
+		return 0, false
+	}
+	return -e.deviceCurrentInto(i, v), true
+}

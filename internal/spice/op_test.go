@@ -1,0 +1,117 @@
+package spice
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/circuits"
+)
+
+func TestOperatingPointResistorDivider(t *testing.T) {
+	f := flatten(t, "div\nV1 top 0 DC 1.2\nR1 top mid 1k\nR2 mid 0 3k\n")
+	e, err := Compile(f, tech07())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.OperatingPoint(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.NodeVoltage(v, "mid")
+	if !ok {
+		t.Fatal("mid missing")
+	}
+	if math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("divider = %g, want 0.9", got)
+	}
+	i, _ := e.SupplyCurrent(v, "top")
+	if math.Abs(i-0.3e-3) > 1e-9 {
+		t.Errorf("supply current = %g, want 0.3mA", i)
+	}
+}
+
+func TestOperatingPointInverterTransfer(t *testing.T) {
+	// DC transfer of an inverter: output near Vdd for low input, near
+	// 0 for high input, and in between at Vdd/2-ish input.
+	tech := tech07()
+	for _, tc := range []struct {
+		vin float64
+		loV float64
+		hiV float64
+	}{
+		{0.0, 1.19, 1.21},
+		{1.2, -0.01, 0.02},
+		{0.55, 0.2, 1.1}, // transition region: just sanity bounds
+	} {
+		deck := "inv\nVin in 0 DC " + strconv.FormatFloat(tc.vin, 'g', -1, 64) + "\nVdd vdd 0 DC 1.2\n" +
+			"Mp out in vdd vdd pmos W=2.8u L=0.7u\n" +
+			"Mn out in 0 0 nmos W=1.4u L=0.7u\n"
+		f := flatten(t, deck)
+		e, err := Compile(f, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := e.OperatingPoint(nil, 0)
+		if err != nil {
+			t.Fatalf("vin=%g: %v", tc.vin, err)
+		}
+		out, _ := e.NodeVoltage(v, "out")
+		if out < tc.loV || out > tc.hiV {
+			t.Errorf("vin=%g: out=%g outside [%g, %g]", tc.vin, out, tc.loV, tc.hiV)
+		}
+	}
+}
+
+func TestOperatingPointAgreesWithTransientSettle(t *testing.T) {
+	// For an anchored circuit (sleep device ON) the transient settle
+	// and the full-Newton OP must land on the same state.
+	ad := circuits.RippleCarryAdder(tech07(), 2, 20e-15)
+	ad.SleepWL = 20
+	inputs := ad.Inputs(2, 1, false)
+	nl, err := ad.Circuit.Netlist(circuit.Stimulus{Old: inputs, New: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := nl.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Compile(flat, ad.Tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vop, err := e.OperatingPoint(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(Options{TStop: 5e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"s0", "s1", "cout", circuit.NodeVGnd} {
+		vo, ok := e.NodeVoltage(vop, name)
+		if !ok {
+			continue
+		}
+		vt := res.Traces[name].Final()
+		if math.Abs(vo-vt) > 0.02 {
+			t.Errorf("%s: OP %g vs settle %g", name, vo, vt)
+		}
+	}
+}
+
+func TestStandbyFloatConsistentWithAnalyticBallpark(t *testing.T) {
+	// The standby reduction from the reference engine must agree with
+	// the analytic series-leakage model within an order of magnitude.
+	ad := circuits.RippleCarryAdder(tech07(), 2, 20e-15)
+	ad.SleepWL = 20
+	res, err := Standby(ad.Circuit, ad.Inputs(3, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reduction < 1e3 || res.Reduction > 1e7 {
+		t.Errorf("reduction %.3g outside the plausible analytic band", res.Reduction)
+	}
+}

@@ -1,0 +1,144 @@
+// Package units provides physical constants, SI prefix helpers, and
+// engineering-notation formatting used throughout the MTCMOS toolkit.
+//
+// All quantities in the toolkit are carried in base SI units (volts,
+// amperes, seconds, farads, ohms, meters). This package exists so that
+// source code can say 50*units.Femto*units.Farad-style values without
+// sprinkling bare exponents, and so reports can render 3.2e-11 s as
+// "32.0ps".
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// SI prefixes as multipliers.
+const (
+	Atto  = 1e-18
+	Femto = 1e-15
+	Pico  = 1e-12
+	Nano  = 1e-9
+	Micro = 1e-6
+	Milli = 1e-3
+	Kilo  = 1e3
+	Mega  = 1e6
+	Giga  = 1e9
+)
+
+// Physical constants.
+const (
+	// BoltzmannQ is k/q in volts per kelvin; thermal voltage is
+	// BoltzmannQ multiplied by absolute temperature.
+	BoltzmannQ = 8.617333262e-5
+	// RoomTemperature in kelvin (27 C, the usual SPICE default).
+	RoomTemperature = 300.15
+)
+
+// Vt returns the thermal voltage kT/q at temperature T (kelvin).
+func Vt(tempK float64) float64 { return BoltzmannQ * tempK }
+
+// VtRoom is the thermal voltage at RoomTemperature, about 25.9 mV.
+var VtRoom = Vt(RoomTemperature)
+
+var prefixes = []struct {
+	mul  float64
+	name string
+}{
+	{1e-18, "a"},
+	{1e-15, "f"},
+	{1e-12, "p"},
+	{1e-9, "n"},
+	{1e-6, "u"},
+	{1e-3, "m"},
+	{1, ""},
+	{1e3, "k"},
+	{1e6, "M"},
+	{1e9, "G"},
+}
+
+// Format renders v with an SI prefix and the given unit symbol, using
+// three significant digits: Format(3.2e-11, "s") == "32.0ps".
+// Zero renders without a prefix; NaN and infinities render via %g.
+func Format(v float64, unit string) string {
+	if v == 0 {
+		return "0" + unit
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Sprintf("%g%s", v, unit)
+	}
+	av := math.Abs(v)
+	best := prefixes[0]
+	for _, p := range prefixes {
+		if av >= p.mul*0.9995 {
+			best = p
+		}
+	}
+	scaled := v / best.mul
+	// Three significant digits.
+	digits := 2
+	as := math.Abs(scaled)
+	switch {
+	case as >= 99.95:
+		digits = 0
+	case as >= 9.995:
+		digits = 1
+	}
+	return fmt.Sprintf("%.*f%s%s", digits, scaled, best.name, unit)
+}
+
+// Seconds, Volts, Amps, Farads, Ohms, Watts are convenience formatters.
+func Seconds(v float64) string { return Format(v, "s") }
+
+// Volts formats a voltage.
+func Volts(v float64) string { return Format(v, "V") }
+
+// Amps formats a current.
+func Amps(v float64) string { return Format(v, "A") }
+
+// Farads formats a capacitance.
+func Farads(v float64) string { return Format(v, "F") }
+
+// Ohms formats a resistance.
+func Ohms(v float64) string { return Format(v, "Ohm") }
+
+// Watts formats a power.
+func Watts(v float64) string { return Format(v, "W") }
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ApproxEqual reports whether a and b agree within relative tolerance
+// rel or absolute tolerance abs (whichever is looser). It is used by
+// solvers and tests alike.
+func ApproxEqual(a, b, rel, abs float64) bool {
+	d := math.Abs(a - b)
+	if d <= abs {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("units: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

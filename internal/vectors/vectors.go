@@ -1,0 +1,197 @@
+// Package vectors provides input-vector machinery for worst-case
+// analysis: transition (vector-pair) spaces, exhaustive enumeration
+// (the paper's 2^6 x 2^6 = 4096 adder sweep), random sampling, and a
+// greedy bit-flip search that narrows large spaces down to candidates
+// worth handing to the detailed simulator — exactly the workflow the
+// paper proposes in section 5.
+package vectors
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Vector is an assignment of primary inputs.
+type Vector map[string]bool
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, b := range v {
+		out[k] = b
+	}
+	return out
+}
+
+// Transition is a pair of input vectors applied as old -> new.
+type Transition struct {
+	Old, New Vector
+	// Label identifies the transition in reports (e.g. "(00,00)->(FF,81)").
+	Label string
+}
+
+// FromBits builds a vector assigning bit i of value to names[i].
+func FromBits(names []string, value uint64) Vector {
+	v := make(Vector, len(names))
+	for i, n := range names {
+		v[n] = value>>uint(i)&1 == 1
+	}
+	return v
+}
+
+// BitNames generates the standard indexed names prefix0..prefix<n-1>.
+func BitNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}
+
+// Space enumerates transitions over a named set of input bits.
+type Space struct {
+	Names []string // input bit names; len <= 62
+}
+
+// NewSpace builds a transition space over the given input names.
+func NewSpace(names ...string) (*Space, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("vectors: empty space")
+	}
+	if len(names) > 62 {
+		return nil, fmt.Errorf("vectors: %d inputs exceed the 62-bit enumeration limit", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return nil, fmt.Errorf("vectors: duplicate input %q", n)
+		}
+		seen[n] = true
+	}
+	return &Space{Names: append([]string(nil), names...)}, nil
+}
+
+// Size returns the number of distinct vectors (2^bits).
+func (s *Space) Size() uint64 { return 1 << uint(len(s.Names)) }
+
+// PairCount returns the number of ordered vector pairs, the paper's
+// exhaustive-transition count (4096 for the 6-bit adder).
+func (s *Space) PairCount() uint64 { return s.Size() * s.Size() }
+
+// Vector materializes vector index v.
+func (s *Space) Vector(v uint64) Vector { return FromBits(s.Names, v) }
+
+// Transition materializes the ordered pair (old, new).
+func (s *Space) Transition(oldV, newV uint64) Transition {
+	return Transition{
+		Old:   s.Vector(oldV),
+		New:   s.Vector(newV),
+		Label: fmt.Sprintf("%0*b->%0*b", len(s.Names), oldV, len(s.Names), newV),
+	}
+}
+
+// Exhaustive calls fn for every ordered vector pair (including
+// old == new, which exercises the quiescent case) until fn returns an
+// error. This is the paper's 4096-vector adder sweep when bits = 6.
+func (s *Space) Exhaustive(fn func(oldV, newV uint64, tr Transition) error) error {
+	n := s.Size()
+	for o := uint64(0); o < n; o++ {
+		for w := uint64(0); w < n; w++ {
+			if err := fn(o, w, s.Transition(o, w)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sample calls fn for count random ordered pairs drawn with the given
+// seed (deterministic for reproducible experiments).
+func (s *Space) Sample(seed int64, count int, fn func(oldV, newV uint64, tr Transition) error) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := s.Size()
+	for i := 0; i < count; i++ {
+		o := rng.Uint64() % n
+		w := rng.Uint64() % n
+		if err := fn(o, w, s.Transition(o, w)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ranked is a transition with the metric that ranked it.
+type Ranked struct {
+	OldV, NewV uint64
+	Metric     float64
+}
+
+// TopK keeps the k largest-metric transitions seen.
+type TopK struct {
+	K     int
+	items []Ranked
+}
+
+// Add offers a transition to the collection.
+func (tk *TopK) Add(r Ranked) {
+	tk.items = append(tk.items, r)
+	sort.Slice(tk.items, func(i, j int) bool { return tk.items[i].Metric > tk.items[j].Metric })
+	if len(tk.items) > tk.K {
+		tk.items = tk.items[:tk.K]
+	}
+}
+
+// Items returns the current top transitions, best first.
+func (tk *TopK) Items() []Ranked { return append([]Ranked(nil), tk.items...) }
+
+// GreedySearch hill-climbs over single-bit flips of (old, new) pairs to
+// maximize metric, restarting `restarts` times from random pairs. It
+// evaluates the metric O(restarts * bits * iterations) times — far
+// fewer than exhaustive enumeration — and returns the best pair found.
+// This is the vector-space narrowing workflow of paper section 5 made
+// automatic.
+func (s *Space) GreedySearch(seed int64, restarts int, metric func(oldV, newV uint64) float64) Ranked {
+	rng := rand.New(rand.NewSource(seed))
+	n := s.Size()
+	bits := len(s.Names)
+	best := Ranked{Metric: -1}
+	for r := 0; r < restarts; r++ {
+		o := rng.Uint64() % n
+		w := rng.Uint64() % n
+		cur := Ranked{OldV: o, NewV: w, Metric: metric(o, w)}
+		for improved := true; improved; {
+			improved = false
+			for b := 0; b < 2*bits; b++ {
+				cand := cur
+				if b < bits {
+					cand.OldV = cur.OldV ^ 1<<uint(b)
+				} else {
+					cand.NewV = cur.NewV ^ 1<<uint(b-bits)
+				}
+				cand.Metric = metric(cand.OldV, cand.NewV)
+				if cand.Metric > cur.Metric {
+					cur = cand
+					improved = true
+				}
+			}
+		}
+		if cur.Metric > best.Metric {
+			best = cur
+		}
+	}
+	return best
+}
+
+// Merge combines two vectors over disjoint name sets (e.g. the x and y
+// operand halves of the multiplier).
+func Merge(a, b Vector) Vector {
+	out := make(Vector, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package vectors
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSpaceBasics(t *testing.T) {
+	s, err := NewSpace(BitNames("a", 3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 8 || s.PairCount() != 64 {
+		t.Errorf("size=%d pairs=%d", s.Size(), s.PairCount())
+	}
+	v := s.Vector(0b101)
+	if !v["a0"] || v["a1"] || !v["a2"] {
+		t.Errorf("vector decode wrong: %v", v)
+	}
+	tr := s.Transition(0, 5)
+	if tr.Label != "000->101" {
+		t.Errorf("label = %q", tr.Label)
+	}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(); err == nil {
+		t.Error("empty space must fail")
+	}
+	if _, err := NewSpace("a", "a"); err == nil {
+		t.Error("duplicate names must fail")
+	}
+	if _, err := NewSpace(BitNames("x", 63)...); err == nil {
+		t.Error("63 bits must fail")
+	}
+}
+
+func TestExhaustiveCount(t *testing.T) {
+	s, _ := NewSpace(BitNames("b", 2)...)
+	count := 0
+	err := s.Exhaustive(func(o, w uint64, tr Transition) error {
+		count++
+		if len(tr.Old) != 2 || len(tr.New) != 2 {
+			return fmt.Errorf("bad transition %v", tr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 16 {
+		t.Errorf("exhaustive visited %d, want 16", count)
+	}
+}
+
+func TestExhaustiveAdderScale(t *testing.T) {
+	// The paper's 3-bit adder: 6 input bits, 4096 ordered pairs.
+	s, _ := NewSpace(append(BitNames("a", 3), BitNames("b", 3)...)...)
+	if s.PairCount() != 4096 {
+		t.Errorf("pairs = %d, want 4096", s.PairCount())
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	s, _ := NewSpace(BitNames("x", 8)...)
+	var run1, run2 []uint64
+	collect := func(dst *[]uint64) func(o, w uint64, tr Transition) error {
+		return func(o, w uint64, tr Transition) error {
+			*dst = append(*dst, o, w)
+			return nil
+		}
+	}
+	if err := s.Sample(42, 20, collect(&run1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sample(42, 20, collect(&run2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(run1) != 40 {
+		t.Fatalf("sample count = %d", len(run1))
+	}
+	for i := range run1 {
+		if run1[i] != run2[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	tk := TopK{K: 3}
+	for i := 0; i < 10; i++ {
+		tk.Add(Ranked{OldV: uint64(i), Metric: float64(i % 5)})
+	}
+	items := tk.Items()
+	if len(items) != 3 {
+		t.Fatalf("kept %d", len(items))
+	}
+	if items[0].Metric < items[1].Metric || items[1].Metric < items[2].Metric {
+		t.Error("not sorted descending")
+	}
+	if items[0].Metric != 4 {
+		t.Errorf("best metric = %g", items[0].Metric)
+	}
+}
+
+func TestGreedySearchFindsPlantedOptimum(t *testing.T) {
+	// Metric = number of bits that flipped; optimum is all-bits flip.
+	s, _ := NewSpace(BitNames("x", 8)...)
+	metric := func(o, w uint64) float64 {
+		x := o ^ w
+		n := 0
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+		return float64(n)
+	}
+	best := s.GreedySearch(7, 4, metric)
+	if best.Metric != 8 {
+		t.Errorf("greedy found %g flips, want 8", best.Metric)
+	}
+}
+
+func TestMergeAndClone(t *testing.T) {
+	a := FromBits([]string{"x0", "x1"}, 0b10)
+	b := FromBits([]string{"y0"}, 1)
+	m := Merge(a, b)
+	if m["x0"] || !m["x1"] || !m["y0"] {
+		t.Errorf("merge wrong: %v", m)
+	}
+	c := a.Clone()
+	c["x0"] = true
+	if a["x0"] {
+		t.Error("Clone must not alias")
+	}
+}

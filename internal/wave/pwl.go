@@ -1,0 +1,201 @@
+// Package wave provides piecewise-linear waveforms and sampled traces,
+// plus the measurements the experiments need: threshold crossings,
+// 50%-50% propagation delay, peak (ground-bounce) detection and settle
+// time. Both simulation engines emit their results through this package
+// so that measurements are defined once.
+package wave
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// PWL is a piecewise-linear waveform: value V[i] at time T[i], linear in
+// between, held constant before T[0] and after T[len-1]. Times are
+// strictly increasing.
+type PWL struct {
+	T []float64
+	V []float64
+}
+
+// NewPWL builds a PWL from interleaved (t, v) pairs and validates
+// monotone time.
+func NewPWL(pairs ...float64) (*PWL, error) {
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		return nil, fmt.Errorf("wave: NewPWL needs an even, nonzero number of values, got %d", len(pairs))
+	}
+	p := &PWL{}
+	for i := 0; i < len(pairs); i += 2 {
+		t, v := pairs[i], pairs[i+1]
+		if len(p.T) > 0 && t <= p.T[len(p.T)-1] {
+			return nil, fmt.Errorf("wave: NewPWL times must be strictly increasing (t[%d]=%g after %g)", i/2, t, p.T[len(p.T)-1])
+		}
+		p.T = append(p.T, t)
+		p.V = append(p.V, v)
+	}
+	return p, nil
+}
+
+// Step returns a rising or falling edge from v0 to v1 starting at t0
+// with the given (positive) transition time.
+func Step(t0, trans, v0, v1 float64) *PWL {
+	if trans <= 0 {
+		trans = 1e-15
+	}
+	if t0 <= 0 {
+		// Keep a point before the edge so At() holds v0 beforehand.
+		t0 = 0
+	}
+	p, err := NewPWL(t0, v0, t0+trans, v1)
+	if err != nil {
+		panic("wave: Step: " + err.Error())
+	}
+	return p
+}
+
+// DC returns a constant waveform.
+func DC(v float64) *PWL {
+	return &PWL{T: []float64{0}, V: []float64{v}}
+}
+
+// At evaluates the waveform at time t.
+func (p *PWL) At(t float64) float64 {
+	n := len(p.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.T[0] {
+		return p.V[0]
+	}
+	if t >= p.T[n-1] {
+		return p.V[n-1]
+	}
+	i := sort.SearchFloat64s(p.T, t)
+	// p.T[i-1] < t <= p.T[i]
+	t0, t1 := p.T[i-1], p.T[i]
+	v0, v1 := p.V[i-1], p.V[i]
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Crossing returns the first time at or after from where the waveform
+// crosses level in the given direction (+1 rising, -1 falling, 0 any).
+// ok is false when no crossing exists.
+func (p *PWL) Crossing(level, from float64, dir int) (t float64, ok bool) {
+	n := len(p.T)
+	for i := 1; i < n; i++ {
+		t0, t1 := p.T[i-1], p.T[i]
+		if t1 < from {
+			continue
+		}
+		v0, v1 := p.V[i-1], p.V[i]
+		if v0 == v1 {
+			continue
+		}
+		rising := v1 > v0
+		if dir > 0 && !rising || dir < 0 && rising {
+			continue
+		}
+		lo, hi := math.Min(v0, v1), math.Max(v0, v1)
+		if level < lo || level > hi {
+			continue
+		}
+		tc := t0 + (t1-t0)*(level-v0)/(v1-v0)
+		if tc >= from {
+			return tc, true
+		}
+	}
+	return 0, false
+}
+
+// Final returns the last value of the waveform.
+func (p *PWL) Final() float64 {
+	if len(p.V) == 0 {
+		return 0
+	}
+	return p.V[len(p.V)-1]
+}
+
+// End returns the last breakpoint time.
+func (p *PWL) End() float64 {
+	if len(p.T) == 0 {
+		return 0
+	}
+	return p.T[len(p.T)-1]
+}
+
+// Append adds a point, merging exactly-colinear runs to keep waveforms
+// compact. Time must not move backwards; equal time replaces the value.
+func (p *PWL) Append(t, v float64) {
+	n := len(p.T)
+	if n > 0 {
+		last := p.T[n-1]
+		if t < last {
+			panic(fmt.Sprintf("wave: Append time %g before %g", t, last))
+		}
+		if t == last {
+			p.V[n-1] = v
+			return
+		}
+		if n >= 2 {
+			// Drop the middle point of three colinear samples.
+			t0, v0 := p.T[n-2], p.V[n-2]
+			t1, v1 := p.T[n-1], p.V[n-1]
+			s1 := (v1 - v0) / (t1 - t0)
+			s2 := (v - v1) / (t - t1)
+			if math.Abs(s1-s2) <= 1e-9*math.Max(math.Abs(s1), math.Abs(s2))+1e-18 {
+				p.T[n-1] = t
+				p.V[n-1] = v
+				return
+			}
+		}
+	}
+	p.T = append(p.T, t)
+	p.V = append(p.V, v)
+}
+
+// Sample evaluates the waveform at n evenly spaced points on [t0, t1].
+func (p *PWL) Sample(t0, t1 float64, n int) *Trace {
+	tr := &Trace{T: make([]float64, n), V: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		t := t0
+		if n > 1 {
+			t = t0 + (t1-t0)*float64(i)/float64(n-1)
+		}
+		tr.T[i] = t
+		tr.V[i] = p.At(t)
+	}
+	return tr
+}
+
+// Max returns the maximum value attained on [t0, t1].
+func (p *PWL) Max(t0, t1 float64) float64 {
+	best := math.Inf(-1)
+	consider := func(v float64) {
+		if v > best {
+			best = v
+		}
+	}
+	consider(p.At(t0))
+	consider(p.At(t1))
+	for i, t := range p.T {
+		if t > t0 && t < t1 {
+			consider(p.V[i])
+		}
+	}
+	return best
+}
+
+// WriteCSV writes the waveform's breakpoints as "t,v" rows.
+func (p *PWL) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t,v"); err != nil {
+		return err
+	}
+	for i := range p.T {
+		if _, err := fmt.Fprintf(w, "%.12g,%.12g\n", p.T[i], p.V[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,364 @@
+// Package mtcmos is a toolkit for sizing the high-Vt sleep transistors
+// of Multi-Threshold CMOS (MTCMOS) circuits, reproducing Kao,
+// Chandrakasan and Antoniadis, "Transistor Sizing Issues and Tool For
+// Multi-Threshold CMOS Technology", DAC 1997.
+//
+// The toolkit provides:
+//
+//   - a gate-level circuit model with an MTCMOS virtual-ground rail
+//     (Circuit, NewCircuit, and the generator functions InverterTree,
+//     RippleCarryAdder, CarrySaveMultiplier matching the paper's
+//     benchmark circuits);
+//   - the paper's variable-breakpoint switch-level simulator
+//     (Simulate), which computes MTCMOS delays as a function of input
+//     vector and sleep-transistor size orders of magnitude faster than
+//     a transistor-level transient;
+//   - a SPICE-class reference transient engine over flat transistor
+//     netlists (SimulateSpice, ParseNetlist) for detailed verification;
+//   - sleep-transistor sizing methods (SizeForDelayTarget,
+//     SizeForPeakCurrent, SumOfWidths) and power/leakage analysis
+//     (AnalyzePower);
+//   - every figure and table of the paper's evaluation as a runnable
+//     experiment (Experiments, RunExperiment).
+//
+// # Quick start
+//
+//	tech := mtcmos.Tech07()
+//	tree := mtcmos.InverterTree(&tech, 3, 3, 50e-15) // paper Fig. 4
+//	tree.SleepWL = 8                                 // sleep device W/L
+//	res, err := mtcmos.Simulate(tree, mtcmos.Stimulus{
+//		Old:   map[string]bool{"in": false},
+//		New:   map[string]bool{"in": true},
+//		TEdge: 1e-9, TRise: 50e-12,
+//	}, mtcmos.SwitchOptions{})
+//	if err != nil { ... }
+//	d, _ := res.Delay("s3_0")
+//	fmt.Println("delay:", d, "bounce:", res.PeakVx)
+//
+// See the examples directory for complete programs.
+package mtcmos
+
+import (
+	"io"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/circuits"
+	"mtcmos/internal/core"
+	"mtcmos/internal/experiments"
+	"mtcmos/internal/hierarchy"
+	"mtcmos/internal/mosfet"
+	"mtcmos/internal/netlist"
+	"mtcmos/internal/power"
+	"mtcmos/internal/report"
+	"mtcmos/internal/sizing"
+	"mtcmos/internal/spice"
+	"mtcmos/internal/vectors"
+	"mtcmos/internal/wave"
+)
+
+// --- Technology ---
+
+// Tech holds the per-process device parameters shared by every model;
+// see Tech07 and Tech03 for the paper's two nodes.
+type Tech = mosfet.Tech
+
+// Tech07 returns the 0.7um technology of the paper's inverter-tree and
+// adder experiments (Vdd=1.2V, Vtn=0.35, sleep Vt=0.75).
+func Tech07() Tech { return mosfet.Tech07() }
+
+// Tech03 returns the 0.3um technology of the paper's 8x8 multiplier
+// experiment (Vdd=1.0V, Vtn=0.2, sleep Vt=0.7).
+func Tech03() Tech { return mosfet.Tech03() }
+
+// SleepResistance returns the linear-resistor approximation of an ON
+// high-Vt NMOS sleep transistor of the given W/L (paper section 2.1).
+func SleepResistance(t *Tech, wl float64) (float64, error) {
+	return mosfet.SleepResistance(t, wl)
+}
+
+// --- Circuits ---
+
+// Circuit is a combinational gate-level circuit; set SleepWL > 0 to
+// gate its pulldown rail with an NMOS sleep transistor (MTCMOS mode)
+// and VGndCap to add virtual-ground parasitic capacitance.
+type Circuit = circuit.Circuit
+
+// Gate is one instance of a library gate inside a Circuit.
+type Gate = circuit.Gate
+
+// Net is a named signal inside a Circuit.
+type Net = circuit.Net
+
+// GateKind identifies a gate in the library (Inv, Nand2, ...,
+// MirrorCarry, MirrorSum).
+type GateKind = circuit.Kind
+
+// The gate library. MirrorCarry/MirrorSum are the complex gates of the
+// 28-transistor mirror full adder used by the paper's benchmarks.
+const (
+	Inv         = circuit.Inv
+	Buf         = circuit.Buf
+	Nand2       = circuit.Nand2
+	Nand3       = circuit.Nand3
+	Nor2        = circuit.Nor2
+	Nor3        = circuit.Nor3
+	And2        = circuit.And2
+	Or2         = circuit.Or2
+	Xor2        = circuit.Xor2
+	Xnor2       = circuit.Xnor2
+	Aoi21       = circuit.Aoi21
+	Oai21       = circuit.Oai21
+	MirrorCarry = circuit.MirrorCarry
+	MirrorSum   = circuit.MirrorSum
+)
+
+// NewCircuit returns an empty circuit over the given technology; add
+// primary inputs with Input, gates with AddGate, observed outputs with
+// MarkOutput, and explicit loads with SetLoad.
+func NewCircuit(name string, tech *Tech) *Circuit { return circuit.New(name, tech) }
+
+// Stimulus describes one input-vector transition: inputs hold Old
+// until TEdge then ramp to New over TRise.
+type Stimulus = circuit.Stimulus
+
+// InverterTree builds the paper's Fig. 4 clock-distribution tree; the
+// paper instance is InverterTree(&tech, 3, 3, 50e-15).
+func InverterTree(tech *Tech, levels, branch int, load float64) *Circuit {
+	return circuits.InverterTree(tech, levels, branch, load)
+}
+
+// InverterChain builds a linear inverter chain for calibration.
+func InverterChain(tech *Tech, n int, load float64) *Circuit {
+	return circuits.InverterChain(tech, n, load)
+}
+
+// Adder is a generated mirror ripple-carry adder with operand helpers.
+type Adder = circuits.Adder
+
+// RippleCarryAdder builds the paper's Fig. 12 N-bit mirror adder
+// (28 transistors per bit).
+func RippleCarryAdder(tech *Tech, bits int, load float64) *Adder {
+	return circuits.RippleCarryAdder(tech, bits, load)
+}
+
+// Multiplier is a generated carry-save array multiplier with operand
+// helpers; ProductNets names the product-bit nets in weight order.
+type Multiplier = circuits.Multiplier
+
+// CarrySaveMultiplier builds the paper's Fig. 6 NxN carry-save array
+// multiplier (the paper's instance is 8x8).
+func CarrySaveMultiplier(tech *Tech, n int, load float64) *Multiplier {
+	return circuits.CarrySaveMultiplier(tech, n, load)
+}
+
+// --- Switch-level simulation (the paper's tool) ---
+
+// SwitchOptions configures the variable-breakpoint switch-level
+// simulator.
+type SwitchOptions = core.Options
+
+// SwitchResult reports waveforms, Vdd/2 crossing times, virtual-ground
+// bounce and sleep-device current for one simulated transition.
+type SwitchResult = core.Result
+
+// Simulate runs the paper's variable-breakpoint switch-level simulator
+// on one input-vector transition. With SleepWL == 0 the circuit is
+// simulated as plain CMOS — the baseline for "% degradation due to
+// MTCMOS".
+func Simulate(c *Circuit, stim Stimulus, opts SwitchOptions) (*SwitchResult, error) {
+	return core.Simulate(c, stim, opts)
+}
+
+// --- Reference transient engine ---
+
+// SpiceOptions configures the SPICE-class reference engine.
+type SpiceOptions = spice.RunOptions
+
+// SpiceResult holds reference-engine traces and delay measurements.
+type SpiceResult = spice.RunResult
+
+// SimulateSpice expands the circuit to a flat transistor netlist and
+// runs the reference transient engine on it.
+func SimulateSpice(c *Circuit, stim Stimulus, opts SpiceOptions) (*SpiceResult, error) {
+	return spice.Run(c, stim, opts)
+}
+
+// StandbyResult reports the reference-engine sleep-mode analysis:
+// where the virtual ground floats and the standby-vs-active leakage.
+type StandbyResult = spice.StandbyResult
+
+// Standby computes an MTCMOS circuit's sleep-mode operating point with
+// the reference engine's full-Newton DC solver: the virtual-ground
+// float voltage and the leakage reduction the sleep device buys.
+func Standby(c *Circuit, inputs map[string]bool) (*StandbyResult, error) {
+	return spice.Standby(c, inputs)
+}
+
+// Netlist is a parsed SPICE-dialect deck; see ParseNetlist.
+type Netlist = netlist.Netlist
+
+// ParseNetlist reads a deck in the toolkit's SPICE dialect (M/C/R/V
+// cards, .subckt/.ends; see package documentation in
+// internal/netlist).
+func ParseNetlist(r io.Reader) (*Netlist, error) { return netlist.Parse(r) }
+
+// SimulateNetlist runs the reference engine directly on a parsed deck.
+func SimulateNetlist(nl *Netlist, tech *Tech, opts spice.Options) (*spice.Result, error) {
+	flat, err := nl.Flatten()
+	if err != nil {
+		return nil, err
+	}
+	return spice.Simulate(flat, tech, opts)
+}
+
+// EngineOptions configures a raw netlist transient (no circuit-level
+// conveniences).
+type EngineOptions = spice.Options
+
+// --- Sizing ---
+
+// Transition is an input-vector pair evaluated during sizing.
+type Transition = sizing.Transition
+
+// SizingConfig carries common sizing inputs (observed outputs, edge
+// shape, simulator options).
+type SizingConfig = sizing.Config
+
+// SizingResult reports the outcome of SizeForDelayTarget.
+type SizingResult = sizing.DelayTargetResult
+
+// PeakSizing reports the outcome of SizeForPeakCurrent.
+type PeakSizing = sizing.PeakCurrentResult
+
+// SumOfWidths returns the naive sum-of-internal-widths sleep size the
+// paper calls "unnecessarily large" (in W/L units).
+func SumOfWidths(c *Circuit) float64 { return sizing.SumOfWidths(c) }
+
+// Degradation returns the fractional slowdown at sleep size wl vs the
+// plain-CMOS baseline over the worst of the transitions.
+func Degradation(c *Circuit, cfg SizingConfig, trs []Transition, wl float64) (float64, error) {
+	return sizing.Degradation(c, cfg, trs, wl)
+}
+
+// SizeForDelayTarget finds the smallest sleep W/L whose worst-case
+// degradation stays within target (e.g. 0.05 for the paper's 5%).
+func SizeForDelayTarget(c *Circuit, cfg SizingConfig, trs []Transition, target, hi float64) (*SizingResult, error) {
+	return sizing.DelayTarget(c, cfg, trs, target, hi)
+}
+
+// SizeForPeakCurrent applies the conservative peak-current method of
+// paper section 4: hold the worst instantaneous discharge current to
+// maxBounce volts across the sleep device.
+func SizeForPeakCurrent(c *Circuit, cfg SizingConfig, trs []Transition, maxBounce float64) (*PeakSizing, error) {
+	return sizing.PeakCurrent(c, cfg, trs, maxBounce)
+}
+
+// --- Hierarchical sizing (DAC'98 follow-up extension) ---
+
+// HierarchyConfig controls mutual-exclusion analysis: the block
+// partition, bounce budget and edge shape.
+type HierarchyConfig = hierarchy.Config
+
+// HierarchyPlan is the hierarchical sizing outcome: groups of
+// mutually-exclusive blocks, per-group sleep sizes, and the comparison
+// against single-device and per-block sizing.
+type HierarchyPlan = hierarchy.Plan
+
+// HierarchyTransition is an input-vector pair analyzed for discharge
+// overlap.
+type HierarchyTransition = hierarchy.Transition
+
+// PartitionByLevel groups gates by topological depth into nLevels
+// blocks.
+func PartitionByLevel(c *Circuit, nLevels int) ([][]int, error) {
+	return hierarchy.PartitionByLevel(c, nLevels)
+}
+
+// PartitionByPrefix groups gates by a name prefix extracted with fn.
+func PartitionByPrefix(c *Circuit, fn func(gateName string) string) [][]int {
+	return hierarchy.PartitionByPrefix(c, fn)
+}
+
+// AnalyzeHierarchy measures per-block discharge windows with the
+// switch-level simulator, merges blocks with mutually exclusive
+// discharge patterns, and sizes each group's sleep device.
+func AnalyzeHierarchy(c *Circuit, cfg HierarchyConfig, trs []HierarchyTransition) (*HierarchyPlan, error) {
+	return hierarchy.Analyze(c, cfg, trs)
+}
+
+// ApplyHierarchy configures the circuit's sleep domains per the plan.
+func ApplyHierarchy(c *Circuit, cfg HierarchyConfig, plan *HierarchyPlan) error {
+	return hierarchy.Apply(c, cfg, plan)
+}
+
+// SleepDomain is one virtual-ground rail of a multi-domain circuit.
+type SleepDomain = circuit.Domain
+
+// --- Power ---
+
+// PowerSummary aggregates switching, leakage and sleep-overhead
+// figures for a circuit.
+type PowerSummary = power.Summary
+
+// AnalyzePower computes the power summary of a circuit (sleep-mode
+// figures require SleepWL > 0).
+func AnalyzePower(c *Circuit) (*PowerSummary, error) { return power.Analyze(c) }
+
+// SwitchingPower returns the classic a*C*Vdd^2*f dynamic power (paper
+// Eq. 1).
+func SwitchingPower(activity, totalCap, vdd, fclk float64) float64 {
+	return power.Switching(activity, totalCap, vdd, fclk)
+}
+
+// --- Vectors ---
+
+// VectorSpace enumerates input-vector transitions for worst-case
+// analysis (exhaustive, sampled, or greedy search).
+type VectorSpace = vectors.Space
+
+// NewVectorSpace builds a transition space over named input bits.
+func NewVectorSpace(names ...string) (*VectorSpace, error) { return vectors.NewSpace(names...) }
+
+// BitNames generates indexed input names prefix0..prefix<n-1>.
+func BitNames(prefix string, n int) []string { return vectors.BitNames(prefix, n) }
+
+// --- Experiments ---
+
+// ExperimentConfig tunes experiment cost (fast mode, circuit sizes,
+// reference-engine vector budgets).
+type ExperimentConfig = experiments.Config
+
+// ExperimentOutput holds an experiment's tables, series and notes.
+type ExperimentOutput = experiments.Output
+
+// Experiment couples an experiment ID to its runner and the paper
+// artifact it regenerates.
+type Experiment = experiments.Experiment
+
+// Experiments lists every paper figure/table reproduction in paper
+// order.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// RunExperiment runs one experiment by ID ("fig5", "table1", ...).
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentOutput, error) {
+	e, err := experiments.Find(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(cfg)
+}
+
+// --- Reporting and waveforms ---
+
+// Table is an aligned-ASCII/CSV table.
+type Table = report.Table
+
+// Series is a shared-X numeric dataset with table and ASCII-plot
+// rendering.
+type Series = report.Series
+
+// PWL is a piecewise-linear waveform (switch-level outputs).
+type PWL = wave.PWL
+
+// Trace is a sampled waveform (reference-engine outputs).
+type Trace = wave.Trace

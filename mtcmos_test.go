@@ -1,0 +1,193 @@
+package mtcmos_test
+
+import (
+	"strings"
+	"testing"
+
+	"mtcmos"
+)
+
+// TestFacadeQuickstart exercises the package-documentation quick start
+// end to end through the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	tech := mtcmos.Tech07()
+	tree := mtcmos.InverterTree(&tech, 3, 3, 50e-15)
+	tree.SleepWL = 8
+	res, err := mtcmos.Simulate(tree, mtcmos.Stimulus{
+		Old:   map[string]bool{"in": false},
+		New:   map[string]bool{"in": true},
+		TEdge: 1e-9, TRise: 50e-12,
+	}, mtcmos.SwitchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := res.Delay("s3_0")
+	if !ok || d <= 0 {
+		t.Fatalf("delay = %g, %v", d, ok)
+	}
+	if res.PeakVx <= 0 {
+		t.Error("no bounce reported")
+	}
+}
+
+func TestFacadeBuildAndSize(t *testing.T) {
+	tech := mtcmos.Tech07()
+	c := mtcmos.NewCircuit("demo", &tech)
+	c.Input("a")
+	c.Input("b")
+	if _, err := c.AddGate(mtcmos.Nand2, "g1", "n1", 1, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate(mtcmos.Inv, "g2", "y", 1, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkOutput("y")
+	c.SetLoad("y", 30e-15)
+	trs := []mtcmos.Transition{{
+		Old:   map[string]bool{"a": false, "b": true},
+		New:   map[string]bool{"a": true, "b": true},
+		Label: "a rise",
+	}}
+	sz, err := mtcmos.SizeForDelayTarget(c, mtcmos.SizingConfig{}, trs, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.WL <= 0 {
+		t.Fatalf("bad sizing %+v", sz)
+	}
+	if mtcmos.SumOfWidths(c) <= 0 {
+		t.Error("sum of widths must be positive")
+	}
+}
+
+func TestFacadeSpiceEngineAgreesOnLogic(t *testing.T) {
+	tech := mtcmos.Tech07()
+	c := mtcmos.InverterChain(&tech, 2, 20e-15)
+	c.SleepWL = 10
+	stim := mtcmos.Stimulus{
+		Old:   map[string]bool{"in": false},
+		New:   map[string]bool{"in": true},
+		TEdge: 0.5e-9, TRise: 50e-12,
+	}
+	res, err := mtcmos.SimulateSpice(c, stim, mtcmos.SpiceOptions{
+		Options: mtcmos.EngineOptions{TStop: 5e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.OutTrace("out").Final(); v < tech.Vdd-0.1 {
+		t.Errorf("chain output must settle high, got %g", v)
+	}
+}
+
+func TestFacadeNetlistRoundTrip(t *testing.T) {
+	deck := "demo\nR1 a 0 1k\nC1 a 0 1p\nV1 a 0 DC 1\n"
+	nl, err := mtcmos.ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := mtcmos.Tech07()
+	res, err := mtcmos.SimulateNetlist(nl, &tech, mtcmos.EngineOptions{TStop: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Trace("a").Final(); v < 0.99 {
+		t.Errorf("sourced node = %g", v)
+	}
+}
+
+func TestFacadePowerAndVectors(t *testing.T) {
+	tech := mtcmos.Tech07()
+	ad := mtcmos.RippleCarryAdder(&tech, 3, 20e-15)
+	ad.SleepWL = 10
+	ps, err := mtcmos.AnalyzePower(ad.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.LeakageReduction < 100 {
+		t.Errorf("leakage reduction = %g", ps.LeakageReduction)
+	}
+	if mtcmos.SwitchingPower(0.5, 1e-12, 1.2, 1e8) <= 0 {
+		t.Error("switching power formula broken")
+	}
+	sp, err := mtcmos.NewVectorSpace(mtcmos.BitNames("a", 3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.PairCount() != 64 {
+		t.Errorf("pair count = %d", sp.PairCount())
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	exps := mtcmos.Experiments()
+	if len(exps) != 17 {
+		t.Fatalf("registry size = %d, want 17", len(exps))
+	}
+	out, err := mtcmos.RunExperiment("widths", mtcmos.ExperimentConfig{Fast: true, MultiplierBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) == 0 {
+		t.Error("widths produced no table")
+	}
+	if _, err := mtcmos.RunExperiment("nosuch", mtcmos.ExperimentConfig{}); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestFacadeHierarchyAndStandby(t *testing.T) {
+	tech := mtcmos.Tech07()
+	chain := mtcmos.InverterChain(&tech, 6, 20e-15)
+	blocks, err := mtcmos.PartitionByLevel(chain, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mtcmos.HierarchyConfig{Blocks: blocks, MaxBounce: 0.05}
+	trs := []mtcmos.HierarchyTransition{
+		{Old: map[string]bool{"in": false}, New: map[string]bool{"in": true}},
+	}
+	plan, err := mtcmos.AnalyzeHierarchy(chain, cfg, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalWL <= 0 || len(plan.Groups) == 0 {
+		t.Fatalf("bad plan %+v", plan)
+	}
+	if err := mtcmos.ApplyHierarchy(chain, cfg, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	ad := mtcmos.RippleCarryAdder(&tech, 2, 20e-15)
+	ad.SleepWL = 20
+	sb, err := mtcmos.Standby(ad.Circuit, ad.Inputs(1, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Reduction < 100 {
+		t.Errorf("standby reduction = %g", sb.Reduction)
+	}
+}
+
+func TestFacadeAccuracyOptions(t *testing.T) {
+	tech := mtcmos.Tech07()
+	tree := mtcmos.InverterTree(&tech, 3, 3, 50e-15)
+	tree.SleepWL = 8
+	stim := mtcmos.Stimulus{
+		Old: map[string]bool{"in": false}, New: map[string]bool{"in": true},
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	plain, err := mtcmos.Simulate(tree, stim, mtcmos.SwitchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := mtcmos.Simulate(tree, stim, mtcmos.SwitchOptions{InputSlope: true, Triode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, _ := plain.Delay("s3_0")
+	dr, _ := refined.Delay("s3_0")
+	if dr <= dp {
+		t.Errorf("refined model must be slower: %g vs %g", dr, dp)
+	}
+}
