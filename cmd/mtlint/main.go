@@ -1,0 +1,31 @@
+// Command mtlint statically analyzes SPICE-dialect decks before they
+// ever reach a simulation engine: connectivity defects (floating
+// nodes, missing DC paths, duplicate devices), electrical nonsense
+// (zero-width transistors, negative capacitance, off-window
+// geometry), and MTCMOS structural mistakes (gated blocks with no
+// sleep transistor, low-Vt sleep devices). Each finding carries a
+// stable MTxxx code; the exit status is nonzero when any deck has
+// error-severity findings.
+//
+// Usage:
+//
+//	mtlint deck.sp                       # lint one deck, text output
+//	mtlint -severity warn a.sp b.sp      # hide info-level findings
+//	mtlint -json deck.sp                 # machine-readable output
+//	mtlint -tech 0.3 deck.sp             # 0.3um process window
+//	mtlint -rules                        # list every rule
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mtcmos/internal/cli"
+)
+
+func main() {
+	if err := cli.Lint(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mtlint:", err)
+		os.Exit(1)
+	}
+}

@@ -29,6 +29,19 @@ func main() {
 		TEdge: 1e-9, TRise: 50e-12,
 	}
 
+	// 3b. Lint before simulating: the same static analysis mtsim and
+	//     mtsize apply (and cmd/mtlint exposes for raw decks) catches
+	//     floating nodes, missing sleep transistors or bad vectors as
+	//     MTxxx diagnostics instead of cryptic engine failures.
+	diags := append(mtcmos.Lint(nil, tree, &tech), mtcmos.LintVectors(tree, stim.Old, stim.New)...)
+	if mtcmos.LintHasErrors(diags) {
+		for _, d := range diags {
+			fmt.Println("lint:", d)
+		}
+		log.Fatal("circuit failed the pre-simulation lint")
+	}
+	fmt.Printf("lint: clean (%d rules)\n\n", len(mtcmos.LintRules()))
+
 	// 4. Sweep the sleep size with the variable-breakpoint switch-level
 	//    simulator: each run costs microseconds, not SPICE minutes.
 	fmt.Println("sleep W/L    worst delay    virtual-ground bounce")

@@ -1,0 +1,166 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mtcmos"
+	"mtcmos/internal/lint"
+	"mtcmos/internal/netlist"
+)
+
+// Lint implements the mtlint command: run the static analyzer over one
+// or more SPICE-dialect decks and report diagnostics as text or JSON.
+// It returns a non-nil error when any deck has error-severity findings,
+// so the binary exits nonzero.
+func Lint(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mtlint", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		techF  = fs.String("tech", "0.7", "technology for process-window checks: 0.7 | 0.3 | none")
+		sevF   = fs.String("severity", "info", "minimum severity to report: info | warn | error")
+		jsonF  = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+		rulesF = fs.Bool("rules", false, "list every rule (code, severity, description) and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rulesF {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(w, "%s %-5s %s\n", r.Code(), r.Severity(), r.Title())
+		}
+		fmt.Fprintf(w, "%s %-5s %s\n", lint.VectorCode, lint.Error,
+			"stimulus vector mismatched to the circuit's primary inputs (mtsim/library only)")
+		return nil
+	}
+	min, err := lint.ParseSeverity(*sevF)
+	if err != nil {
+		return err
+	}
+	tech, err := lintTech(*techF)
+	if err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("usage: mtlint [-tech 0.7|0.3|none] [-severity info|warn|error] [-json] deck.sp ...")
+	}
+
+	totalErrors := 0
+	reports := make([]lintReport, 0, len(files))
+	for _, path := range files {
+		diags, err := lintDeckFile(path, tech)
+		if err != nil {
+			return err
+		}
+		totalErrors += lint.Count(diags, lint.Error)
+		shown := lint.Filter(diags, min)
+		if shown == nil {
+			shown = []lint.Diagnostic{}
+		}
+		reports = append(reports, lintReport{
+			File:        path,
+			Diagnostics: shown,
+			Errors:      lint.Count(diags, lint.Error),
+			Warnings:    lint.Count(diags, lint.Warn),
+			Infos:       lint.Count(diags, lint.Info),
+		})
+	}
+
+	if *jsonF {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, r := range reports {
+			for _, d := range r.Diagnostics {
+				fmt.Fprintf(w, "%s: %s\n", r.File, d)
+			}
+			fmt.Fprintf(w, "%s: %s\n", r.File, r.summary())
+		}
+	}
+	if totalErrors > 0 {
+		return fmt.Errorf("%d error-severity finding(s)", totalErrors)
+	}
+	return nil
+}
+
+// lintReport is the per-deck result, shared by the text and JSON
+// renderers.
+type lintReport struct {
+	File        string            `json:"file"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	Errors      int               `json:"errors"`
+	Warnings    int               `json:"warnings"`
+	Infos       int               `json:"infos"`
+}
+
+func (r lintReport) summary() string {
+	if r.Errors+r.Warnings+r.Infos == 0 {
+		return "clean"
+	}
+	return fmt.Sprintf("%d error(s), %d warning(s), %d info(s)", r.Errors, r.Warnings, r.Infos)
+}
+
+// lintDeckFile parses and lints one deck. Syntax errors become MT000
+// diagnostics so broken decks report through the same pipeline; only
+// I/O failures are returned as errors.
+func lintDeckFile(path string, tech *mtcmos.Tech) ([]lint.Diagnostic, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	nl, err := netlist.Parse(f)
+	if err != nil {
+		d := lint.Diagnostic{Code: lint.SyntaxCode, Severity: lint.Error, Message: err.Error()}
+		if pe, ok := err.(*netlist.ParseError); ok {
+			d.Message = fmt.Sprintf("line %d: %s", pe.Line, pe.Msg)
+		}
+		return []lint.Diagnostic{d}, nil
+	}
+	return lint.Run(nl, nil, tech), nil
+}
+
+func lintTech(name string) (*mtcmos.Tech, error) {
+	switch name {
+	case "0.7":
+		t := mtcmos.Tech07()
+		return &t, nil
+	case "0.3":
+		t := mtcmos.Tech03()
+		return &t, nil
+	case "none", "":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown tech %q (0.7 | 0.3 | none)", name)
+}
+
+// failOnLintErrors turns error-severity findings into a refusal that
+// names each finding; mtsim and mtsize call it before simulating
+// unless -nolint is passed.
+func failOnLintErrors(diags []lint.Diagnostic, what string) error {
+	errs := lint.Filter(diags, lint.Error)
+	if len(errs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	for _, d := range errs {
+		fmt.Fprintf(&b, "\n  %s", d)
+	}
+	return fmt.Errorf("lint: %s has %d error-severity finding(s) (pass -nolint to simulate anyway):%s",
+		what, len(errs), b.String())
+}
+
+// lintCircuit pre-checks a benchmark circuit and its stimulus vectors.
+func lintCircuit(c *mtcmos.Circuit, old, new map[string]bool) error {
+	diags := lint.Run(nil, c, nil)
+	diags = append(diags, lint.CheckVectors(c, old, new)...)
+	return failOnLintErrors(diags, "circuit "+c.Name)
+}

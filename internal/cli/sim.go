@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"mtcmos"
+	"mtcmos/internal/lint"
 )
 
 // Sim implements the mtsim command: simulate one input-vector
@@ -33,13 +34,14 @@ func Sim(args []string, w io.Writer) error {
 		rev     = fs.Bool("reverse", false, "model reverse conduction (switch-level only)")
 		nobody  = fs.Bool("nobody", false, "disable the body effect (switch-level only)")
 		csvDir  = fs.String("csvout", "", "directory to write traced waveforms as CSV files")
+		nolint  = fs.Bool("nolint", false, "skip the pre-simulation lint pass (mtlint rules)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *netFile != "" {
-		return runNetlist(w, *netFile, *techF, *tstop, *traceS, *plot)
+		return runNetlist(w, *netFile, *techF, *tstop, *traceS, *plot, *nolint)
 	}
 
 	c, stim, outs, err := buildCircuit(*circ, *bits, *oldV, *newV)
@@ -48,6 +50,11 @@ func Sim(args []string, w io.Writer) error {
 	}
 	c.SleepWL = *wl
 	c.VGndCap = *cx
+	if !*nolint {
+		if err := lintCircuit(c, stim.Old, stim.New); err != nil {
+			return err
+		}
+	}
 
 	switch *engine {
 	case "vbs":
@@ -326,7 +333,7 @@ func printSpice(w io.Writer, c *mtcmos.Circuit, res *mtcmos.SpiceResult, outs []
 	}
 }
 
-func runNetlist(w io.Writer, path, techF, tstop, traced string, plot bool) error {
+func runNetlist(w io.Writer, path, techF, tstop, traced string, plot, nolint bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -339,6 +346,11 @@ func runNetlist(w io.Writer, path, techF, tstop, traced string, plot bool) error
 	tech := mtcmos.Tech07()
 	if techF == "0.3" {
 		tech = mtcmos.Tech03()
+	}
+	if !nolint {
+		if err := failOnLintErrors(lint.Run(nl, nil, &tech), "deck "+path); err != nil {
+			return err
+		}
 	}
 	ts := 10e-9
 	if tstop != "" {

@@ -22,6 +22,7 @@ func Size(args []string, w io.Writer) error {
 		nvec   = fs.Int("vectors", 8, "random stressing transitions to evaluate (plus the paper's named vectors)")
 		seed   = fs.Int64("seed", 1, "random vector seed")
 		powerF = fs.Bool("power", true, "print the power/leakage summary at the chosen size")
+		nolint = fs.Bool("nolint", false, "skip the pre-sizing lint pass (mtlint rules)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -30,6 +31,11 @@ func Size(args []string, w io.Writer) error {
 	c, cfg, trs, err := build(*circ, *bits, *nvec, *seed)
 	if err != nil {
 		return err
+	}
+	if !*nolint {
+		if err := lintCircuit(c, nil, nil); err != nil {
+			return err
+		}
 	}
 
 	sw := mtcmos.SumOfWidths(c)

@@ -1,0 +1,9 @@
+broken MTCMOS deck: floating node, zero-width sleep transistor
+Vdd vdd 0 DC 1.2
+Vin in 0 DC 0
+Vslp sleepen 0 DC 1.2
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mn out in vgnd 0 nmos W=1.4u L=0.7u
+Msleep vgnd sleepen 0 0 nmos_hvt W=0 L=0.7u
+Cfloat dangle 0 10f
+.end

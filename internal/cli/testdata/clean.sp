@@ -1,0 +1,12 @@
+clean MTCMOS inverter deck
+.subckt inv in out vdd vgnd
+  Mp out in vdd vdd pmos W=2.8u L=0.7u
+  Mn out in vgnd 0 nmos W=1.4u L=0.7u
+.ends
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.05n 1.2)
+Vslp sleepen 0 DC 1.2
+Xinv1 in out vdd vg inv
+Msleep vg sleepen 0 0 nmos_hvt W=9.8u L=0.7u
+Cl out 0 50f
+.end

@@ -97,6 +97,7 @@ func Registry() []Experiment {
 		{"accuracy", "input-slope and triode model refinements vs the reference engine", Accuracy, "Sec. 5.3"},
 		{"standby", "sleep-mode leakage and sleep-device overhead (reference-engine DC)", StandbyExp, "Sec. 1/2.1"},
 		{"screen", "vector-space narrowing: static screens vs the switch-level tool", Screen, "Sec. 5/7"},
+		{"lint", "static-analysis audit of the benchmark circuits and their expanded decks", LintAudit, "tooling"},
 	}
 }
 

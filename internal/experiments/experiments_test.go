@@ -257,3 +257,18 @@ func TestWorstVectorSearch(t *testing.T) {
 	t.Logf("worst found: old=%04b/%04b new=%04b/%04b deg=%.1f%%",
 		best.OldV&0xF, best.OldV>>4, best.NewV&0xF, best.NewV>>4, best.Metric*100)
 }
+
+func TestLintAuditClean(t *testing.T) {
+	out, err := LintAudit(fastCfg())
+	if err != nil {
+		t.Fatalf("benchmark circuits must lint clean: %v", err)
+	}
+	if len(out.Tables) != 1 || len(out.Tables[0].Rows) != 3 {
+		t.Fatalf("audit should cover the three benchmark circuits: %+v", out.Tables)
+	}
+	for _, row := range out.Tables[0].Rows {
+		if row[3] != "0" {
+			t.Errorf("circuit %s has %s lint errors", row[0], row[3])
+		}
+	}
+}

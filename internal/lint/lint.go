@@ -1,0 +1,261 @@
+// Package lint is the toolkit's pre-simulation static analyzer. It
+// checks SPICE-dialect decks (flattened netlists) and gate-level
+// circuits against a registry of rules with stable diagnostic codes
+// (MT001, MT002, ...) before either simulation engine sees them, so
+// that a malformed deck surfaces as a precise diagnostic rather than a
+// cryptic convergence failure or a silently wrong delay.
+//
+// The rules span three families:
+//
+//   - connectivity: floating nodes, nodes with no DC path to a supply
+//     rail, duplicate device names, unused subcircuit ports;
+//   - electrical sanity: non-positive device geometry, negative
+//     capacitance or resistance, dimensions outside the process
+//     window, non-monotone PWL sources, source levels beyond the
+//     rails;
+//   - MTCMOS structure: gated virtual-ground rails with no sleep
+//     transistor, rails gated by several sleep devices, sleep devices
+//     using a low-Vt model, sleep sizes beyond the sum-of-widths
+//     bound, stimulus vectors mismatched to the circuit's inputs.
+//
+// Entry points: Run lints a deck and/or circuit with every registered
+// rule; CheckVectors validates one input-vector transition against a
+// circuit. cmd/mtlint exposes the analyzer on the command line, and
+// mtsim/mtsize refuse decks with error-severity findings unless run
+// with -nolint.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/mosfet"
+	"mtcmos/internal/netlist"
+)
+
+// Severity ranks a diagnostic: Info findings are advisory, Warn
+// findings are suspicious but simulable, Error findings make the deck
+// unfit to simulate.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warn
+	Error
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// ParseSeverity maps a severity name ("info", "warn"/"warning",
+// "error") to its value.
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "info":
+		return Info, nil
+	case "warn", "warning":
+		return Warn, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("lint: unknown severity %q (info|warn|error)", s)
+}
+
+// Diagnostic is one finding: a stable code, a severity, the device or
+// node it is about, and a self-contained message.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Subject  string   `json:"subject,omitempty"`
+	Message  string   `json:"message"`
+}
+
+// String renders the diagnostic as "MT001 error: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s %s: %s", d.Code, d.Severity, d.Message)
+}
+
+// SyntaxCode is the pseudo-code used when a deck cannot be parsed or
+// flattened at all; it is not a registered Rule but shares the
+// diagnostic pipeline so tools report syntax and semantic findings
+// uniformly.
+const SyntaxCode = "MT000"
+
+// Target bundles everything one lint pass can look at. Any field may
+// be nil; each rule checks only the representations it understands.
+type Target struct {
+	Netlist *netlist.Netlist // hierarchical deck (subckt-level rules)
+	Flat    *netlist.Flat    // flattened deck (device/node-level rules)
+	Circuit *circuit.Circuit // gate-level circuit
+	Tech    *mosfet.Tech     // process window and supply rails
+}
+
+// Rule is one registered lint check.
+type Rule interface {
+	// Code returns the stable diagnostic code ("MT001").
+	Code() string
+	// Severity returns the default severity of the rule's findings.
+	Severity() Severity
+	// Title is the one-line description printed by mtlint -rules and
+	// the documentation table.
+	Title() string
+	// Check inspects the target and returns its findings.
+	Check(t *Target) []Diagnostic
+}
+
+// rule implements Rule over an emit-style check function.
+type rule struct {
+	code  string
+	sev   Severity
+	title string
+	check func(t *Target, emit *sink)
+}
+
+func (r *rule) Code() string       { return r.code }
+func (r *rule) Severity() Severity { return r.sev }
+func (r *rule) Title() string      { return r.title }
+
+func (r *rule) Check(t *Target) []Diagnostic {
+	s := &sink{rule: r}
+	r.check(t, s)
+	return s.out
+}
+
+// sink collects findings for one rule, stamping the rule's code and
+// default severity.
+type sink struct {
+	rule *rule
+	out  []Diagnostic
+}
+
+func (s *sink) emit(subject, format string, args ...any) {
+	s.at(s.rule.sev, subject, format, args...)
+}
+
+func (s *sink) at(sev Severity, subject, format string, args ...any) {
+	s.out = append(s.out, Diagnostic{
+		Code:     s.rule.code,
+		Severity: sev,
+		Subject:  subject,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Rules returns the rule registry in code order.
+func Rules() []Rule {
+	all := make([]Rule, 0, len(registry))
+	for _, r := range registry {
+		all = append(all, r)
+	}
+	return all
+}
+
+var registry = []*rule{
+	ruleFloatingNode,
+	ruleNoDCPath,
+	ruleDuplicateName,
+	ruleUnusedPort,
+	ruleUninstantiated,
+	ruleShortedChannel,
+	ruleNonPositiveGeometry,
+	ruleBadPassive,
+	ruleProcessWindow,
+	ruleNonMonotonePWL,
+	ruleSourceLevel,
+	ruleMissingSleep,
+	ruleMultiSleep,
+	ruleLowVtSleep,
+	ruleCombinationalCycle,
+	ruleOversizedSleep,
+}
+
+// Run lints a deck and/or a gate-level circuit against every
+// registered rule and returns the findings sorted by severity (errors
+// first), then code, then subject. Any argument may be nil; tech
+// enables the process-window and rail-level checks (for a non-nil
+// circuit its own Tech wins).
+func Run(nl *netlist.Netlist, c *circuit.Circuit, tech *mosfet.Tech) []Diagnostic {
+	t := &Target{Netlist: nl, Circuit: c, Tech: tech}
+	if c != nil && c.Tech != nil {
+		t.Tech = c.Tech
+	}
+	var diags []Diagnostic
+	if nl != nil {
+		flat, err := nl.Flatten()
+		if err != nil {
+			// A deck that cannot be flattened is reported as a single
+			// structural finding; device-level rules still run on
+			// whatever else the target holds.
+			diags = append(diags, Diagnostic{
+				Code:     SyntaxCode,
+				Severity: Error,
+				Message:  err.Error(),
+			})
+		}
+		t.Flat = flat
+	}
+	for _, r := range registry {
+		diags = append(diags, r.Check(t)...)
+	}
+	Sort(diags)
+	return diags
+}
+
+// Sort orders diagnostics for stable output: errors first, then by
+// code, subject and message.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Count tallies findings at exactly the given severity.
+func Count(diags []Diagnostic, sev Severity) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Filter keeps findings at or above the given severity.
+func Filter(diags []Diagnostic, min Severity) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity >= min {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasErrors reports whether any finding is error-severity.
+func HasErrors(diags []Diagnostic) bool { return Count(diags, Error) > 0 }

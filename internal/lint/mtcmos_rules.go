@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/netlist"
+)
+
+// --- MTCMOS structure rules ---
+//
+// These rules reason about virtual-ground rails: the nodes between a
+// gated block's NMOS pulldown network and the real ground that an ON
+// high-Vt sleep transistor is supposed to bridge. A rail is recognized
+// either by name (the dialect's convention: "vgnd", "vgnd1", "vg", as
+// emitted by Circuit.Netlist and used throughout the docs) or by
+// structure (any node a high-Vt NMOS channel ties to ground).
+
+var ruleMissingSleep = &rule{
+	code:  "MT012",
+	sev:   Error,
+	title: "gated block with no sleep transistor on its virtual-ground rail",
+	check: func(t *Target, s *sink) {
+		if t.Flat != nil {
+			for _, rail := range sleepRails(t.Flat) {
+				devs := railBridges(t.Flat, rail)
+				if len(devs.sleep) == 0 && len(devs.lowVt) == 0 {
+					s.emit(rail, "virtual-ground rail %q has no sleep transistor to ground", rail)
+				}
+			}
+		}
+		if c := t.Circuit; c != nil {
+			for di, d := range c.Domains() {
+				if d.SleepWL <= 0 && d.VGndCap > 0 {
+					s.at(Warn, d.Name, "sleep domain %d configures a virtual-ground capacitance %.4g F but no sleep transistor (rail is tied to real ground)", di, d.VGndCap)
+				}
+			}
+		}
+	},
+}
+
+var ruleMultiSleep = &rule{
+	code:  "MT013",
+	sev:   Warn,
+	title: "virtual-ground rail gated by multiple sleep transistors",
+	check: func(t *Target, s *sink) {
+		if t.Flat == nil {
+			return
+		}
+		for _, rail := range sleepRails(t.Flat) {
+			devs := railBridges(t.Flat, rail)
+			if len(devs.sleep) > 1 {
+				s.emit(rail, "virtual-ground rail %q is gated by %d sleep transistors (%s): sizes add, which defeats per-rail sizing",
+					rail, len(devs.sleep), strings.Join(devs.sleep, ", "))
+			}
+		}
+	},
+}
+
+var ruleLowVtSleep = &rule{
+	code:  "MT014",
+	sev:   Error,
+	title: "sleep transistor uses a low-Vt (or PMOS) model",
+	check: func(t *Target, s *sink) {
+		if t.Flat == nil {
+			return
+		}
+		for _, rail := range sleepRails(t.Flat) {
+			devs := railBridges(t.Flat, rail)
+			if len(devs.sleep) == 0 {
+				for _, name := range devs.lowVt {
+					s.emit(name, "device %s gates virtual-ground rail %q with a low-Vt model: standby leakage is not cut off", name, rail)
+				}
+			}
+			for _, name := range devs.wrongPol {
+				s.emit(name, "device %s gates ground-side rail %q with a PMOS model", name, rail)
+			}
+		}
+	},
+}
+
+var ruleCombinationalCycle = &rule{
+	code:  "MT015",
+	sev:   Error,
+	title: "combinational cycle in the gate graph",
+	check: func(t *Target, s *sink) {
+		if t.Circuit == nil {
+			return
+		}
+		if _, err := t.Circuit.Topo(); err != nil {
+			s.emit(t.Circuit.Name, "%v", err)
+		}
+	},
+}
+
+var ruleOversizedSleep = &rule{
+	code:  "MT016",
+	sev:   Info,
+	title: "sleep W/L exceeds the sum-of-widths bound (wasted area)",
+	check: func(t *Target, s *sink) {
+		c := t.Circuit
+		if c == nil {
+			return
+		}
+		for di, d := range c.Domains() {
+			if d.SleepWL <= 0 {
+				continue
+			}
+			sum := c.SumNMOSWidthWLDomain(di)
+			if sum > 0 && d.SleepWL > sum {
+				s.emit(d.Name, "sleep domain %d W/L %.4g exceeds its sum-of-widths bound %.4g: the paper's worst case needs no more", di, d.SleepWL, sum)
+			}
+		}
+	},
+}
+
+// VectorCode is the diagnostic code CheckVectors reports under.
+const VectorCode = "MT017"
+
+// CheckVectors validates one input-vector transition against a
+// circuit's primary inputs: driving a non-input net is an error,
+// leaving a primary input unspecified in both vectors is advisory
+// (the simulators default it to logic low).
+func CheckVectors(c *circuit.Circuit, old, new map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	if c == nil {
+		return nil
+	}
+	inputs := map[string]bool{}
+	for _, in := range c.Inputs {
+		inputs[in.Name] = true
+	}
+	var stray []string
+	seen := map[string]bool{}
+	for _, vec := range []map[string]bool{old, new} {
+		for name := range vec {
+			seen[name] = true
+			if !inputs[name] && !seen["!"+name] {
+				seen["!"+name] = true
+				stray = append(stray, name)
+			}
+		}
+	}
+	sort.Strings(stray)
+	for _, name := range stray {
+		diags = append(diags, Diagnostic{
+			Code:     VectorCode,
+			Severity: Error,
+			Subject:  name,
+			Message:  "stimulus drives " + quoted(name) + " which is not a primary input of circuit " + quoted(c.Name),
+		})
+	}
+	for _, in := range c.Inputs {
+		if !seen[in.Name] {
+			diags = append(diags, Diagnostic{
+				Code:     VectorCode,
+				Severity: Info,
+				Subject:  in.Name,
+				Message:  "primary input " + quoted(in.Name) + " is unspecified in both vectors and defaults to logic low",
+			})
+		}
+	}
+	Sort(diags)
+	return diags
+}
+
+func quoted(s string) string { return `"` + s + `"` }
+
+// --- rail discovery ---
+
+// railDevs partitions the devices whose channel bridges one rail to
+// ground by their plausibility as a sleep transistor.
+type railDevs struct {
+	sleep    []string // high-Vt NMOS: proper sleep devices
+	lowVt    []string // NMOS without a high-Vt model
+	wrongPol []string // PMOS models bridging a ground-side rail
+}
+
+// sleepRails returns the sorted set of virtual-ground rail candidates:
+// nodes named like a virtual-ground rail plus nodes a high-Vt NMOS
+// ties to ground.
+func sleepRails(f *netlist.Flat) []string {
+	set := map[string]bool{}
+	for _, n := range f.Nodes() {
+		if n != netlist.Ground && isVgndName(n) {
+			set[n] = true
+		}
+	}
+	for _, m := range f.MOS {
+		if !isHighVt(m.Model) || !isNMOSModel(m.Model) {
+			continue
+		}
+		if other, ok := bridgesGround(m); ok {
+			set[other] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func railBridges(f *netlist.Flat, rail string) railDevs {
+	var devs railDevs
+	for _, m := range f.MOS {
+		other, ok := bridgesGround(m)
+		if !ok || other != rail {
+			continue
+		}
+		switch {
+		case !isNMOSModel(m.Model):
+			devs.wrongPol = append(devs.wrongPol, m.Name)
+		case isHighVt(m.Model):
+			devs.sleep = append(devs.sleep, m.Name)
+		default:
+			devs.lowVt = append(devs.lowVt, m.Name)
+		}
+	}
+	return devs
+}
+
+// bridgesGround reports whether the device's channel connects ground to
+// some other node, and returns that node.
+func bridgesGround(m netlist.MOS) (string, bool) {
+	switch {
+	case m.S == netlist.Ground && m.D != netlist.Ground:
+		return m.D, true
+	case m.D == netlist.Ground && m.S != netlist.Ground:
+		return m.S, true
+	}
+	return "", false
+}
+
+// isVgndName recognizes the dialect's virtual-ground naming convention
+// on the node's final hierarchy segment: "vgnd", "vgnd<k>", "vg",
+// "vg<k>".
+func isVgndName(node string) bool {
+	seg := node
+	if i := strings.LastIndexByte(seg, '.'); i >= 0 {
+		seg = seg[i+1:]
+	}
+	var rest string
+	switch {
+	case strings.HasPrefix(seg, "vgnd"):
+		rest = seg[len("vgnd"):]
+	case strings.HasPrefix(seg, "vg"):
+		rest = seg[len("vg"):]
+	default:
+		return false
+	}
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isHighVt(model string) bool {
+	model = strings.ToLower(model)
+	return strings.Contains(model, "hvt") || strings.Contains(model, "high")
+}
+
+func isNMOSModel(model string) bool {
+	return strings.HasPrefix(strings.ToLower(model), "n")
+}

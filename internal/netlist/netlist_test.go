@@ -99,27 +99,78 @@ func TestParseValue(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
-	cases := []string{
-		"deck\nMbad a b\n",                               // short mosfet
-		"deck\nM1 a b c d nmos W=1u\n",                   // missing L
-		"deck\nM1 a b c d nmos W=1u L=0\n",               // zero L
-		"deck\nM1 a b c d nmos W=1u L=1u X=3\n",          // unknown param
-		"deck\nC1 a b\n",                                 // short cap
-		"deck\nR1 a b xx\n",                              // bad value
-		"deck\nV1 a b FOO 3\n",                           // bad spec
-		"deck\nV1 a b PWL 0 0\n",                         // missing parens
-		"deck\nX1 a\n",                                   // short instance
-		"deck\n.subckt\n",                                // unnamed subckt
-		"deck\n.subckt s a\nM1 a a a a nmos W=1u L=1u\n", // unterminated
-		"deck\n.ends\n",                                  // stray .ends
-		"deck\n.include foo\n",                           // unsupported directive
-		"deck\nQ1 a b c\n",                               // unknown card
-		"deck\n.subckt s a\n.ends\n.subckt s a\n.ends\n", // duplicate
+	cases := []struct {
+		name string
+		deck string
+		line int // expected ParseError line (0 = any)
+	}{
+		{"short mosfet", "deck\nMbad a b\n", 2},
+		{"unknown param", "deck\nM1 a b c d nmos W=1u L=1u X=3\n", 2},
+		{"short cap", "deck\nC1 a b\n", 2},
+		{"bad value", "deck\nR1 a b xx\n", 2},
+		{"bad value suffix", "deck\nC1 a b 1x2\n", 2},
+		{"bad spec", "deck\nV1 a b FOO 3\n", 2},
+		{"missing parens", "deck\nV1 a b PWL 0 0\n", 2},
+		{"short instance", "deck\nX1 a\n", 2},
+		{"unnamed subckt", "deck\n.subckt\n", 2},
+		{"unterminated subckt", "deck\n.subckt s a\nM1 a a a a nmos W=1u L=1u\n", 3},
+		{"stray .ends", "deck\n.ends\n", 2},
+		{"unsupported directive", "deck\n.include foo\n", 2},
+		{"unknown card", "deck\nQ1 a b c\n", 2},
+		{"duplicate subckt", "deck\n.subckt s a\n.ends\n.subckt s a\n.ends\n", 4},
+		{"continuation of title", "deck\n+ R1 a 0 1k\n", 2},
+		{"continuation of nothing", "+ R1 a 0 1k\n", 1},
+		{"continuation of comment slot", "* only a comment\n+ W=1u\n", 2},
+		{"continuation of blank slot", "\n+ W=1u\n", 2},
 	}
-	for i, c := range cases {
-		if _, err := ParseString(c); err == nil {
-			t.Errorf("case %d should fail to parse:\n%s", i, c)
+	for _, c := range cases {
+		_, err := ParseString(c.deck)
+		if err == nil {
+			t.Errorf("%s: should fail to parse:\n%s", c.name, c.deck)
+			continue
 		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("%s: error %v is not a *ParseError", c.name, err)
+			continue
+		}
+		if c.line != 0 && pe.Line != c.line {
+			t.Errorf("%s: error on line %d, want %d: %v", c.name, pe.Line, c.line, err)
+		}
+	}
+}
+
+func TestParseAcceptsSemanticDefects(t *testing.T) {
+	// Syntactically valid decks with semantic defects (zero width,
+	// missing L) parse fine; internal/lint flags them as MT007.
+	for _, deck := range []string{
+		"deck\nM1 a b c d nmos W=1u L=0\n",
+		"deck\nM1 a b c d nmos W=0 L=1u\n",
+		"deck\nM1 a b c d nmos W=1u\n",
+	} {
+		nl, err := ParseString(deck)
+		if err != nil {
+			t.Errorf("deck should parse:\n%s\n%v", deck, err)
+			continue
+		}
+		if len(nl.Top.MOS) != 1 {
+			t.Errorf("mosfet card lost:\n%s", deck)
+		}
+	}
+}
+
+func TestContinuedFirstCardIsNotTitle(t *testing.T) {
+	// A deck whose first line is a card completed by a continuation
+	// still treats line 1 as a card, not a title.
+	nl, err := ParseString("V1 a 0 DC\n+ 1.0\nC1 a 0 1p\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Title != "" {
+		t.Errorf("title should be empty, got %q", nl.Title)
+	}
+	if len(nl.Top.Vs) != 1 || nl.Top.Vs[0].DC != 1.0 {
+		t.Errorf("folded first card parsed wrong: %+v", nl.Top.Vs)
 	}
 }
 

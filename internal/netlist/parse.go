@@ -29,8 +29,9 @@ func Parse(r io.Reader) (*Netlist, error) {
 
 	// Read raw lines, fold continuations, drop comments.
 	type srcLine struct {
-		num  int
-		text string
+		num      int
+		text     string
+		contLine int // line number of the first '+' folded in (0 = none)
 	}
 	var lines []srcLine
 	num := 0
@@ -44,7 +45,7 @@ func Parse(r io.Reader) (*Netlist, error) {
 		if trimmed == "" || strings.HasPrefix(trimmed, "*") {
 			// Keep blank entry for the title slot on line 1.
 			if num == 1 {
-				lines = append(lines, srcLine{num, ""})
+				lines = append(lines, srcLine{num: num, text: ""})
 			}
 			continue
 		}
@@ -52,10 +53,17 @@ func Parse(r io.Reader) (*Netlist, error) {
 			if len(lines) == 0 {
 				return nil, &ParseError{num, "continuation with nothing to continue"}
 			}
-			lines[len(lines)-1].text += " " + strings.TrimSpace(trimmed[1:])
+			last := &lines[len(lines)-1]
+			if last.text == "" {
+				return nil, &ParseError{num, "continuation line before any card (continues a comment or blank line)"}
+			}
+			if last.contLine == 0 {
+				last.contLine = num
+			}
+			last.text += " " + strings.TrimSpace(trimmed[1:])
 			continue
 		}
-		lines = append(lines, srcLine{num, trimmed})
+		lines = append(lines, srcLine{num: num, text: trimmed})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("netlist: read: %w", err)
@@ -64,6 +72,9 @@ func Parse(r io.Reader) (*Netlist, error) {
 	nl := New("")
 	start := 0
 	if len(lines) > 0 && !looksLikeCard(lines[0].text) {
+		if lines[0].contLine != 0 {
+			return nil, &ParseError{lines[0].contLine, "continuation line before any card (continues the title line)"}
+		}
 		nl.Title = lines[0].text
 		start = 1
 	}
@@ -164,8 +175,11 @@ func looksLikeCard(line string) bool {
 	head := strings.ToLower(f[0])
 	switch head[0] {
 	case 'm':
-		_, err := parseMOS(f)
-		return err == nil
+		// Strict for title detection: a real MOSFET card carries
+		// positive dimensions; a prose title that happens to start
+		// with 'm' almost never does.
+		m, err := parseMOS(f)
+		return err == nil && m.W > 0 && m.L > 0
 	case 'v':
 		_, err := parseVsrc(line, f)
 		return err == nil
@@ -217,9 +231,9 @@ func parseMOS(fields []string) (MOS, error) {
 			return MOS{}, fmt.Errorf("unsupported mosfet parameter %q", key)
 		}
 	}
-	if m.W <= 0 || m.L <= 0 {
-		return MOS{}, fmt.Errorf("mosfet %s needs positive W and L", m.Name)
-	}
+	// Non-positive or missing W/L parses fine: it is a semantic
+	// defect, diagnosed as MT007 by internal/lint and rejected by the
+	// engines, not a syntax error.
 	return m, nil
 }
 

@@ -46,6 +46,7 @@ import (
 	"mtcmos/internal/core"
 	"mtcmos/internal/experiments"
 	"mtcmos/internal/hierarchy"
+	"mtcmos/internal/lint"
 	"mtcmos/internal/mosfet"
 	"mtcmos/internal/netlist"
 	"mtcmos/internal/power"
@@ -214,6 +215,52 @@ func SimulateNetlist(nl *Netlist, tech *Tech, opts spice.Options) (*spice.Result
 // EngineOptions configures a raw netlist transient (no circuit-level
 // conveniences).
 type EngineOptions = spice.Options
+
+// --- Static analysis (linting) ---
+
+// Diagnostic is one static-analysis finding: a stable MTxxx code, a
+// severity, the device or node it concerns, and a message.
+type Diagnostic = lint.Diagnostic
+
+// LintSeverity ranks a diagnostic; see LintInfo, LintWarn, LintError.
+type LintSeverity = lint.Severity
+
+// Diagnostic severities, ordered: error findings make a deck unfit to
+// simulate, warn findings are suspicious but simulable, info findings
+// are advisory.
+const (
+	LintInfo  = lint.Info
+	LintWarn  = lint.Warn
+	LintError = lint.Error
+)
+
+// LintRule is one registered static-analysis check; see LintRules.
+type LintRule = lint.Rule
+
+// LintRules returns the rule registry (code, severity, description) in
+// code order.
+func LintRules() []LintRule { return lint.Rules() }
+
+// Lint statically analyzes a deck and/or a gate-level circuit before
+// simulation: connectivity (floating nodes, missing DC paths,
+// duplicate devices), electrical sanity (non-positive geometry,
+// off-window dimensions, non-monotone PWL sources) and MTCMOS
+// structure (gated rails with no sleep transistor, low-Vt sleep
+// devices). Either of nl and c may be nil; tech enables the
+// process-window checks. Findings come back sorted errors-first; see
+// cmd/mtlint for the command-line front end.
+func Lint(nl *Netlist, c *Circuit, tech *Tech) []Diagnostic {
+	return lint.Run(nl, c, tech)
+}
+
+// LintVectors validates one input-vector transition against a
+// circuit's primary inputs (the MT017 rule).
+func LintVectors(c *Circuit, old, new map[string]bool) []Diagnostic {
+	return lint.CheckVectors(c, old, new)
+}
+
+// LintHasErrors reports whether any finding is error-severity.
+func LintHasErrors(diags []Diagnostic) bool { return lint.HasErrors(diags) }
 
 // --- Sizing ---
 

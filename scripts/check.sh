@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, vet, build, race-enabled tests.
+# Run from anywhere; exits nonzero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "all checks passed"
