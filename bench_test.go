@@ -224,3 +224,59 @@ func BenchmarkStandbyDC(b *testing.B) {
 func BenchmarkVectorScreening(b *testing.B) {
 	runExp(b, "screen", mtcmos.ExperimentConfig{})
 }
+
+// --- Static circuit analysis micro-benchmarks ---
+
+// BenchmarkCCCPartition times the full graph analysis (rail
+// classification, union-find partition, DC-path enumeration) over the
+// expanded 8x8-multiplier deck — the baseline for later
+// graph-algorithm work.
+func BenchmarkCCCPartition(b *testing.B) {
+	tech := mtcmos.Tech03()
+	m := mtcmos.CarrySaveMultiplier(&tech, 8, 15e-15)
+	m.SleepWL = 170
+	stim := mtcmos.Stimulus{
+		Old:   m.Inputs(0, 0),
+		New:   m.Inputs(0xFF, 0x81),
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	nl, err := m.Circuit.Netlist(stim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := mtcmos.AnalyzeGraph(nl, mtcmos.GraphConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Stats().Components == 0 {
+			b.Fatal("partition found no components")
+		}
+	}
+}
+
+// BenchmarkLevelization times the gate-IR levelization and static
+// level bound on the 8x8 multiplier.
+func BenchmarkLevelization(b *testing.B) {
+	tech := mtcmos.Tech03()
+	m := mtcmos.CarrySaveMultiplier(&tech, 8, 15e-15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bound, err := mtcmos.StaticLevelBound(m.Circuit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bound <= 0 {
+			b.Fatal("no bound")
+		}
+	}
+}
+
+// BenchmarkSCAExperiment times the sca experiment end to end (4x4
+// multiplier scale).
+func BenchmarkSCAExperiment(b *testing.B) {
+	runExp(b, "sca", mtcmos.ExperimentConfig{Fast: true, MultiplierBits: 4})
+}

@@ -3,15 +3,22 @@
 // nodes, missing DC paths, duplicate devices), electrical nonsense
 // (zero-width transistors, negative capacitance, off-window
 // geometry), and MTCMOS structural mistakes (gated blocks with no
-// sleep transistor, low-Vt sleep devices). Each finding carries a
-// stable MTxxx code; the exit status is nonzero when any deck has
-// error-severity findings.
+// sleep transistor, low-Vt sleep devices). With -graph it also runs
+// the graph-backed rules over the channel-connected-component
+// partition: statically always-on VDD->GND paths, outputs missing a
+// pull network, and over-deep series stacks / pass-gate chains. Each
+// finding carries a stable MTxxx code; the exit status is nonzero
+// when any deck has error-severity findings (or warnings, under
+// -werror).
 //
 // Usage:
 //
 //	mtlint deck.sp                       # lint one deck, text output
+//	mtlint -graph deck.sp                # add the MT018+ graph rules
 //	mtlint -severity warn a.sp b.sp      # hide info-level findings
-//	mtlint -json deck.sp                 # machine-readable output
+//	mtlint -format json deck.sp          # machine-readable output
+//	mtlint -format sarif deck.sp         # SARIF 2.1.0 for code hosts
+//	mtlint -graph -werror deck.sp        # CI gate: warnings are fatal
 //	mtlint -tech 0.3 deck.sp             # 0.3um process window
 //	mtlint -rules                        # list every rule
 package main

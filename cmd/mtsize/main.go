@@ -1,14 +1,16 @@
 // Command mtsize sizes the sleep transistor of a benchmark MTCMOS
 // circuit with each of the paper's methodologies and prints the
-// comparison: the naive sum-of-widths bound, the conservative
-// peak-current size, and the delay-target size the switch-level
-// simulator makes practical.
+// comparison: the naive sum-of-widths bound, the static level bound
+// (topology only, no simulation), the conservative peak-current size,
+// and the delay-target size the switch-level simulator makes
+// practical. -estimate restricts the run to one estimator.
 //
 // Usage:
 //
 //	mtsize -circuit tree -target 5
 //	mtsize -circuit mult -bits 8 -target 5 -bounce 50m
 //	mtsize -circuit adder -target 10 -vectors 16 -seed 7
+//	mtsize -circuit mult -estimate static-level   # no simulation
 package main
 
 import (

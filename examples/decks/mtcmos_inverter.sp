@@ -1,0 +1,16 @@
+MTCMOS inverter: low-Vt logic over a high-Vt sleep transistor
+* The canonical structure from the paper's Fig. 1: the pulldown of a
+* low-Vt inverter lands on a virtual-ground rail that an ON high-Vt
+* NMOS sleep transistor ties to real ground. Lints clean, including
+* under mtlint -graph.
+.subckt inv in out vdd vgnd
+  Mp out in vdd vdd pmos W=2.8u L=0.7u
+  Mn out in vgnd 0 nmos W=1.4u L=0.7u
+.ends
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.05n 1.2)
+Vslp sleepen 0 DC 1.2
+Xinv1 in out vdd vg inv
+Msleep vg sleepen 0 0 nmos_hvt W=9.8u L=0.7u
+Cl out 0 50f
+.end

@@ -280,17 +280,27 @@ func (c *Circuit) Stats() Stats {
 	return s
 }
 
+// NMOSWidthWL returns the summed W/L of the gate's low-Vt NMOS
+// pulldown transistors at its drive size: this gate's contribution to
+// the sum-of-widths sleep estimate, and the weight the static
+// level-bound analysis (internal/sca) assigns it.
+func (g *Gate) NMOSWidthWL() float64 {
+	total := 0.0
+	for _, dev := range g.Desc().devs {
+		if dev.pol == nmos {
+			total += dev.wl * g.Size
+		}
+	}
+	return total
+}
+
 // SumNMOSWidthWL returns the summed W/L of every low-Vt NMOS pulldown
 // transistor in the circuit: the naive sleep-transistor sizing estimate
 // the paper calls out as "unnecessarily large" (section 2).
 func (c *Circuit) SumNMOSWidthWL() float64 {
 	total := 0.0
 	for _, g := range c.Gates {
-		for _, dev := range g.Desc().devs {
-			if dev.pol == nmos {
-				total += dev.wl * g.Size
-			}
-		}
+		total += g.NMOSWidthWL()
 	}
 	return total
 }
@@ -431,13 +441,8 @@ func (c *Circuit) DomainResistances() ([]float64, error) {
 func (c *Circuit) SumNMOSWidthWLDomain(domain int) float64 {
 	total := 0.0
 	for _, g := range c.Gates {
-		if g.Domain != domain {
-			continue
-		}
-		for _, dev := range g.Desc().devs {
-			if dev.pol == nmos {
-				total += dev.wl * g.Size
-			}
+		if g.Domain == domain {
+			total += g.NMOSWidthWL()
 		}
 	}
 	return total

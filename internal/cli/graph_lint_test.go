@@ -1,0 +1,204 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The seeded sneak path (testdata/sneak.sp) must surface as an MT018
+// error in every output format, but only when -graph is on.
+
+func TestLintGraphSneakText(t *testing.T) {
+	var buf bytes.Buffer
+	err := Lint([]string{"-graph", "testdata/sneak.sp"}, &buf)
+	if err == nil {
+		t.Fatal("sneak deck must make mtlint -graph exit nonzero")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MT018 error") || !strings.Contains(out, "mleak1 -> mleak2") {
+		t.Errorf("missing MT018 sneak-path finding:\n%s", out)
+	}
+	checkGolden(t, "sneak.txt.golden", buf.Bytes())
+}
+
+func TestLintGraphSneakJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lint([]string{"-graph", "-format", "json", "testdata/sneak.sp"}, &buf); err == nil {
+		t.Fatal("sneak deck must exit nonzero in JSON mode too")
+	}
+	var reports []struct {
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+		} `json:"diagnostics"`
+		Errors int `json:"errors"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	found := false
+	for _, d := range reports[0].Diagnostics {
+		if d.Code == "MT018" && d.Severity == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no MT018 error in JSON output:\n%s", buf.String())
+	}
+}
+
+func TestLintGraphSneakSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lint([]string{"-graph", "-format", "sarif", "testdata/sneak.sp"}, &buf); err == nil {
+		t.Fatal("sneak deck must exit nonzero in SARIF mode too")
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "mtlint" {
+		t.Fatalf("bad SARIF envelope:\n%s", buf.String())
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"MT000", "MT001", "MT018", "MT022"} {
+		if !ruleIDs[want] {
+			t.Errorf("driver rule table missing %s", want)
+		}
+	}
+	found := false
+	for _, r := range log.Runs[0].Results {
+		if r.RuleID == "MT018" {
+			found = true
+			if r.Level != "error" {
+				t.Errorf("MT018 level = %q, want error", r.Level)
+			}
+			if len(r.Locations) == 0 || r.Locations[0].PhysicalLocation.ArtifactLocation.URI != "testdata/sneak.sp" {
+				t.Errorf("MT018 location wrong: %+v", r.Locations)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no MT018 result in SARIF output:\n%s", buf.String())
+	}
+	checkGolden(t, "sneak.sarif.golden", buf.Bytes())
+}
+
+func TestLintGraphOffByDefault(t *testing.T) {
+	var buf bytes.Buffer
+	// Without -graph the sneak path is invisible: the deck lints clean.
+	if err := Lint([]string{"testdata/sneak.sp"}, &buf); err != nil {
+		t.Fatalf("sneak deck should pass card-level lint: %v\n%s", err, buf.String())
+	}
+	if strings.Contains(buf.String(), "MT018") {
+		t.Errorf("MT018 reported without -graph:\n%s", buf.String())
+	}
+}
+
+func TestLintCleanDeckWithGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lint([]string{"-graph", "testdata/clean.sp"}, &buf); err != nil {
+		t.Fatalf("clean deck must stay clean under -graph: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "MT021") {
+		t.Errorf("expected the MT021 partition summary:\n%s", buf.String())
+	}
+}
+
+func TestLintWerror(t *testing.T) {
+	// A deck whose only findings are warnings: pulldown-only output
+	// feeding a gate (MT019).
+	deck := "testdata/warnonly.sp"
+	var buf bytes.Buffer
+	if err := Lint([]string{"-graph", "-severity", "warn", deck}, &buf); err != nil {
+		t.Fatalf("warnings alone must not fail without -werror: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "MT019") {
+		t.Fatalf("expected an MT019 warning:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Lint([]string{"-graph", "-werror", deck}, &buf); err == nil {
+		t.Fatal("-werror must turn warnings into a nonzero exit")
+	} else if !strings.Contains(err.Error(), "-werror") {
+		t.Errorf("error should cite -werror: %v", err)
+	}
+}
+
+func TestLintRejectsUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lint([]string{"-format", "xml", "testdata/clean.sp"}, &buf); err == nil {
+		t.Error("unknown format must be rejected")
+	}
+}
+
+func TestLintRulesListingIncludesGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lint([]string{"-rules"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, code := range []string{"MT018", "MT019", "MT020", "MT021", "MT022"} {
+		if !strings.Contains(out, code) {
+			t.Errorf("rule listing missing %s:\n%s", code, out)
+		}
+	}
+	if !strings.Contains(out, "(-graph)") {
+		t.Errorf("graph rules should be marked opt-in:\n%s", out)
+	}
+}
+
+func TestSizeStaticLevelOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Size([]string{"-circuit", "tree", "-estimate", "static-level"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "static-level:") || !strings.Contains(out, "18.0") {
+		t.Errorf("missing static-level estimate:\n%s", out)
+	}
+	for _, absent := range []string{"peak-current", "delay-target", "overdesign", "break-even"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("-estimate static-level must suppress %q:\n%s", absent, out)
+		}
+	}
+	if err := Size([]string{"-estimate", "bogus"}, &buf); err == nil {
+		t.Error("unknown estimator must be rejected")
+	}
+}
+
+func TestSizeAllIncludesStaticLevel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Size([]string{"-circuit", "tree", "-target", "10"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "static-level:") {
+		t.Errorf("default -estimate all should print the static-level row:\n%s", buf.String())
+	}
+}

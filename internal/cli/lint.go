@@ -14,17 +14,20 @@ import (
 )
 
 // Lint implements the mtlint command: run the static analyzer over one
-// or more SPICE-dialect decks and report diagnostics as text or JSON.
-// It returns a non-nil error when any deck has error-severity findings,
-// so the binary exits nonzero.
+// or more SPICE-dialect decks and report diagnostics as text, JSON or
+// SARIF. It returns a non-nil error when any deck has error-severity
+// findings (or warnings under -werror), so the binary exits nonzero.
 func Lint(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mtlint", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		techF  = fs.String("tech", "0.7", "technology for process-window checks: 0.7 | 0.3 | none")
-		sevF   = fs.String("severity", "info", "minimum severity to report: info | warn | error")
-		jsonF  = fs.Bool("json", false, "emit machine-readable JSON instead of text")
-		rulesF = fs.Bool("rules", false, "list every rule (code, severity, description) and exit")
+		techF   = fs.String("tech", "0.7", "technology for process-window checks: 0.7 | 0.3 | none")
+		sevF    = fs.String("severity", "info", "minimum severity to report: info | warn | error")
+		formatF = fs.String("format", "", "output format: text | json | sarif (default text)")
+		jsonF   = fs.Bool("json", false, "emit machine-readable JSON (alias for -format json)")
+		graphF  = fs.Bool("graph", false, "also run the graph-backed rules (MT018+): CCC partition, DC-path and stack checks")
+		werrorF = fs.Bool("werror", false, "treat warnings as errors (nonzero exit), for CI gates")
+		rulesF  = fs.Bool("rules", false, "list every rule (code, severity, description) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -35,7 +38,22 @@ func Lint(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%s %-5s %s\n", lint.VectorCode, lint.Error,
 			"stimulus vector mismatched to the circuit's primary inputs (mtsim/library only)")
+		for _, r := range lint.GraphRules() {
+			fmt.Fprintf(w, "%s %-5s %s (-graph)\n", r.Code(), r.Severity(), r.Title())
+		}
 		return nil
+	}
+	format := *formatF
+	if format == "" {
+		format = "text"
+		if *jsonF {
+			format = "json"
+		}
+	}
+	switch format {
+	case "text", "json", "sarif":
+	default:
+		return fmt.Errorf("unknown format %q (text | json | sarif)", format)
 	}
 	min, err := lint.ParseSeverity(*sevF)
 	if err != nil {
@@ -47,17 +65,18 @@ func Lint(args []string, w io.Writer) error {
 	}
 	files := fs.Args()
 	if len(files) == 0 {
-		return fmt.Errorf("usage: mtlint [-tech 0.7|0.3|none] [-severity info|warn|error] [-json] deck.sp ...")
+		return fmt.Errorf("usage: mtlint [-tech 0.7|0.3|none] [-severity info|warn|error] [-format text|json|sarif] [-graph] [-werror] deck.sp ...")
 	}
 
-	totalErrors := 0
+	totalErrors, totalWarnings := 0, 0
 	reports := make([]lintReport, 0, len(files))
 	for _, path := range files {
-		diags, err := lintDeckFile(path, tech)
+		diags, err := lintDeckFile(path, tech, *graphF)
 		if err != nil {
 			return err
 		}
 		totalErrors += lint.Count(diags, lint.Error)
+		totalWarnings += lint.Count(diags, lint.Warn)
 		shown := lint.Filter(diags, min)
 		if shown == nil {
 			shown = []lint.Diagnostic{}
@@ -71,13 +90,18 @@ func Lint(args []string, w io.Writer) error {
 		})
 	}
 
-	if *jsonF {
+	switch format {
+	case "json":
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
 			return err
 		}
-	} else {
+	case "sarif":
+		if err := writeSARIF(w, reports); err != nil {
+			return err
+		}
+	default:
 		for _, r := range reports {
 			for _, d := range r.Diagnostics {
 				fmt.Fprintf(w, "%s: %s\n", r.File, d)
@@ -88,11 +112,14 @@ func Lint(args []string, w io.Writer) error {
 	if totalErrors > 0 {
 		return fmt.Errorf("%d error-severity finding(s)", totalErrors)
 	}
+	if *werrorF && totalWarnings > 0 {
+		return fmt.Errorf("%d warning(s) with -werror", totalWarnings)
+	}
 	return nil
 }
 
-// lintReport is the per-deck result, shared by the text and JSON
-// renderers.
+// lintReport is the per-deck result, shared by the text, JSON and
+// SARIF renderers.
 type lintReport struct {
 	File        string            `json:"file"`
 	Diagnostics []lint.Diagnostic `json:"diagnostics"`
@@ -111,7 +138,7 @@ func (r lintReport) summary() string {
 // lintDeckFile parses and lints one deck. Syntax errors become MT000
 // diagnostics so broken decks report through the same pipeline; only
 // I/O failures are returned as errors.
-func lintDeckFile(path string, tech *mtcmos.Tech) ([]lint.Diagnostic, error) {
+func lintDeckFile(path string, tech *mtcmos.Tech, graph bool) ([]lint.Diagnostic, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -125,7 +152,7 @@ func lintDeckFile(path string, tech *mtcmos.Tech) ([]lint.Diagnostic, error) {
 		}
 		return []lint.Diagnostic{d}, nil
 	}
-	return lint.Run(nl, nil, tech), nil
+	return lint.RunAll(nl, nil, tech, graph), nil
 }
 
 func lintTech(name string) (*mtcmos.Tech, error) {

@@ -1,0 +1,136 @@
+package cli
+
+import (
+	"encoding/json"
+	"io"
+
+	"mtcmos/internal/lint"
+)
+
+// SARIF 2.1.0 rendering (https://docs.oasis-open.org/sarif/sarif/v2.1.0/)
+// for mtlint -format sarif: one run, mtlint as the driver, every
+// registered rule in the driver's rule table, one result per finding.
+// Code hosts and CI annotators ingest this directly.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	DefaultConfig    sarifConfig  `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	LogicalLocations []sarifLogic  `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifLogic struct {
+	Name string `json:"name"` // the device or node the finding is about
+}
+
+// sarifLevel maps the lint severity model onto SARIF's.
+func sarifLevel(sev lint.Severity) string {
+	switch sev {
+	case lint.Error:
+		return "error"
+	case lint.Warn:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// sarifRules builds the driver rule table: every registered rule
+// (card-level and graph), plus the two pseudo-codes, in code order.
+func sarifRules() []sarifRule {
+	rules := append(lint.Rules(), lint.GraphRules()...)
+	out := make([]sarifRule, 0, len(rules)+2)
+	add := func(id, title string, sev lint.Severity) {
+		out = append(out, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: title},
+			DefaultConfig:    sarifConfig{Level: sarifLevel(sev)},
+		})
+	}
+	add(lint.SyntaxCode, "deck cannot be parsed or flattened", lint.Error)
+	for _, r := range rules {
+		add(r.Code(), r.Title(), r.Severity())
+	}
+	add(lint.VectorCode, "stimulus vector mismatched to the circuit's primary inputs", lint.Error)
+	return out
+}
+
+// writeSARIF renders the per-deck reports as one SARIF run.
+func writeSARIF(w io.Writer, reports []lintReport) error {
+	results := []sarifResult{} // SARIF requires the array even when empty
+	for _, r := range reports {
+		for _, d := range r.Diagnostics {
+			loc := sarifLocation{
+				PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: r.File}},
+			}
+			if d.Subject != "" {
+				loc.LogicalLocations = []sarifLogic{{Name: d.Subject}}
+			}
+			results = append(results, sarifResult{
+				RuleID:    d.Code,
+				Level:     sarifLevel(d.Severity),
+				Message:   sarifMessage{Text: d.Message},
+				Locations: []sarifLocation{loc},
+			})
+		}
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "mtlint", Rules: sarifRules()}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -23,10 +23,18 @@ func Size(args []string, w io.Writer) error {
 		seed   = fs.Int64("seed", 1, "random vector seed")
 		powerF = fs.Bool("power", true, "print the power/leakage summary at the chosen size")
 		nolint = fs.Bool("nolint", false, "skip the pre-sizing lint pass (mtlint rules)")
+		estF   = fs.String("estimate", "all", "estimators to run: all | sum | peak | delay | static-level")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	est := *estF
+	switch est {
+	case "all", "sum", "peak", "delay", "static-level":
+	default:
+		return fmt.Errorf("unknown estimate %q (all | sum | peak | delay | static-level)", est)
+	}
+	want := func(kind string) bool { return est == "all" || est == kind }
 
 	c, cfg, trs, err := build(*circ, *bits, *nvec, *seed)
 	if err != nil {
@@ -41,25 +49,44 @@ func Size(args []string, w io.Writer) error {
 	sw := mtcmos.SumOfWidths(c)
 	fmt.Fprintf(w, "circuit: %s (%d gates, %d transistors)\n", c.Name, len(c.Gates), c.Stats().Transistors)
 	fmt.Fprintf(w, "transitions evaluated: %d\n\n", len(trs))
-	fmt.Fprintf(w, "%-22s W/L = %8.1f   (paper: 'unnecessarily large')\n", "sum-of-widths:", sw)
-
-	pk, err := mtcmos.SizeForPeakCurrent(c, cfg, trs, *bounce)
-	if err != nil {
-		return fmt.Errorf("peak-current: %w", err)
+	if want("sum") {
+		fmt.Fprintf(w, "%-22s W/L = %8.1f   (paper: 'unnecessarily large')\n", "sum-of-widths:", sw)
 	}
-	fmt.Fprintf(w, "%-22s W/L = %8.1f   (Ipeak %.4g mA held to %.0f mV)\n",
-		"peak-current:", pk.WL, pk.Ipeak*1e3, *bounce*1e3)
 
-	dt, err := mtcmos.SizeForDelayTarget(c, cfg, trs, *target/100, 64*sw)
-	if err != nil {
-		return fmt.Errorf("delay-target: %w", err)
+	if want("static-level") {
+		st, err := mtcmos.SizeForStaticLevel(c)
+		if err != nil {
+			return fmt.Errorf("static-level: %w", err)
+		}
+		fmt.Fprintf(w, "%-22s W/L = %8.1f   (widest level %d of %d; no simulation)\n",
+			"static-level:", st.WL, st.Level, len(st.Levels))
 	}
-	fmt.Fprintf(w, "%-22s W/L = %8.1f   (measured %.2f%% vs %.0f%% budget; base %.4g ns; %d sims)\n",
-		"delay-target:", dt.WL, dt.Degradation*100, *target, dt.BaseDelay*1e9, dt.Evals)
-	fmt.Fprintf(w, "\noverdesign: sum-of-widths %.1fx, peak-current %.1fx vs delay-target\n",
-		sw/dt.WL, pk.WL/dt.WL)
 
-	if *powerF {
+	var pk *mtcmos.PeakSizing
+	if want("peak") {
+		pk, err = mtcmos.SizeForPeakCurrent(c, cfg, trs, *bounce)
+		if err != nil {
+			return fmt.Errorf("peak-current: %w", err)
+		}
+		fmt.Fprintf(w, "%-22s W/L = %8.1f   (Ipeak %.4g mA held to %.0f mV)\n",
+			"peak-current:", pk.WL, pk.Ipeak*1e3, *bounce*1e3)
+	}
+
+	var dt *mtcmos.SizingResult
+	if want("delay") {
+		dt, err = mtcmos.SizeForDelayTarget(c, cfg, trs, *target/100, 64*sw)
+		if err != nil {
+			return fmt.Errorf("delay-target: %w", err)
+		}
+		fmt.Fprintf(w, "%-22s W/L = %8.1f   (measured %.2f%% vs %.0f%% budget; base %.4g ns; %d sims)\n",
+			"delay-target:", dt.WL, dt.Degradation*100, *target, dt.BaseDelay*1e9, dt.Evals)
+	}
+	if dt != nil && pk != nil {
+		fmt.Fprintf(w, "\noverdesign: sum-of-widths %.1fx, peak-current %.1fx vs delay-target\n",
+			sw/dt.WL, pk.WL/dt.WL)
+	}
+
+	if *powerF && dt != nil {
 		c.SleepWL = dt.WL
 		ps, err := mtcmos.AnalyzePower(c)
 		if err != nil {

@@ -1,0 +1,9 @@
+deck with an always-on vdd->gnd sneak path
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.05n 1.2)
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mn out in 0 0 nmos W=1.4u L=0.7u
+Mleak1 vdd vdd x 0 nmos W=1.4u L=0.7u
+Mleak2 x vdd 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end

@@ -1,0 +1,8 @@
+deck whose only findings are warnings: out has no pull-up network
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.05n 1.2)
+Mn out in 0 0 nmos W=1.4u L=0.7u
+Mp2 out2 out vdd vdd pmos W=2.8u L=0.7u
+Mn2 out2 out 0 0 nmos W=1.4u L=0.7u
+Cl out2 0 10f
+.end

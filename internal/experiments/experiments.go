@@ -98,6 +98,7 @@ func Registry() []Experiment {
 		{"standby", "sleep-mode leakage and sleep-device overhead (reference-engine DC)", StandbyExp, "Sec. 1/2.1"},
 		{"screen", "vector-space narrowing: static screens vs the switch-level tool", Screen, "Sec. 5/7"},
 		{"lint", "static-analysis audit of the benchmark circuits and their expanded decks", LintAudit, "tooling"},
+		{"sca", "static level bound vs sum-of-widths vs simulated discharge width; CCC partition", SCA, "Sec. 2"},
 	}
 }
 

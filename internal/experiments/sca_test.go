@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSCAOrderingHolds(t *testing.T) {
+	out, err := SCA(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(out.Tables))
+	}
+	widths := out.Tables[0].String()
+	for _, want := range []string{"inverter tree", "3-bit adder", "4x4 multiplier"} {
+		if !strings.Contains(widths, want) {
+			t.Errorf("width table missing %q:\n%s", want, widths)
+		}
+	}
+	ccc := out.Tables[1].String()
+	if !strings.Contains(ccc, "components") {
+		t.Errorf("CCC table malformed:\n%s", ccc)
+	}
+	if len(out.Notes) == 0 {
+		t.Error("experiment should explain the bound")
+	}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"strings"
+
+	"mtcmos/internal/sca"
+)
+
+// --- graph-backed rules (MT018+) ---
+//
+// These rules run over the internal/sca static circuit analysis: the
+// deck is partitioned into channel-connected components (CCCs), every
+// device is classified as switchable / always-on / always-off from the
+// DC potentials of its gate net, and DC paths are enumerated per
+// component. They are opt-in (mtlint -graph, lint.RunAll) because the
+// partition and path enumeration cost more than the card-level checks.
+
+var graphRegistry = []*rule{
+	ruleAlwaysOnShort,
+	ruleMissingPullNetwork,
+	ruleDeepConductingPath,
+	ruleCCCSummary,
+	ruleSleepAboveLevelBound,
+}
+
+var ruleAlwaysOnShort = &rule{
+	code:  "MT018",
+	sev:   Error,
+	title: "statically always-on DC path from a high rail to ground",
+	check: func(t *Target, s *sink) {
+		a := t.Graph()
+		if a == nil {
+			return
+		}
+		for _, sh := range a.Shorts {
+			subject := sh.Devices[0]
+			if sh.Component >= 0 {
+				s.emit(subject, "always-on DC path %s -> %s through %s: every device on it conducts in every input state, so the deck draws static short-circuit current",
+					sh.From, sh.To, strings.Join(sh.Devices, " -> "))
+			} else {
+				s.emit(subject, "device %s straps rail %s directly to %s and its gate holds it permanently on",
+					subject, sh.From, sh.To)
+			}
+		}
+	},
+}
+
+var ruleMissingPullNetwork = &rule{
+	code:  "MT019",
+	sev:   Warn,
+	title: "logic output missing a pull-up or pull-down network",
+	check: func(t *Target, s *sink) {
+		a := t.Graph()
+		if a == nil {
+			return
+		}
+		for _, fo := range a.Floating {
+			var missing []string
+			if fo.MissingPullUp {
+				missing = append(missing, "pull-up")
+			}
+			if fo.MissingPullDown {
+				missing = append(missing, "pull-down")
+			}
+			s.emit(fo.Net, "output %q (component %d) has no %s network that can ever conduct: the node cannot be driven to that rail and will float or retain charge",
+				fo.Net, fo.Component, strings.Join(missing, " or "))
+		}
+	},
+}
+
+var ruleDeepConductingPath = &rule{
+	code:  "MT020",
+	sev:   Warn,
+	title: "conducting path deeper than the series-stack limit",
+	check: func(t *Target, s *sink) {
+		a := t.Graph()
+		if a == nil {
+			return
+		}
+		limit := a.Stats().MaxStackDepth
+		for _, d := range a.Deep {
+			s.emit(d.Net, "%s path to %q runs through %d series devices (limit %d): body effect and IR drop across such a stack or pass-gate chain erode the logic level",
+				d.Dir, d.Net, d.Depth, limit)
+		}
+	},
+}
+
+var ruleCCCSummary = &rule{
+	code:  "MT021",
+	sev:   Info,
+	title: "channel-connected component partition summary",
+	check: func(t *Target, s *sink) {
+		a := t.Graph()
+		if a == nil {
+			return
+		}
+		st := a.Stats()
+		if st.Components == 0 {
+			return
+		}
+		s.emit("", "deck partitions into %d channel-connected components (largest: %d devices over %d nets)",
+			st.Components, st.LargestDevices, st.LargestNets)
+	},
+}
+
+var ruleSleepAboveLevelBound = &rule{
+	code:  "MT022",
+	sev:   Info,
+	title: "sleep W/L exceeds the static level bound (area headroom)",
+	check: func(t *Target, s *sink) {
+		c := t.Circuit
+		if c == nil {
+			return
+		}
+		l, err := sca.Levelize(c)
+		if err != nil {
+			return // MT015 already reports the cycle
+		}
+		for di, d := range c.Domains() {
+			if d.SleepWL <= 0 {
+				continue
+			}
+			bound, level := l.MaxLevelWidth(c, di)
+			if bound > 0 && d.SleepWL > bound {
+				s.emit(d.Name, "sleep domain %d W/L %.4g exceeds its static level bound %.4g (widest level %d): even if that whole level discharges at once a smaller device suffices",
+					di, d.SleepWL, bound, level)
+			}
+		}
+	},
+}

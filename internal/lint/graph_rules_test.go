@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/circuits"
+	"mtcmos/internal/mosfet"
+	"mtcmos/internal/netlist"
+)
+
+// graphLint parses a deck and runs the full rule set with the graph
+// pass enabled.
+func graphLint(t *testing.T, deck string) []Diagnostic {
+	t.Helper()
+	nl, err := netlist.ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := mosfet.Tech07()
+	return RunAll(nl, nil, &tech, true)
+}
+
+func TestGraphRegistryStable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Rules() {
+		seen[r.Code()] = true
+	}
+	prev := ""
+	for _, r := range GraphRules() {
+		code := r.Code()
+		if seen[code] {
+			t.Errorf("graph rule %s collides with a card-level code", code)
+		}
+		seen[code] = true
+		if code <= prev {
+			t.Errorf("graph rules out of code order: %s after %s", code, prev)
+		}
+		prev = code
+		if r.Title() == "" {
+			t.Errorf("rule %s has no title", code)
+		}
+	}
+	for _, want := range []string{"MT018", "MT019", "MT020", "MT021", "MT022"} {
+		if !seen[want] {
+			t.Errorf("graph registry missing %s", want)
+		}
+	}
+}
+
+// TestGraphRules is the table: one deck per MT018+ netlist rule,
+// including the seeded always-on VDD->GND sneak path.
+func TestGraphRules(t *testing.T) {
+	cases := []struct {
+		name     string
+		deck     string
+		code     string
+		sev      Severity
+		fragment string // expected substring of the finding message
+	}{
+		{
+			name: "MT018 sneak path",
+			deck: `sneak
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mn out in 0 0 nmos W=1.4u L=0.7u
+Mleak1 vdd vdd x 0 nmos W=1.4u L=0.7u
+Mleak2 x vdd 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`,
+			code:     "MT018",
+			sev:      Error,
+			fragment: "mleak1 -> mleak2",
+		},
+		{
+			name: "MT018 rail bridge",
+			deck: `strap
+Vdd vdd 0 DC 1.2
+Mstrap vdd vdd 0 0 nmos W=1.4u L=0.7u
+Mload vdd vdd out 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`,
+			code:     "MT018",
+			sev:      Error,
+			fragment: "straps rail vdd",
+		},
+		{
+			name: "MT019 missing pull-up",
+			deck: `no pullup
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mn out in 0 0 nmos W=1.4u L=0.7u
+Mp2 out2 out vdd vdd pmos W=2.8u L=0.7u
+Mn2 out2 out 0 0 nmos W=1.4u L=0.7u
+Cl out2 0 10f
+.end
+`,
+			code:     "MT019",
+			sev:      Warn,
+			fragment: "no pull-up network",
+		},
+		{
+			name: "MT020 deep pass chain",
+			deck: `pass chain
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mc0 out in n0 0 nmos W=1.4u L=0.7u
+Mc1 n0 in n1 0 nmos W=1.4u L=0.7u
+Mc2 n1 in n2 0 nmos W=1.4u L=0.7u
+Mc3 n2 in n3 0 nmos W=1.4u L=0.7u
+Mc4 n3 in n4 0 nmos W=1.4u L=0.7u
+Mc5 n4 in n5 0 nmos W=1.4u L=0.7u
+Mc6 n5 in n6 0 nmos W=1.4u L=0.7u
+Mc7 n6 in n7 0 nmos W=1.4u L=0.7u
+Mc8 n7 in n8 0 nmos W=1.4u L=0.7u
+Mc9 n8 in 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`,
+			code:     "MT020",
+			sev:      Warn,
+			fragment: "10 series devices",
+		},
+		{
+			name: "MT021 partition summary",
+			deck: `clean inverter
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Vslp sleepen 0 DC 1.2
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mn out in vg 0 nmos W=1.4u L=0.7u
+Msleep vg sleepen 0 0 nmos_hvt W=9.8u L=0.7u
+Cl out 0 50f
+.end
+`,
+			code:     "MT021",
+			sev:      Info,
+			fragment: "1 channel-connected components",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := graphLint(t, tc.deck)
+			var hit *Diagnostic
+			for i, d := range diags {
+				if d.Code == tc.code {
+					hit = &diags[i]
+					break
+				}
+			}
+			if hit == nil {
+				t.Fatalf("no %s finding in %v", tc.code, diags)
+			}
+			if hit.Severity != tc.sev {
+				t.Errorf("%s severity = %v, want %v", tc.code, hit.Severity, tc.sev)
+			}
+			if !strings.Contains(hit.Message, tc.fragment) {
+				t.Errorf("%s message %q missing %q", tc.code, hit.Message, tc.fragment)
+			}
+		})
+	}
+}
+
+func TestGraphRulesSilentOnCleanDeck(t *testing.T) {
+	deck := `clean inverter
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Vslp sleepen 0 DC 1.2
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mn out in vg 0 nmos W=1.4u L=0.7u
+Msleep vg sleepen 0 0 nmos_hvt W=9.8u L=0.7u
+Cl out 0 50f
+.end
+`
+	diags := graphLint(t, deck)
+	codes := codesOf(diags)
+	for _, code := range []string{"MT018", "MT019", "MT020"} {
+		if codes[code] != 0 {
+			t.Errorf("clean deck trips %s: %v", code, diags)
+		}
+	}
+	if codes["MT021"] != 1 {
+		t.Errorf("clean deck should carry exactly one MT021 summary: %v", diags)
+	}
+	// The plain Run entry point must not run the graph pass.
+	nl, err := netlist.ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := mosfet.Tech07()
+	if c := codesOf(Run(nl, nil, &tech)); c["MT021"] != 0 {
+		t.Error("Run (graph=false) executed graph rules")
+	}
+}
+
+func TestSleepAboveLevelBound(t *testing.T) {
+	tech := mosfet.Tech07()
+	c := circuits.InverterTree(&tech, 3, 3, 50e-15)
+	// The tree's static level bound is 18 (nine leaf inverters at W/L 2
+	// each); its sum-of-widths is 26. A sleep W/L between the two trips
+	// MT022 but not MT016.
+	c.SleepWL = 20
+	diags := RunAll(nil, c, &tech, true)
+	codes := codesOf(diags)
+	if codes["MT022"] != 1 {
+		t.Fatalf("MT022 findings = %d in %v, want 1", codes["MT022"], diags)
+	}
+	if codes["MT016"] != 0 {
+		t.Errorf("MT016 tripped below the sum-of-widths bound: %v", diags)
+	}
+	for _, d := range diags {
+		if d.Code == "MT022" && !strings.Contains(d.Message, "static level bound 18") {
+			t.Errorf("MT022 message %q lacks the bound", d.Message)
+		}
+	}
+	// At or below the bound the rule is quiet.
+	c.SleepWL = 18
+	if codes := codesOf(RunAll(nil, c, &tech, true)); codes["MT022"] != 0 {
+		t.Error("MT022 tripped at the bound")
+	}
+}
+
+func TestSleepAboveLevelBoundPerDomain(t *testing.T) {
+	tech := mosfet.Tech07()
+	c := circuits.InverterTree(&tech, 2, 2, 10e-15)
+	c.AddDomain(circuit.Domain{Name: "leaves", SleepWL: 10})
+	for _, g := range c.Gates {
+		if len(g.In) > 0 && g.In[0].Driver != nil {
+			g.Domain = 1
+		}
+	}
+	// Domain 1 holds the two leaf inverters: level bound 4, so W/L 10
+	// is flagged; domain 0 (root, bound 2) stays within its bound.
+	c.SleepWL = 2
+	diags := RunAll(nil, c, &tech, true)
+	var hit int
+	for _, d := range diags {
+		if d.Code == "MT022" {
+			hit++
+			if d.Subject != "leaves" {
+				t.Errorf("MT022 subject = %q, want leaves", d.Subject)
+			}
+		}
+	}
+	if hit != 1 {
+		t.Errorf("MT022 findings = %d, want 1: %v", hit, diags)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"mtcmos/internal/circuit"
 	"mtcmos/internal/mosfet"
 	"mtcmos/internal/netlist"
+	"mtcmos/internal/sca"
 )
 
 // Severity ranks a diagnostic: Info findings are advisory, Warn
@@ -104,6 +105,22 @@ type Target struct {
 	Flat    *netlist.Flat    // flattened deck (device/node-level rules)
 	Circuit *circuit.Circuit // gate-level circuit
 	Tech    *mosfet.Tech     // process window and supply rails
+
+	graph     *sca.Analysis // cached graph analysis shared by MT018+
+	graphDone bool
+}
+
+// Graph lazily runs (and caches) the static circuit analysis over the
+// flattened deck, so the MT018+ rules share one partition. Returns nil
+// when the target has no flat deck.
+func (t *Target) Graph() *sca.Analysis {
+	if !t.graphDone {
+		t.graphDone = true
+		if t.Flat != nil {
+			t.graph = sca.Analyze(t.Flat, sca.Config{})
+		}
+	}
+	return t.graph
 }
 
 // Rule is one registered lint check.
@@ -157,10 +174,21 @@ func (s *sink) at(sev Severity, subject, format string, args ...any) {
 	})
 }
 
-// Rules returns the rule registry in code order.
+// Rules returns the card-level rule registry in code order.
 func Rules() []Rule {
 	all := make([]Rule, 0, len(registry))
 	for _, r := range registry {
+		all = append(all, r)
+	}
+	return all
+}
+
+// GraphRules returns the graph-backed rule registry (MT018+): the
+// rules that need the internal/sca dataflow analysis. They are opt-in
+// (mtlint -graph) because the partition costs more than card checks.
+func GraphRules() []Rule {
+	all := make([]Rule, 0, len(graphRegistry))
+	for _, r := range graphRegistry {
 		all = append(all, r)
 	}
 	return all
@@ -186,11 +214,19 @@ var registry = []*rule{
 }
 
 // Run lints a deck and/or a gate-level circuit against every
-// registered rule and returns the findings sorted by severity (errors
-// first), then code, then subject. Any argument may be nil; tech
-// enables the process-window and rail-level checks (for a non-nil
-// circuit its own Tech wins).
+// registered card-level rule and returns the findings sorted by
+// severity (errors first), then code, then subject. Any argument may
+// be nil; tech enables the process-window and rail-level checks (for
+// a non-nil circuit its own Tech wins).
 func Run(nl *netlist.Netlist, c *circuit.Circuit, tech *mosfet.Tech) []Diagnostic {
+	return RunAll(nl, c, tech, false)
+}
+
+// RunAll is Run with the graph-backed rules (MT018+) optionally
+// enabled: channel-connected-component structure, always-on VDD→GND
+// shorts, missing pull networks, pass-gate chains, and the static
+// level bound check.
+func RunAll(nl *netlist.Netlist, c *circuit.Circuit, tech *mosfet.Tech, graph bool) []Diagnostic {
 	t := &Target{Netlist: nl, Circuit: c, Tech: tech}
 	if c != nil && c.Tech != nil {
 		t.Tech = c.Tech
@@ -212,6 +248,11 @@ func Run(nl *netlist.Netlist, c *circuit.Circuit, tech *mosfet.Tech) []Diagnosti
 	}
 	for _, r := range registry {
 		diags = append(diags, r.Check(t)...)
+	}
+	if graph {
+		for _, r := range graphRegistry {
+			diags = append(diags, r.Check(t)...)
+		}
 	}
 	Sort(diags)
 	return diags

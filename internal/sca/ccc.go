@@ -1,0 +1,269 @@
+package sca
+
+import (
+	"sort"
+
+	"mtcmos/internal/netlist"
+)
+
+// classifyRails resolves every source-driven node to a rail kind.
+// Potentials are anchored at ground and propagated through chained DC
+// sources; a node at >= 70% of the largest resolved potential is a
+// high rail, <= 30% a low rail, anything else (including time-varying
+// sources) a signal rail. Ground is always a low rail.
+func classifyRails(f *netlist.Flat) map[string]RailKind {
+	// DC source edges: P = N + DC. Time-varying sources still make
+	// their terminals rails, but of signal kind.
+	type dcEdge struct {
+		other string
+		delta float64
+	}
+	adj := map[string][]dcEdge{}
+	varying := map[string]bool{}
+	railNode := map[string]bool{netlist.Ground: true}
+	for _, v := range f.Vs {
+		railNode[v.P] = true
+		railNode[v.N] = true
+		if v.PWL != nil || v.Pulse != nil {
+			varying[v.P] = true
+			continue
+		}
+		adj[v.P] = append(adj[v.P], dcEdge{v.N, -v.DC})
+		adj[v.N] = append(adj[v.N], dcEdge{v.P, +v.DC})
+	}
+
+	pot := map[string]float64{netlist.Ground: 0}
+	queue := []string{netlist.Ground}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[n] {
+			if _, ok := pot[e.other]; ok {
+				continue // first resolution wins; conflicts are lint's concern
+			}
+			pot[e.other] = pot[n] + e.delta
+			queue = append(queue, e.other)
+		}
+	}
+
+	vmax := 0.0
+	for _, v := range pot {
+		if v > vmax {
+			vmax = v
+		}
+	}
+
+	rails := make(map[string]RailKind, len(railNode))
+	for n := range railNode {
+		switch v, resolved := pot[n]; {
+		case n == netlist.Ground:
+			rails[n] = RailLow
+		case varying[n] || !resolved:
+			rails[n] = RailSignal
+		case vmax > 0 && v >= 0.7*vmax:
+			rails[n] = RailHigh
+		case v <= 0.3*vmax:
+			rails[n] = RailLow
+		default:
+			rails[n] = RailSignal
+		}
+	}
+	return rails
+}
+
+// unionFind is a classic disjoint-set forest over net names.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(n string) string {
+	p, ok := u.parent[n]
+	if !ok {
+		u.parent[n] = n
+		return n
+	}
+	if p == n {
+		return n
+	}
+	root := u.find(p)
+	u.parent[n] = root // path compression
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// conductors lists the DC-conducting branches of the deck as uniform
+// edges: MOS channels carry their conduction state, resistors are
+// always on.
+type condState int
+
+const (
+	switchable condState = iota
+	alwaysOn
+	alwaysOff
+)
+
+type condEdge struct {
+	name string
+	a, b string // channel / resistor terminals
+	st   condState
+	mos  bool
+}
+
+// conductors derives the edge list plus the set of rail-to-rail
+// bridge devices (both terminals are rails; they belong to no
+// component but still matter for short detection).
+func (a *Analysis) conductors(f *netlist.Flat) (edges []condEdge, bridges []condEdge) {
+	state := func(m netlist.MOS) condState {
+		gk := a.rails[m.G]
+		if isPMOSModel(m.Model) {
+			switch gk {
+			case RailLow:
+				return alwaysOn
+			case RailHigh:
+				return alwaysOff
+			}
+			return switchable
+		}
+		switch gk {
+		case RailHigh:
+			return alwaysOn
+		case RailLow:
+			return alwaysOff
+		}
+		return switchable
+	}
+	add := func(e condEdge) {
+		if a.rails[e.a] != RailNone && a.rails[e.b] != RailNone {
+			bridges = append(bridges, e)
+		} else {
+			edges = append(edges, e)
+		}
+	}
+	for _, m := range f.MOS {
+		add(condEdge{name: m.Name, a: m.D, b: m.S, st: state(m), mos: true})
+	}
+	for _, r := range f.Ress {
+		add(condEdge{name: r.Name, a: r.A, b: r.B, st: alwaysOn})
+	}
+	return edges, bridges
+}
+
+func isPMOSModel(model string) bool {
+	return len(model) > 0 && (model[0] == 'p' || model[0] == 'P')
+}
+
+// partition groups every non-rail net into its channel-connected
+// component via union-find on channel (and resistor) connectivity,
+// split at rails. Nets with no channel attachment become singleton
+// components, so the components partition the non-rail net set
+// exactly.
+func (a *Analysis) partition(f *netlist.Flat) {
+	edges, bridges := a.conductors(f)
+
+	uf := newUnionFind()
+	for _, n := range f.Nodes() {
+		if a.rails[n] == RailNone {
+			uf.find(n) // register every non-rail net, even channel-less ones
+		}
+	}
+	for _, e := range edges {
+		an, bn := a.rails[e.a] == RailNone, a.rails[e.b] == RailNone
+		if an && bn {
+			uf.union(e.a, e.b)
+		}
+	}
+
+	// Gather members per root.
+	members := map[string][]string{}
+	for n := range uf.parent {
+		root := uf.find(n)
+		members[root] = append(members[root], n)
+	}
+
+	// Outputs: nets used as a MOS gate, or carrying an explicit cap.
+	isOutput := map[string]bool{}
+	for _, m := range f.MOS {
+		if a.rails[m.G] == RailNone {
+			isOutput[m.G] = true
+		}
+	}
+	for _, c := range f.Caps {
+		for _, n := range []string{c.A, c.B} {
+			if a.rails[n] == RailNone {
+				isOutput[n] = true
+			}
+		}
+	}
+
+	// Deterministic component order: by smallest member net name.
+	roots := sortedKeys(members)
+	sort.Slice(roots, func(i, j int) bool {
+		return minString(members[roots[i]]) < minString(members[roots[j]])
+	})
+
+	a.Components = make([]*Component, 0, len(roots))
+	for id, root := range roots {
+		nets := members[root]
+		sort.Strings(nets)
+		c := &Component{ID: id, Nets: nets}
+		for _, n := range nets {
+			a.compOf[n] = id
+			if isOutput[n] {
+				c.Outputs = append(c.Outputs, n)
+			}
+		}
+		a.Components = append(a.Components, c)
+	}
+
+	// Attach devices and touched rails.
+	railSets := make([]map[string]bool, len(a.Components))
+	for _, e := range edges {
+		id := a.ComponentOf(e.a)
+		if id < 0 {
+			id = a.ComponentOf(e.b)
+		}
+		c := a.Components[id]
+		c.Devices = append(c.Devices, e.name)
+		for _, n := range []string{e.a, e.b} {
+			if a.rails[n] != RailNone {
+				if railSets[id] == nil {
+					railSets[id] = map[string]bool{}
+				}
+				railSets[id][n] = true
+			}
+		}
+	}
+	for id, c := range a.Components {
+		sort.Strings(c.Devices)
+		c.Rails = sortedKeys(railSets[id])
+	}
+
+	a.stats.Components = len(a.Components)
+	a.stats.RailBridges = len(bridges)
+	for _, c := range a.Components {
+		if len(c.Devices) > a.stats.LargestDevices {
+			a.stats.LargestDevices = len(c.Devices)
+		}
+		if len(c.Nets) > a.stats.LargestNets {
+			a.stats.LargestNets = len(c.Nets)
+		}
+	}
+}
+
+func minString(s []string) string {
+	m := s[0]
+	for _, x := range s[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,278 @@
+package sca
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mtcmos/internal/netlist"
+)
+
+func parseFlat(t *testing.T, deck string) *netlist.Flat {
+	t.Helper()
+	nl, err := netlist.Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f, err := nl.Flatten()
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	return f
+}
+
+const mtcmosInverterDeck = `mtcmos inverter
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.05n 1.2)
+Vslp sleepen 0 DC 1.2
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mn out in vg 0 nmos W=1.4u L=0.7u
+Msleep vg sleepen 0 0 nmos_hvt W=9.8u L=0.7u
+Cl out 0 50f
+.end
+`
+
+func TestRailsClassification(t *testing.T) {
+	f := parseFlat(t, mtcmosInverterDeck)
+	a := Analyze(f, Config{})
+	want := map[string]RailKind{
+		"vdd": RailHigh, "sleepen": RailHigh, "in": RailSignal, netlist.Ground: RailLow,
+		"out": RailNone, "vg": RailNone,
+	}
+	for n, k := range want {
+		if got := a.Rail(n); got != k {
+			t.Errorf("Rail(%q) = %v, want %v", n, got, k)
+		}
+	}
+}
+
+func TestCCCInverterPartition(t *testing.T) {
+	f := parseFlat(t, mtcmosInverterDeck)
+	a := Analyze(f, Config{})
+	if len(a.Components) != 1 {
+		t.Fatalf("components = %d, want 1 (out and vg are channel-connected): %+v", len(a.Components), a.Components)
+	}
+	c := a.Components[0]
+	if !reflect.DeepEqual(c.Nets, []string{"out", "vg"}) {
+		t.Errorf("nets = %v", c.Nets)
+	}
+	if !reflect.DeepEqual(c.Devices, []string{"mn", "mp", "msleep"}) {
+		t.Errorf("devices = %v", c.Devices)
+	}
+	if !reflect.DeepEqual(c.Outputs, []string{"out"}) {
+		t.Errorf("outputs = %v (vg is a virtual rail / not cap- or gate-loaded)", c.Outputs)
+	}
+	if a.ComponentOf("out") != 0 || a.ComponentOf("vdd") != -1 {
+		t.Error("ComponentOf misclassifies rails or members")
+	}
+	if len(a.Shorts)+len(a.Floating)+len(a.Deep) != 0 {
+		t.Errorf("clean deck has findings: shorts=%v floating=%v deep=%v", a.Shorts, a.Floating, a.Deep)
+	}
+}
+
+func TestAlwaysOnShortDetected(t *testing.T) {
+	// Two stacked NMOS devices with gates strapped to VDD: the path
+	// vdd -> x -> gnd conducts in every state.
+	deck := `sneak path
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mn out in 0 0 nmos W=1.4u L=0.7u
+Mleak1 vdd vdd x 0 nmos W=1.4u L=0.7u
+Mleak2 x vdd 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+	a := Analyze(parseFlat(t, deck), Config{})
+	if len(a.Shorts) != 1 {
+		t.Fatalf("shorts = %+v, want exactly one", a.Shorts)
+	}
+	s := a.Shorts[0]
+	if s.From != "vdd" || s.To != netlist.Ground {
+		t.Errorf("short endpoints = %s -> %s", s.From, s.To)
+	}
+	if !reflect.DeepEqual(s.Devices, []string{"mleak1", "mleak2"}) {
+		t.Errorf("short path = %v", s.Devices)
+	}
+}
+
+func TestRailBridgeShortDetected(t *testing.T) {
+	// A single always-on device strapping VDD to ground directly.
+	deck := `strap
+Vdd vdd 0 DC 1.2
+Mstrap vdd vdd 0 0 nmos W=1.4u L=0.7u
+Mload vdd vdd out 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+	a := Analyze(parseFlat(t, deck), Config{})
+	if len(a.Shorts) != 1 || a.Shorts[0].Component != -1 {
+		t.Fatalf("shorts = %+v, want one rail-bridge finding", a.Shorts)
+	}
+	if !reflect.DeepEqual(a.Shorts[0].Devices, []string{"mstrap"}) {
+		t.Errorf("bridge device = %v", a.Shorts[0].Devices)
+	}
+}
+
+func TestFloatingOutputMissingPullUp(t *testing.T) {
+	// "out" feeds another gate but has a pulldown network only.
+	deck := `no pullup
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mn out in 0 0 nmos W=1.4u L=0.7u
+Mp2 out2 out vdd vdd pmos W=2.8u L=0.7u
+Mn2 out2 out 0 0 nmos W=1.4u L=0.7u
+Cl out2 0 10f
+.end
+`
+	a := Analyze(parseFlat(t, deck), Config{})
+	if len(a.Floating) != 1 {
+		t.Fatalf("floating = %+v, want one", a.Floating)
+	}
+	fo := a.Floating[0]
+	if fo.Net != "out" || !fo.MissingPullUp || fo.MissingPullDown {
+		t.Errorf("floating = %+v, want out missing pull-up only", fo)
+	}
+}
+
+func TestAlwaysOffDeviceDoesNotCountAsPullNetwork(t *testing.T) {
+	// The only pulldown has its gate strapped low: statically off, so
+	// "out" can never be driven low.
+	deck := `dead pulldown
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mn out 0 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+	a := Analyze(parseFlat(t, deck), Config{})
+	if len(a.Floating) != 1 || !a.Floating[0].MissingPullDown || a.Floating[0].MissingPullUp {
+		t.Fatalf("floating = %+v, want out missing pull-down", a.Floating)
+	}
+}
+
+func TestDeepPassGateChainFlagged(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("pass chain\nVdd vdd 0 DC 1.2\nVin in 0 PWL(0 0 1n 0 1.1n 1.2)\n")
+	// out is pulled up normally but its pulldown runs through a chain
+	// of 10 pass devices gated by the signal "in".
+	b.WriteString("Mp out in vdd vdd pmos W=2.8u L=0.7u\n")
+	prev := "out"
+	for i := 0; i < 10; i++ {
+		next := fmt.Sprintf("n%d", i)
+		if i == 9 {
+			next = "0"
+		}
+		fmt.Fprintf(&b, "Mc%d %s in %s 0 nmos W=1.4u L=0.7u\n", i, prev, next)
+		prev = next
+	}
+	b.WriteString("Cl out 0 10f\n.end\n")
+	a := Analyze(parseFlat(t, b.String()), Config{})
+	if len(a.Deep) != 1 {
+		t.Fatalf("deep = %+v, want one", a.Deep)
+	}
+	d := a.Deep[0]
+	if d.Net != "out" || d.Dir != "pull-down" || d.Depth != 10 {
+		t.Errorf("deep = %+v, want out pull-down depth 10", d)
+	}
+	// Raising the limit silences it.
+	if a2 := Analyze(parseFlat(t, b.String()), Config{MaxStackDepth: 12}); len(a2.Deep) != 0 {
+		t.Errorf("deep at limit 12 = %+v, want none", a2.Deep)
+	}
+}
+
+// TestCCCPartitionProperty is the partition-soundness property test:
+// on randomly generated decks, every non-rail net appears in exactly
+// one component, channel-connected non-rail nets share a component,
+// and the analysis is deterministic.
+func TestCCCPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nodePool := []string{"0", "vdd", "a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for trial := 0; trial < 200; trial++ {
+		var b strings.Builder
+		b.WriteString("random deck\nVdd vdd 0 DC 1.2\n")
+		pick := func() string { return nodePool[rng.Intn(len(nodePool))] }
+		nMOS := 1 + rng.Intn(12)
+		for i := 0; i < nMOS; i++ {
+			model := "nmos"
+			if rng.Intn(2) == 0 {
+				model = "pmos"
+			}
+			fmt.Fprintf(&b, "M%d %s %s %s 0 %s W=1.4u L=0.7u\n", i, pick(), pick(), pick(), model)
+		}
+		for i := rng.Intn(3); i > 0; i-- {
+			fmt.Fprintf(&b, "R%d %s %s 1k\n", i, pick(), pick())
+		}
+		b.WriteString(".end\n")
+
+		f := parseFlat(t, b.String())
+		a := Analyze(f, Config{})
+
+		// Exact cover: every non-rail net in exactly one component.
+		seen := map[string]int{}
+		for _, c := range a.Components {
+			for _, n := range c.Nets {
+				seen[n]++
+				if a.ComponentOf(n) != c.ID {
+					t.Fatalf("trial %d: ComponentOf(%q) = %d, listed in %d", trial, n, a.ComponentOf(n), c.ID)
+				}
+			}
+		}
+		for _, n := range f.Nodes() {
+			want := 1
+			if a.Rail(n) != RailNone {
+				want = 0
+			}
+			if seen[n] != want {
+				t.Fatalf("trial %d: net %q appears in %d components, want %d\ndeck:\n%s", trial, n, seen[n], want, b.String())
+			}
+		}
+
+		// Channel-connectivity respected: both-non-rail channel pairs
+		// (and resistor pairs) land in the same component.
+		check := func(x, y string) {
+			if a.Rail(x) == RailNone && a.Rail(y) == RailNone && a.ComponentOf(x) != a.ComponentOf(y) {
+				t.Fatalf("trial %d: %q and %q are channel-connected but split\ndeck:\n%s", trial, x, y, b.String())
+			}
+		}
+		for _, m := range f.MOS {
+			check(netlist.CanonNode(m.D), netlist.CanonNode(m.S))
+		}
+		for _, r := range f.Ress {
+			check(netlist.CanonNode(r.A), netlist.CanonNode(r.B))
+		}
+
+		// Determinism: a second pass produces the identical structure.
+		a2 := Analyze(f, Config{})
+		if !reflect.DeepEqual(a.Components, a2.Components) ||
+			!reflect.DeepEqual(a.Shorts, a2.Shorts) ||
+			!reflect.DeepEqual(a.Floating, a2.Floating) ||
+			!reflect.DeepEqual(a.Deep, a2.Deep) {
+			t.Fatalf("trial %d: analysis is not deterministic", trial)
+		}
+	}
+}
+
+func TestAnalyzeNilAndEmpty(t *testing.T) {
+	if a := Analyze(nil, Config{}); len(a.Components) != 0 || a.ComponentOf("x") != -1 {
+		t.Error("nil deck must analyze to empty")
+	}
+	f := parseFlat(t, "empty\nV1 a 0 DC 1\n.end\n")
+	if a := Analyze(f, Config{}); len(a.Components) != 0 {
+		t.Errorf("source-only deck has components: %+v", a.Components)
+	}
+}
+
+func TestStatsSummary(t *testing.T) {
+	a := Analyze(parseFlat(t, mtcmosInverterDeck), Config{})
+	st := a.Stats()
+	if st.Components != 1 || st.LargestDevices != 3 || st.LargestNets != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxStackDepth < 1 {
+		t.Errorf("max stack depth = %d, want >= 1", st.MaxStackDepth)
+	}
+}

@@ -1,0 +1,83 @@
+package sca
+
+import (
+	"reflect"
+	"testing"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/circuits"
+	"mtcmos/internal/mosfet"
+)
+
+func TestLevelizeInverterTree(t *testing.T) {
+	tech := mosfet.Tech07()
+	c := circuits.InverterTree(&tech, 3, 3, 50e-15)
+	l, err := Levelize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumLevels() != 3 {
+		t.Fatalf("levels = %d, want 3", l.NumLevels())
+	}
+	if n := len(l.Gates[0]); n != 1 {
+		t.Errorf("level 1 gates = %d, want 1", n)
+	}
+	if n := len(l.Gates[1]); n != 3 {
+		t.Errorf("level 2 gates = %d, want 3", n)
+	}
+	if n := len(l.Gates[2]); n != 9 {
+		t.Errorf("level 3 gates = %d, want 9", n)
+	}
+	// Unit inverters have pulldown W/L 2, so the per-level widths are
+	// 2, 6, 18 and the bound is the leaf level.
+	if w := l.WidthByLevel(c, -1); !reflect.DeepEqual(w, []float64{2, 6, 18}) {
+		t.Errorf("width by level = %v", w)
+	}
+	bound, level := l.MaxLevelWidth(c, -1)
+	if bound != 18 || level != 3 {
+		t.Errorf("bound = %g at level %d, want 18 at 3", bound, level)
+	}
+}
+
+func TestStaticLevelBoundBetweenZeroAndSum(t *testing.T) {
+	tech := mosfet.Tech07()
+	ad := circuits.RippleCarryAdder(&tech, 3, 20e-15)
+	mtech := mosfet.Tech03()
+	mult := circuits.CarrySaveMultiplier(&mtech, 4, 15e-15)
+	for _, c := range []*struct {
+		name string
+		sum  float64
+		wl   func() (float64, error)
+	}{
+		{"adder", ad.Circuit.SumNMOSWidthWL(), func() (float64, error) { return StaticLevelBound(ad.Circuit) }},
+		{"mult", mult.Circuit.SumNMOSWidthWL(), func() (float64, error) { return StaticLevelBound(mult.Circuit) }},
+	} {
+		bound, err := c.wl()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !(bound > 0) || bound > c.sum {
+			t.Errorf("%s: bound %g outside (0, sum=%g]", c.name, bound, c.sum)
+		}
+	}
+}
+
+func TestWidthByLevelDomainRestriction(t *testing.T) {
+	tech := mosfet.Tech07()
+	c := circuits.InverterTree(&tech, 2, 2, 10e-15)
+	// Move the leaf gates (level 2) to a second domain.
+	c.AddDomain(circuit.Domain{Name: "d1", SleepWL: 4})
+	l, err := Levelize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range l.Gates[1] {
+		c.Gates[id].Domain = 1
+	}
+	d0, _ := l.MaxLevelWidth(c, 0)
+	d1, _ := l.MaxLevelWidth(c, 1)
+	all, _ := l.MaxLevelWidth(c, -1)
+	if d0 != 2 || d1 != 4 || all != 4 {
+		t.Errorf("domain bounds d0=%g d1=%g all=%g, want 2, 4, 4", d0, d1, all)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"mtcmos/internal/netlist"
 	"mtcmos/internal/power"
 	"mtcmos/internal/report"
+	"mtcmos/internal/sca"
 	"mtcmos/internal/sizing"
 	"mtcmos/internal/spice"
 	"mtcmos/internal/vectors"
@@ -237,9 +238,13 @@ const (
 // LintRule is one registered static-analysis check; see LintRules.
 type LintRule = lint.Rule
 
-// LintRules returns the rule registry (code, severity, description) in
-// code order.
+// LintRules returns the card-level rule registry (code, severity,
+// description) in code order.
 func LintRules() []LintRule { return lint.Rules() }
+
+// LintGraphRules returns the graph-backed rule registry (MT018+): the
+// rules that run over the static circuit analysis.
+func LintGraphRules() []LintRule { return lint.GraphRules() }
 
 // Lint statically analyzes a deck and/or a gate-level circuit before
 // simulation: connectivity (floating nodes, missing DC paths,
@@ -253,6 +258,14 @@ func Lint(nl *Netlist, c *Circuit, tech *Tech) []Diagnostic {
 	return lint.Run(nl, c, tech)
 }
 
+// LintAll is Lint with the graph-backed rules (MT018+) optionally
+// enabled: channel-connected-component structure, statically
+// always-on VDD→GND paths, missing pull networks, deep pass-gate
+// chains, and the static level bound check.
+func LintAll(nl *Netlist, c *Circuit, tech *Tech, graph bool) []Diagnostic {
+	return lint.RunAll(nl, c, tech, graph)
+}
+
 // LintVectors validates one input-vector transition against a
 // circuit's primary inputs (the MT017 rule).
 func LintVectors(c *Circuit, old, new map[string]bool) []Diagnostic {
@@ -261,6 +274,41 @@ func LintVectors(c *Circuit, old, new map[string]bool) []Diagnostic {
 
 // LintHasErrors reports whether any finding is error-severity.
 func LintHasErrors(diags []Diagnostic) bool { return lint.HasErrors(diags) }
+
+// --- Static circuit analysis ---
+
+// GraphAnalysis is the static circuit analysis of a flattened deck:
+// channel-connected components, rail classification, always-on
+// VDD→GND paths, floating outputs, and deep conducting paths.
+type GraphAnalysis = sca.Analysis
+
+// GraphConfig tunes the static circuit analysis (series-stack depth
+// limit).
+type GraphConfig = sca.Config
+
+// AnalyzeGraph flattens a deck and runs the static circuit analysis
+// over it.
+func AnalyzeGraph(nl *Netlist, cfg GraphConfig) (*GraphAnalysis, error) {
+	flat, err := nl.Flatten()
+	if err != nil {
+		return nil, err
+	}
+	return sca.Analyze(flat, cfg), nil
+}
+
+// CircuitLevels is the topological levelization of a gate-level
+// circuit with per-gate arrival windows.
+type CircuitLevels = sca.Levels
+
+// Levelize computes a circuit's topological levelization; it fails on
+// combinational cycles.
+func Levelize(c *Circuit) (*CircuitLevels, error) { return sca.Levelize(c) }
+
+// StaticLevelBound returns the circuit's static per-level
+// simultaneous-discharge width bound: the largest summed pulldown W/L
+// whose arrival windows share one unit-delay level. It sits between
+// the measured simultaneous-discharge width and the sum-of-widths.
+func StaticLevelBound(c *Circuit) (float64, error) { return sca.StaticLevelBound(c) }
 
 // --- Sizing ---
 
@@ -298,6 +346,21 @@ func SizeForDelayTarget(c *Circuit, cfg SizingConfig, trs []Transition, target, 
 // maxBounce volts across the sleep device.
 func SizeForPeakCurrent(c *Circuit, cfg SizingConfig, trs []Transition, maxBounce float64) (*PeakSizing, error) {
 	return sizing.PeakCurrent(c, cfg, trs, maxBounce)
+}
+
+// StaticSizing reports the static level-bound estimate (per-level
+// widths, the bound, and the sum-of-widths it improves on).
+type StaticSizing = sizing.StaticLevelResult
+
+// SizeForStaticLevel computes the static level-bound sleep size from
+// topology alone — no vectors, no simulation.
+func SizeForStaticLevel(c *Circuit) (*StaticSizing, error) { return sizing.StaticLevel(c) }
+
+// SimultaneousWidth measures, with the switch-level simulator, the
+// worst instantaneous simultaneous-discharge width (Σ W/L) over the
+// transitions — the quantity the static estimates bound.
+func SimultaneousWidth(c *Circuit, cfg SizingConfig, trs []Transition) (float64, error) {
+	return sizing.SimultaneousWidth(c, cfg, trs)
 }
 
 // --- Hierarchical sizing (DAC'98 follow-up extension) ---

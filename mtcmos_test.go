@@ -121,8 +121,8 @@ func TestFacadePowerAndVectors(t *testing.T) {
 
 func TestFacadeExperimentsRegistry(t *testing.T) {
 	exps := mtcmos.Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("registry size = %d, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("registry size = %d, want 19", len(exps))
 	}
 	out, err := mtcmos.RunExperiment("widths", mtcmos.ExperimentConfig{Fast: true, MultiplierBits: 4})
 	if err != nil {
