@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mtcmos/internal/cli"
 )
 
 func main() {
-	if err := cli.Exp(os.Args[1:], os.Stdout); err != nil {
-		os.Exit(1)
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(cli.ExitCode(cli.ExpContext(ctx, os.Args[1:], os.Stdout)))
 }

@@ -13,15 +13,23 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mtcmos/internal/cli"
 )
 
 func main() {
-	if err := cli.Sim(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := cli.SimContext(ctx, os.Args[1:], os.Stdout)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintln(os.Stderr, "mtsim:", err)
-		os.Exit(1)
 	}
+	os.Exit(cli.ExitCode(err))
 }

@@ -14,15 +14,23 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mtcmos/internal/cli"
 )
 
 func main() {
-	if err := cli.Size(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := cli.SizeContext(ctx, os.Args[1:], os.Stdout)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintln(os.Stderr, "mtsize:", err)
-		os.Exit(1)
 	}
+	os.Exit(cli.ExitCode(err))
 }

@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +17,12 @@ import (
 // Exp implements the mtexp command: it regenerates the paper's tables
 // and figures. args excludes the program name; output goes to w.
 func Exp(args []string, w io.Writer) error {
+	return ExpContext(context.Background(), args, w)
+}
+
+// ExpContext is Exp under a caller context: cancelling ctx aborts the
+// running experiment between simulator steps.
+func ExpContext(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mtexp", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
@@ -28,10 +35,13 @@ func Exp(args []string, w io.Writer) error {
 		spiceN  = fs.Int("spicevectors", 0, "reference-engine vector budget for big sweeps (0 = per-experiment default)")
 		seed    = fs.Int64("seed", 1, "sampling seed")
 		timings = fs.Bool("time", false, "print per-experiment wall time")
+		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited; overruns exit 4)")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	ctx, cancel := budgetCtx(ctx, *timeout)
+	defer cancel()
 
 	if *exp == "" {
 		fmt.Fprintln(w, "available experiments (-e <id> or -e all):")
@@ -47,6 +57,7 @@ func Exp(args []string, w io.Writer) error {
 		MultiplierBits: *multN,
 		AdderBits:      *adderN,
 		Seed:           *seed,
+		Ctx:            ctx,
 	}
 
 	var ids []string

@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mtcmos/internal/simerr"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("boom"), ExitError},
+		{fmt.Errorf("%w: bad flag", errUsage), ExitUsage},
+		{simerr.New(simerr.ErrNoConvergence, "spice", "stuck"), ExitNoConvergence},
+		{simerr.New(simerr.ErrNumerical, "spice", "NaN"), ExitNoConvergence},
+		{simerr.New(simerr.ErrBudget, "spice", "steps"), ExitBudget},
+		{simerr.New(simerr.ErrCancelled, "spice", "ctrl-c"), ExitCancelled},
+		{context.DeadlineExceeded, ExitBudget},
+		{context.Canceled, ExitCancelled},
+		{fmt.Errorf("delay-target: %w", simerr.New(simerr.ErrBudget, "core", "events")), ExitBudget},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestUsageErrorExitCode(t *testing.T) {
+	var buf bytes.Buffer
+	err := Sim([]string{"-no-such-flag"}, &buf)
+	if err == nil || ExitCode(err) != ExitUsage {
+		t.Fatalf("bad flag must map to ExitUsage, got err=%v code=%d", err, ExitCode(err))
+	}
+	err = Size([]string{"-no-such-flag"}, &buf)
+	if ExitCode(err) != ExitUsage {
+		t.Fatalf("mtsize bad flag must map to ExitUsage, got %d", ExitCode(err))
+	}
+}
+
+func TestSimMaxStepsExitsBudget(t *testing.T) {
+	var buf bytes.Buffer
+	err := Sim([]string{"-circuit", "chain", "-bits", "2", "-wl", "10",
+		"-engine", "spice", "-tstop", "6n", "-max-steps", "3"}, &buf)
+	if !errors.Is(err, simerr.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if ExitCode(err) != ExitBudget {
+		t.Errorf("exit code = %d, want %d", ExitCode(err), ExitBudget)
+	}
+}
+
+func TestSimTimeoutExitsBudget(t *testing.T) {
+	var buf bytes.Buffer
+	err := Sim([]string{"-circuit", "chain", "-bits", "2", "-wl", "10",
+		"-engine", "spice", "-tstop", "6n", "-timeout", "1ns"}, &buf)
+	if !errors.Is(err, simerr.ErrBudget) {
+		t.Fatalf("-timeout must classify as a budget failure, got %v", err)
+	}
+	if errors.Is(err, simerr.ErrCancelled) {
+		t.Fatal("-timeout must not classify as cancellation")
+	}
+	if ExitCode(err) != ExitBudget {
+		t.Errorf("exit code = %d, want %d", ExitCode(err), ExitBudget)
+	}
+}
+
+func TestSimCancelledExitCode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := SimContext(ctx, []string{"-circuit", "chain", "-bits", "2", "-wl", "10",
+		"-engine", "spice", "-tstop", "6n"}, &buf)
+	if !errors.Is(err, simerr.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if ExitCode(err) != ExitCancelled {
+		t.Errorf("exit code = %d, want %d", ExitCode(err), ExitCancelled)
+	}
+}
+
+// TestSizeDegradesInsteadOfAborting is the headline resilience check
+// for mtsize: when every delay simulation is killed mid-run by a tiny
+// event budget, the tool must not abort — it completes with the
+// static-level estimate, a degraded-result banner, and exit code 0.
+func TestSizeDegradesInsteadOfAborting(t *testing.T) {
+	var buf bytes.Buffer
+	err := Size([]string{"-circuit", "tree", "-estimate", "delay",
+		"-max-steps", "2", "-power=false"}, &buf)
+	if err != nil {
+		t.Fatalf("budget-killed search must degrade, not abort: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "degraded") || !strings.Contains(out, "static-level") {
+		t.Errorf("output must announce the static-level degrade:\n%s", out)
+	}
+	if !strings.Contains(out, "warning:") {
+		t.Errorf("output must carry the degrade warnings:\n%s", out)
+	}
+}
+
+func TestSizeCancelledAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := SizeContext(ctx, []string{"-circuit", "tree", "-estimate", "delay"}, &buf)
+	if !errors.Is(err, simerr.ErrCancelled) {
+		t.Fatalf("cancellation must abort the search, got %v", err)
+	}
+	if ExitCode(err) != ExitCancelled {
+		t.Errorf("exit code = %d, want %d", ExitCode(err), ExitCancelled)
+	}
+}

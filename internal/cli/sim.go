@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +17,13 @@ import (
 // Sim implements the mtsim command: simulate one input-vector
 // transition on a benchmark circuit or a raw netlist deck.
 func Sim(args []string, w io.Writer) error {
+	return SimContext(context.Background(), args, w)
+}
+
+// SimContext is Sim under a caller context: cancelling ctx aborts the
+// simulation between solver steps with a partial-result error that
+// maps to ExitCancelled.
+func SimContext(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mtsim", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
@@ -35,13 +43,17 @@ func Sim(args []string, w io.Writer) error {
 		nobody  = fs.Bool("nobody", false, "disable the body effect (switch-level only)")
 		csvDir  = fs.String("csvout", "", "directory to write traced waveforms as CSV files")
 		nolint  = fs.Bool("nolint", false, "skip the pre-simulation lint pass (mtlint rules)")
+		timeout = fs.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited; overruns exit 4)")
+		maxStep = fs.Int("max-steps", 0, "cap accepted timesteps (spice) / events (vbs); 0 = unlimited, overruns exit 4")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	ctx, cancel := budgetCtx(ctx, *timeout)
+	defer cancel()
 
 	if *netFile != "" {
-		return runNetlist(w, *netFile, *techF, *tstop, *traceS, *plot, *nolint)
+		return runNetlist(ctx, w, *netFile, *techF, *tstop, *traceS, *plot, *nolint, *maxStep)
 	}
 
 	c, stim, outs, err := buildCircuit(*circ, *bits, *oldV, *newV)
@@ -58,7 +70,10 @@ func Sim(args []string, w io.Writer) error {
 
 	switch *engine {
 	case "vbs":
-		opts := mtcmos.SwitchOptions{ReverseConduction: *rev, NoBodyEffect: *nobody}
+		opts := mtcmos.SwitchOptions{
+			ReverseConduction: *rev, NoBodyEffect: *nobody,
+			Ctx: ctx, MaxEvents: *maxStep,
+		}
 		if *traceS != "" {
 			opts.TraceNets = strings.Split(*traceS, ",")
 		}
@@ -89,7 +104,9 @@ func Sim(args []string, w io.Writer) error {
 			}
 			ts = v
 		}
-		ropts := mtcmos.SpiceOptions{Options: mtcmos.EngineOptions{TStop: ts, SampleDT: 20e-12}}
+		ropts := mtcmos.SpiceOptions{Options: mtcmos.EngineOptions{
+			TStop: ts, SampleDT: 20e-12, Ctx: ctx, MaxSteps: *maxStep,
+		}}
 		if *traceS != "" {
 			ropts.RecordNets = strings.Split(*traceS, ",")
 			ropts.RecordNets = append(ropts.RecordNets, outs...)
@@ -333,7 +350,7 @@ func printSpice(w io.Writer, c *mtcmos.Circuit, res *mtcmos.SpiceResult, outs []
 	}
 }
 
-func runNetlist(w io.Writer, path, techF, tstop, traced string, plot, nolint bool) error {
+func runNetlist(ctx context.Context, w io.Writer, path, techF, tstop, traced string, plot, nolint bool, maxSteps int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -360,7 +377,7 @@ func runNetlist(w io.Writer, path, techF, tstop, traced string, plot, nolint boo
 		}
 		ts = v
 	}
-	opts := mtcmos.EngineOptions{TStop: ts, SampleDT: 20e-12}
+	opts := mtcmos.EngineOptions{TStop: ts, SampleDT: 20e-12, Ctx: ctx, MaxSteps: maxSteps}
 	if traced != "" {
 		opts.Record = strings.Split(traced, ",")
 	}

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -12,22 +13,32 @@ import (
 // Size implements the mtsize command: size a benchmark circuit's sleep
 // transistor with each of the paper's methodologies.
 func Size(args []string, w io.Writer) error {
+	return SizeContext(context.Background(), args, w)
+}
+
+// SizeContext is Size under a caller context: cancelling ctx aborts
+// the sizing search between simulator steps (exit code ExitCancelled).
+func SizeContext(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mtsize", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		circ   = fs.String("circuit", "tree", "benchmark circuit: tree | adder | mult")
-		bits   = fs.Int("bits", 0, "operand width for adder/mult (defaults 3 / 8)")
-		target = fs.Float64("target", 5, "delay degradation budget in percent")
-		bounce = fs.Float64("bounce", 0.05, "bounce budget for the peak-current method (volts)")
-		nvec   = fs.Int("vectors", 8, "random stressing transitions to evaluate (plus the paper's named vectors)")
-		seed   = fs.Int64("seed", 1, "random vector seed")
-		powerF = fs.Bool("power", true, "print the power/leakage summary at the chosen size")
-		nolint = fs.Bool("nolint", false, "skip the pre-sizing lint pass (mtlint rules)")
-		estF   = fs.String("estimate", "all", "estimators to run: all | sum | peak | delay | static-level")
+		circ    = fs.String("circuit", "tree", "benchmark circuit: tree | adder | mult")
+		bits    = fs.Int("bits", 0, "operand width for adder/mult (defaults 3 / 8)")
+		target  = fs.Float64("target", 5, "delay degradation budget in percent")
+		bounce  = fs.Float64("bounce", 0.05, "bounce budget for the peak-current method (volts)")
+		nvec    = fs.Int("vectors", 8, "random stressing transitions to evaluate (plus the paper's named vectors)")
+		seed    = fs.Int64("seed", 1, "random vector seed")
+		powerF  = fs.Bool("power", true, "print the power/leakage summary at the chosen size")
+		nolint  = fs.Bool("nolint", false, "skip the pre-sizing lint pass (mtlint rules)")
+		estF    = fs.String("estimate", "all", "estimators to run: all | sum | peak | delay | static-level")
+		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole search (0 = unlimited; overruns exit 4)")
+		maxStep = fs.Int("max-steps", 0, "cap switch-level events per simulation; 0 = unlimited")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	ctx, cancel := budgetCtx(ctx, *timeout)
+	defer cancel()
 	est := *estF
 	switch est {
 	case "all", "sum", "peak", "delay", "static-level":
@@ -40,6 +51,8 @@ func Size(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cfg.Ctx = ctx
+	cfg.Sim.MaxEvents = *maxStep
 	if !*nolint {
 		if err := lintCircuit(c, nil, nil); err != nil {
 			return err
@@ -78,8 +91,16 @@ func Size(args []string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("delay-target: %w", err)
 		}
-		fmt.Fprintf(w, "%-22s W/L = %8.1f   (measured %.2f%% vs %.0f%% budget; base %.4g ns; %d sims)\n",
-			"delay-target:", dt.WL, dt.Degradation*100, *target, dt.BaseDelay*1e9, dt.Evals)
+		if dt.Degraded {
+			fmt.Fprintf(w, "%-22s W/L = %8.1f   (degraded: %s bound, delay search failed)\n",
+				"delay-target:", dt.WL, dt.Estimate)
+			for _, warn := range dt.Warnings {
+				fmt.Fprintf(w, "  warning: %s\n", warn)
+			}
+		} else {
+			fmt.Fprintf(w, "%-22s W/L = %8.1f   (measured %.2f%% vs %.0f%% budget; base %.4g ns; %d sims)\n",
+				"delay-target:", dt.WL, dt.Degradation*100, *target, dt.BaseDelay*1e9, dt.Evals)
+		}
 	}
 	if dt != nil && pk != nil {
 		fmt.Fprintf(w, "\noverdesign: sum-of-widths %.1fx, peak-current %.1fx vs delay-target\n",

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"mtcmos/internal/circuit"
 	"mtcmos/internal/circuits"
 	"mtcmos/internal/mosfet"
+	"mtcmos/internal/simerr"
 )
 
 func tech07() *mosfet.Tech { t := mosfet.Tech07(); return &t }
@@ -451,5 +455,50 @@ func TestActivityRecording(t *testing.T) {
 	}
 	if falls != 2 {
 		t.Errorf("expected 2 discharge intervals in a 4-chain, got %d", falls)
+	}
+}
+
+func TestBudgetAndCancellationTyped(t *testing.T) {
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	c.SleepWL = 8
+	stim := stepStim("in", false, true)
+
+	res, err := Simulate(c, stim, Options{MaxEvents: 2})
+	if !errors.Is(err, simerr.ErrBudget) {
+		t.Fatalf("MaxEvents must classify as ErrBudget, got %v", err)
+	}
+	var se *simerr.Error
+	if !errors.As(err, &se) || se.Op != "core" {
+		t.Fatalf("error must be a core *simerr.Error, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial result must be returned")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = Simulate(c, stim, Options{Ctx: ctx})
+	if !errors.Is(err, simerr.ErrCancelled) {
+		t.Fatalf("cancelled context must classify as ErrCancelled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial result must be returned on cancellation")
+	}
+
+	bctx, bcancel := context.WithTimeoutCause(context.Background(), 0,
+		simerr.New(simerr.ErrBudget, "cli", "-timeout elapsed"))
+	defer bcancel()
+	<-bctx.Done()
+	_, err = Simulate(c, stim, Options{Ctx: bctx})
+	if !errors.Is(err, simerr.ErrBudget) {
+		t.Fatalf("budget-caused deadline must classify as ErrBudget, got %v", err)
+	}
+
+	res, err = Simulate(c, stim, Options{MaxWall: time.Nanosecond})
+	if !errors.Is(err, simerr.ErrBudget) {
+		t.Fatalf("MaxWall must classify as ErrBudget, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial result must be returned on wall budget")
 	}
 }

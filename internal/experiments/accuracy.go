@@ -35,7 +35,7 @@ func Accuracy(cfg Config) (*Output, error) {
 		c.SleepWL = wl
 		ds := make([]float64, len(variants))
 		for vi, v := range variants {
-			d, _, err := vbsDelay(c, treeStim(), v.opts)
+			d, _, err := vbsDelay(cfg, c, treeStim(), v.opts)
 			if err != nil {
 				return nil, err
 			}
@@ -43,7 +43,7 @@ func Accuracy(cfg Config) (*Output, error) {
 		}
 		row := []float64{ds[0] * 1e9, ds[1] * 1e9, ds[2] * 1e9, ds[3] * 1e9}
 		if !cfg.Fast {
-			ref, _, err := spiceDelay(c, treeStim(), spiceHorizon(treeStim().TEdge, ds[0]))
+			ref, _, err := spiceDelay(cfg, c, treeStim(), spiceHorizon(treeStim().TEdge, ds[0]))
 			if err != nil {
 				return nil, err
 			}

@@ -43,7 +43,7 @@ func Fig13(cfg Config) (*Output, error) {
 	s := report.NewSeries("Adder delay vs sleep W/L, vector (000001)->(110101)", "W/L", cols...)
 	for _, wl := range fig13WLs {
 		ad.SleepWL = wl
-		dv, _, err := vbsDelay(ad.Circuit, stim, core.Options{})
+		dv, _, err := vbsDelay(cfg, ad.Circuit, stim, core.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +51,7 @@ func Fig13(cfg Config) (*Output, error) {
 			s.Add(wl, dv*1e9)
 			continue
 		}
-		ds, _, err := spiceDelay(ad.Circuit, stim, adderTStop)
+		ds, _, err := spiceDelay(cfg, ad.Circuit, stim, adderTStop)
 		if err != nil {
 			return nil, err
 		}
@@ -76,11 +76,11 @@ func adderSpace(bits int) *vectors.Space {
 // degVBS computes the % degradation due to MTCMOS (paper Fig. 14's
 // y-axis) of one transition: the worst settling delay over outputs at
 // the given sleep size vs the plain-CMOS baseline.
-func degVBS(ad *circuits.Adder, stim circuit.Stimulus, wl float64, outs []string) (float64, bool, error) {
+func degVBS(cfg Config, ad *circuits.Adder, stim circuit.Stimulus, wl float64, outs []string) (float64, bool, error) {
 	saved := ad.SleepWL
 	defer func() { ad.SleepWL = saved }()
 	ad.SleepWL = 0
-	base, err := core.Simulate(ad.Circuit, stim, core.Options{})
+	base, err := core.Simulate(ad.Circuit, stim, cfg.simOpts(core.Options{}))
 	if err != nil {
 		return 0, false, err
 	}
@@ -89,7 +89,7 @@ func degVBS(ad *circuits.Adder, stim circuit.Stimulus, wl float64, outs []string
 		return 0, false, nil
 	}
 	ad.SleepWL = wl
-	mt, err := core.Simulate(ad.Circuit, stim, core.Options{})
+	mt, err := core.Simulate(ad.Circuit, stim, cfg.simOpts(core.Options{}))
 	if err != nil {
 		return 0, false, err
 	}
@@ -131,7 +131,7 @@ func Fig14(cfg Config) (*Output, error) {
 			return nil
 		}
 		stim := adderStim(ad, oa, ob, na, nb)
-		deg, ok, err := degVBS(ad, stim, wl, outs)
+		deg, ok, err := degVBS(cfg, ad, stim, wl, outs)
 		if err != nil || !ok {
 			return err
 		}
@@ -174,12 +174,12 @@ func Fig14(cfg Config) (*Output, error) {
 			cd := cands[i]
 			stim := adderStim(ad, cd.oa, cd.ob, cd.na, cd.nb)
 			ad.SleepWL = 0
-			b, _, err := spiceDelay(ad.Circuit, stim, adderTStop)
+			b, _, err := spiceDelay(cfg, ad.Circuit, stim, adderTStop)
 			if err != nil {
 				return nil, err
 			}
 			ad.SleepWL = wl
-			m, _, err := spiceDelay(ad.Circuit, stim, adderTStop)
+			m, _, err := spiceDelay(cfg, ad.Circuit, stim, adderTStop)
 			if err != nil {
 				return nil, err
 			}
@@ -209,7 +209,7 @@ func Speedup(cfg Config) (*Output, error) {
 	n := 0
 	err := space.Exhaustive(func(o, w uint64, tr vectors.Transition) error {
 		stim := adderStim(ad, o%half, o/half, w%half, w/half)
-		_, err := core.Simulate(ad.Circuit, stim, core.Options{})
+		_, err := core.Simulate(ad.Circuit, stim, cfg.simOpts(core.Options{}))
 		n++
 		return err
 	})
@@ -251,7 +251,7 @@ func Speedup(cfg Config) (*Output, error) {
 		}
 		start = time.Now()
 		for _, stim := range stims {
-			if _, _, err := spiceDelay(ad.Circuit, stim, adderTStop); err != nil {
+			if _, _, err := spiceDelay(cfg, ad.Circuit, stim, adderTStop); err != nil {
 				return nil, err
 			}
 		}
@@ -279,11 +279,11 @@ func AblationReverse(cfg Config) (*Output, error) {
 	for _, wl := range []float64{4, 8, 16} {
 		ad.SleepWL = wl
 		stim := adderStim(ad, 0, 0, 7, 1)
-		plain, err := core.Simulate(ad.Circuit, stim, core.Options{})
+		plain, err := core.Simulate(ad.Circuit, stim, cfg.simOpts(core.Options{}))
 		if err != nil {
 			return nil, err
 		}
-		rc, err := core.Simulate(ad.Circuit, stim, core.Options{ReverseConduction: true})
+		rc, err := core.Simulate(ad.Circuit, stim, cfg.simOpts(core.Options{ReverseConduction: true}))
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -41,6 +42,18 @@ type Config struct {
 
 	// Seed drives any sampling (default 1).
 	Seed int64
+
+	// Ctx cancels a run between simulator events; it is threaded into
+	// every simulation an experiment performs (see DESIGN.md §8).
+	Ctx context.Context
+}
+
+// simOpts threads the run context into simulator options.
+func (c Config) simOpts(o core.Options) core.Options {
+	if o.Ctx == nil {
+		o.Ctx = c.Ctx
+	}
+	return o
 }
 
 func (c Config) withDefaults() Config {
@@ -162,8 +175,8 @@ func outputNames(c *circuit.Circuit) []string {
 
 // vbsDelay measures the worst settling delay over the outputs with the
 // switch-level simulator.
-func vbsDelay(c *circuit.Circuit, stim circuit.Stimulus, opts core.Options) (float64, *core.Result, error) {
-	res, err := core.Simulate(c, stim, opts)
+func vbsDelay(cfg Config, c *circuit.Circuit, stim circuit.Stimulus, opts core.Options) (float64, *core.Result, error) {
+	res, err := core.Simulate(c, stim, cfg.simOpts(opts))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -176,8 +189,8 @@ func vbsDelay(c *circuit.Circuit, stim circuit.Stimulus, opts core.Options) (flo
 
 // spiceDelay measures the worst settling delay over the outputs with
 // the reference engine. TStop must comfortably cover the transition.
-func spiceDelay(c *circuit.Circuit, stim circuit.Stimulus, tstop float64) (float64, *spice.RunResult, error) {
-	res, err := spice.Run(c, stim, spice.RunOptions{Options: spice.Options{TStop: tstop}})
+func spiceDelay(cfg Config, c *circuit.Circuit, stim circuit.Stimulus, tstop float64) (float64, *spice.RunResult, error) {
+	res, err := spice.Run(c, stim, spice.RunOptions{Options: spice.Options{TStop: tstop, Ctx: cfg.Ctx}})
 	if err != nil {
 		return 0, nil, err
 	}

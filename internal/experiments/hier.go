@@ -82,7 +82,7 @@ func Hier(cfg Config) (*Output, error) {
 		tr := j.trs[0]
 		res, err := core.Simulate(j.c, circuit.Stimulus{
 			Old: tr.Old, New: tr.New, TEdge: 1e-9, TRise: 50e-12,
-		}, core.Options{})
+		}, cfg.simOpts(core.Options{}))
 		if err != nil {
 			return nil, err
 		}

@@ -39,8 +39,8 @@ func multStim(m *circuits.Multiplier, ox, oy, nx, ny uint64) circuit.Stimulus {
 }
 
 // multDelay is the worst settling delay over the product bits.
-func multDelay(m *circuits.Multiplier, stim circuit.Stimulus) (float64, *core.Result, error) {
-	res, err := core.Simulate(m.Circuit, stim, core.Options{})
+func multDelay(cfg Config, m *circuits.Multiplier, stim circuit.Stimulus) (float64, *core.Result, error) {
+	res, err := core.Simulate(m.Circuit, stim, cfg.simOpts(core.Options{}))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -67,11 +67,11 @@ func Fig7(cfg Config) (*Output, error) {
 
 	// CMOS baselines.
 	m.SleepWL = 0
-	baseA, _, err := multDelay(m, stimA)
+	baseA, _, err := multDelay(cfg, m, stimA)
 	if err != nil {
 		return nil, err
 	}
-	baseB, _, err := multDelay(m, stimB)
+	baseB, _, err := multDelay(cfg, m, stimB)
 	if err != nil {
 		return nil, err
 	}
@@ -80,11 +80,11 @@ func Fig7(cfg Config) (*Output, error) {
 		"W/L", "A_ns", "B_ns", "A_deg_pct", "B_deg_pct")
 	for _, wl := range fig7WLs {
 		m.SleepWL = wl
-		dA, _, err := multDelay(m, stimA)
+		dA, _, err := multDelay(cfg, m, stimA)
 		if err != nil {
 			return nil, err
 		}
-		dB, _, err := multDelay(m, stimB)
+		dB, _, err := multDelay(cfg, m, stimB)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +116,7 @@ func Table1(cfg Config) (*Output, error) {
 	}
 	trA := mk(vectorA, "A")
 	trB := mk(vectorB, "B")
-	cfgS := sizing.Config{Outputs: m.ProductNets}
+	cfgS := sizing.Config{Outputs: m.ProductNets, Ctx: cfg.Ctx}
 
 	tb := report.NewTable("Delay degradation (%) vs sleep W/L",
 		"W/L", "vector A", "vector B")
@@ -169,7 +169,7 @@ func Peak(cfg Config) (*Output, error) {
 	n := cfg.MultiplierBits
 	oa, ob, na, nb := vectorA(n)
 	trA := sizing.Transition{Old: m.Inputs(oa, ob), New: m.Inputs(na, nb), Label: "A"}
-	cfgS := sizing.Config{Outputs: m.ProductNets}
+	cfgS := sizing.Config{Outputs: m.ProductNets, Ctx: cfg.Ctx}
 
 	// Paper: 50mV fixed bounce budget gives about 5% degradation.
 	pk, err := sizing.PeakCurrent(m.Circuit, cfgS, []sizing.Transition{trA}, 0.05)

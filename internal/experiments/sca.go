@@ -63,7 +63,7 @@ func SCA(cfg Config) (*Output, error) {
 	multStim.Old, multStim.New = mTrs[0].Old, mTrs[0].New
 
 	benches := []bench{
-		{"inverter tree", tree, sizing.Config{}, treeTrs, treeStim()},
+		{"inverter tree", tree, sizing.Config{Ctx: cfg.Ctx}, treeTrs, treeStim()},
 		{fmt.Sprintf("%d-bit adder", cfg.AdderBits), ad.Circuit, sizing.Config{}, adTrs, adderStim},
 		{fmt.Sprintf("%dx%d multiplier", cfg.MultiplierBits, cfg.MultiplierBits),
 			m.Circuit, sizing.Config{Outputs: m.ProductNets}, mTrs, multStim},

@@ -64,7 +64,7 @@ func Screen(cfg Config) (*Output, error) {
 			return nil
 		}
 		stim := adderStim(ad, oa, ob, na, nb)
-		deg, ok, err := degVBS(ad, stim, wl, outs)
+		deg, ok, err := degVBS(cfg, ad, stim, wl, outs)
 		if err != nil || !ok {
 			return err
 		}

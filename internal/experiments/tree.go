@@ -48,7 +48,7 @@ func Fig5(cfg Config) (*Output, error) {
 		c, _ := paperTree()
 		c.SleepWL = wl
 		if cfg.Fast {
-			res, err := core.Simulate(c, treeStim(), core.Options{TraceNets: []string{"s3_0"}, TStop: treeTStop})
+			res, err := core.Simulate(c, treeStim(), cfg.simOpts(core.Options{TraceNets: []string{"s3_0"}, TStop: treeTStop}))
 			if err != nil {
 				return nil, err
 			}
@@ -58,7 +58,7 @@ func Fig5(cfg Config) (*Output, error) {
 		} else {
 			engine = "reference engine"
 			res, err := spice.Run(c, treeStim(), spice.RunOptions{
-				Options:    spice.Options{TStop: treeTStop, SampleDT: 20e-12},
+				Options:    spice.Options{TStop: treeTStop, SampleDT: 20e-12, Ctx: cfg.Ctx},
 				RecordNets: []string{"s3_0"},
 			})
 			if err != nil {
@@ -97,7 +97,7 @@ func Fig10(cfg Config) (*Output, error) {
 	for _, wl := range treeWLs {
 		c, _ := paperTree()
 		c.SleepWL = wl
-		dv, _, err := vbsDelay(c, treeStim(), core.Options{})
+		dv, _, err := vbsDelay(cfg, c, treeStim(), core.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -105,7 +105,7 @@ func Fig10(cfg Config) (*Output, error) {
 			s.Add(wl, dv*1e9)
 			continue
 		}
-		ds, _, err := spiceDelay(c, treeStim(), spiceHorizon(treeStim().TEdge, dv))
+		ds, _, err := spiceDelay(cfg, c, treeStim(), spiceHorizon(treeStim().TEdge, dv))
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +127,7 @@ func Fig11(cfg Config) (*Output, error) {
 
 	c, _ := paperTree()
 	c.SleepWL = wl
-	vres, err := core.Simulate(c, treeStim(), core.Options{TStop: treeTStop})
+	vres, err := core.Simulate(c, treeStim(), cfg.simOpts(core.Options{TStop: treeTStop}))
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +137,7 @@ func Fig11(cfg Config) (*Output, error) {
 	if !cfg.Fast {
 		cols = append(cols, "spice_Vx")
 		sres, err := spice.Run(c, treeStim(), spice.RunOptions{
-			Options:    spice.Options{TStop: treeTStop, SampleDT: 20e-12},
+			Options:    spice.Options{TStop: treeTStop, SampleDT: 20e-12, Ctx: cfg.Ctx},
 			RecordNets: []string{"s3_0"},
 		})
 		if err != nil {
@@ -163,7 +163,7 @@ func Fig11(cfg Config) (*Output, error) {
 	cHi, _ := paperTree()
 	cHi.SleepWL = 0.5
 	cHi.VGndCap = 2e-12
-	hres, err := core.Simulate(cHi, treeStim(), core.Options{TStop: 4 * treeTStop})
+	hres, err := core.Simulate(cHi, treeStim(), cfg.simOpts(core.Options{TStop: 4 * treeTStop}))
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +189,7 @@ func AblationCx(cfg Config) (*Output, error) {
 		c, _ := paperTree()
 		c.SleepWL = wl
 		c.VGndCap = cx
-		d, res, err := vbsDelay(c, treeStim(), core.Options{})
+		d, res, err := vbsDelay(cfg, c, treeStim(), core.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -219,11 +219,11 @@ func AblationBody(cfg Config) (*Output, error) {
 	for _, wl := range []float64{2, 5, 8, 14, 20} {
 		c, _ := paperTree()
 		c.SleepWL = wl
-		dBody, _, err := vbsDelay(c, treeStim(), core.Options{})
+		dBody, _, err := vbsDelay(cfg, c, treeStim(), core.Options{})
 		if err != nil {
 			return nil, err
 		}
-		dNoBody, _, err := vbsDelay(c, treeStim(), core.Options{NoBodyEffect: true})
+		dNoBody, _, err := vbsDelay(cfg, c, treeStim(), core.Options{NoBodyEffect: true})
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +231,7 @@ func AblationBody(cfg Config) (*Output, error) {
 			s.Add(wl, dBody*1e9, dNoBody*1e9)
 			continue
 		}
-		ds, _, err := spiceDelay(c, treeStim(), spiceHorizon(treeStim().TEdge, dBody))
+		ds, _, err := spiceDelay(cfg, c, treeStim(), spiceHorizon(treeStim().TEdge, dBody))
 		if err != nil {
 			return nil, err
 		}

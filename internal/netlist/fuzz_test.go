@@ -1,0 +1,64 @@
+package netlist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary decks to the parser and enforces its error
+// contract: a malformed deck must come back as a *ParseError carrying
+// a line number — never a panic, never an untyped error — and a deck
+// that parses must also survive flattening without panicking.
+func FuzzParse(f *testing.F) {
+	for _, dir := range []string{
+		filepath.Join("..", "..", "examples", "decks"),
+		filepath.Join("..", "cli", "testdata"),
+	} {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.sp"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(data))
+		}
+	}
+	// Shapes the example decks do not cover: subckt nesting,
+	// continuation folding, every source flavor, bad suffixes.
+	f.Add("title\nM1 d g s b nmos W=1u L=0.7u\nC1 d 0 1f\nR1 d 0 1k\n")
+	f.Add(".subckt inv a y\nMn y a 0 0 nmos W=1u L=1u\n.ends\nX1 a y inv\n")
+	f.Add("t\nV1 a 0 PWL(0 0 1n 1)\n+ 2n 0\n")
+	f.Add("t\nV1 a 0 PULSE(0 1 0 1p 1p 1n 2n)\nV2 b 0 DC 1.2\n")
+	f.Add("t\nC1 a 0 50fF\nR1 a b 2.2kOhm\nCx b 0 3meg\n")
+	f.Add("t\n.subckt a\n.subckt b\n.ends\n")
+	f.Add("* comment only\n$ trailing\n+ cont\n")
+
+	f.Fuzz(func(t *testing.T, deck string) {
+		nl, err := ParseString(deck)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ParseString returned a non-ParseError %T: %v", err, err)
+			}
+			if pe.Line <= 0 {
+				t.Errorf("ParseError must carry a positive line number, got %d", pe.Line)
+			}
+			if nl != nil {
+				t.Error("a parse error must come with a nil netlist")
+			}
+			return
+		}
+		if nl == nil {
+			t.Fatal("nil netlist without an error")
+		}
+		// Semantic defects (undefined subckts, port mismatches,
+		// definition cycles) are allowed to error here — the contract
+		// under fuzz is only "no panic".
+		_, _ = nl.Flatten()
+	})
+}

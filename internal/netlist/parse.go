@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -66,6 +67,12 @@ func Parse(r io.Reader) (*Netlist, error) {
 		lines = append(lines, srcLine{num: num, text: trimmed})
 	}
 	if err := sc.Err(); err != nil {
+		// An over-long line is a defect of the deck itself, so it
+		// classifies as a syntax error; only genuine reader failures
+		// surface as I/O errors.
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, &ParseError{num + 1, "line exceeds the 4MB limit"}
+		}
 		return nil, fmt.Errorf("netlist: read: %w", err)
 	}
 

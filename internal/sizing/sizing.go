@@ -8,12 +8,15 @@
 package sizing
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"mtcmos/internal/circuit"
 	"mtcmos/internal/core"
 	"mtcmos/internal/mosfet"
+	"mtcmos/internal/simerr"
 )
 
 // Transition is an input-vector pair evaluated during sizing.
@@ -31,6 +34,9 @@ type Config struct {
 	TEdge, TRise float64
 	// Sim options forwarded to the switch-level simulator.
 	Sim core.Options
+	// Ctx cancels the whole search (copied into Sim.Ctx when that is
+	// unset); see DESIGN.md §8.
+	Ctx context.Context
 }
 
 func (cfg *Config) withDefaults(c *circuit.Circuit) Config {
@@ -45,6 +51,9 @@ func (cfg *Config) withDefaults(c *circuit.Circuit) Config {
 	}
 	if out.TRise <= 0 {
 		out.TRise = 50e-12
+	}
+	if out.Sim.Ctx == nil {
+		out.Sim.Ctx = out.Ctx
 	}
 	return out
 }
@@ -84,6 +93,49 @@ func Delays(c *circuit.Circuit, cfg Config, trs []Transition) (float64, error) {
 	return worst, nil
 }
 
+// delaysTolerant is Delays with per-transition fault tolerance: a
+// recoverable simulator failure (non-convergence, numerical poison,
+// exhausted budget — everything the recovery ladder could not rescue)
+// skips that transition with a warning instead of aborting the search.
+// Cancellation and configuration errors still abort. A partial result
+// from a failed run is deliberately NOT measured: an incomplete
+// waveform can understate the delay and undersize the sleep device. It
+// errors only when no transition produced a usable delay.
+func delaysTolerant(c *circuit.Circuit, cf Config, trs []Transition) (float64, []string, error) {
+	worst, any := 0.0, false
+	var warns []string
+	var firstSkip error
+	for _, tr := range trs {
+		res, err := core.Simulate(c, cf.stim(tr), cf.Sim)
+		if err != nil {
+			if !simerr.IsRecoverable(err) || errors.Is(err, simerr.ErrCancelled) {
+				return 0, warns, fmt.Errorf("sizing: transition %s: %w", tr.Label, err)
+			}
+			if firstSkip == nil {
+				firstSkip = err
+			}
+			warns = append(warns, fmt.Sprintf("transition %s skipped: %v", tr.Label, err))
+			continue
+		}
+		if d, _, ok := res.MaxDelay(cf.Outputs); ok {
+			any = true
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if !any {
+		if firstSkip != nil {
+			// Wrap the first skip so the caller can classify the
+			// failure (and e.g. degrade to a static estimate).
+			return 0, warns, fmt.Errorf("sizing: no transition produced a usable delay (%d skipped): %w",
+				len(warns), firstSkip)
+		}
+		return 0, warns, fmt.Errorf("sizing: no transition produced a usable delay")
+	}
+	return worst, warns, nil
+}
+
 // Degradation returns the fractional slowdown of the circuit at sleep
 // size wl relative to the plain-CMOS baseline, over the worst of the
 // given transitions: (t_mtcmos - t_cmos) / t_cmos.
@@ -110,6 +162,15 @@ type DelayTargetResult struct {
 	Degradation float64 // measured degradation at WL
 	BaseDelay   float64 // plain-CMOS worst delay
 	Evals       int     // simulator invocations spent
+
+	// Degraded marks a result whose simulations failed beyond rescue:
+	// WL comes from the estimator named by Estimate ("static-level")
+	// instead of the delay search, and Warnings explains why. A
+	// degraded WL is a conservative topological bound, never an
+	// undersized guess.
+	Degraded bool
+	Estimate string   // "delay-target", or the fallback estimator used
+	Warnings []string // skipped transitions and degrade reasons
 }
 
 // DelayTarget finds the smallest sleep-transistor W/L whose worst-case
@@ -125,11 +186,32 @@ func DelayTarget(c *circuit.Circuit, cfg Config, trs []Transition, target, hi fl
 	saved := c.SleepWL
 	defer func() { c.SleepWL = saved }()
 
-	res := &DelayTargetResult{}
+	res := &DelayTargetResult{Estimate: "delay-target"}
+	// fail degrades the search to the static-level estimate rather than
+	// aborting — unless the failure is a cancellation (the caller asked
+	// us to stop) or the topological fallback itself is unusable.
+	fail := func(cause error) (*DelayTargetResult, error) {
+		if errors.Is(cause, simerr.ErrCancelled) || !simerr.IsRecoverable(cause) {
+			return nil, cause
+		}
+		sl, serr := StaticLevel(c)
+		if serr != nil {
+			return nil, fmt.Errorf("sizing: %w (static-level fallback also failed: %v)", cause, serr)
+		}
+		res.WL = sl.WL
+		res.Degraded = true
+		res.Estimate = "static-level"
+		res.Degradation = math.NaN()
+		res.Warnings = append(res.Warnings, fmt.Sprintf(
+			"delay search failed (%v); degraded to the static-level bound W/L=%.4g", cause, sl.WL))
+		return res, nil
+	}
+
 	c.SleepWL = 0
-	base, err := Delays(c, cf, trs)
+	base, warns, err := delaysTolerant(c, cf, trs)
+	res.Warnings = append(res.Warnings, warns...)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	res.BaseDelay = base
 	res.Evals++
@@ -139,7 +221,8 @@ func DelayTarget(c *circuit.Circuit, cfg Config, trs []Transition, target, hi fl
 	}
 	degAt := func(wl float64) (float64, error) {
 		c.SleepWL = wl
-		d, err := Delays(c, cf, trs)
+		d, warns, err := delaysTolerant(c, cf, trs)
+		res.Warnings = append(res.Warnings, warns...)
 		if err != nil {
 			return 0, err
 		}
@@ -149,7 +232,7 @@ func DelayTarget(c *circuit.Circuit, cfg Config, trs []Transition, target, hi fl
 
 	dHi, err := degAt(hi)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if dHi > target {
 		return nil, fmt.Errorf("sizing: even W/L=%g degrades %.1f%% (> %.1f%%); raise hi",
@@ -158,7 +241,7 @@ func DelayTarget(c *circuit.Circuit, cfg Config, trs []Transition, target, hi fl
 	lo := 1.0
 	dLo, err := degAt(lo)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if dLo <= target {
 		res.WL, res.Degradation = lo, dLo
@@ -169,7 +252,7 @@ func DelayTarget(c *circuit.Circuit, cfg Config, trs []Transition, target, hi fl
 		mid := math.Sqrt(lo * hi)
 		d, err := degAt(mid)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if d <= target {
 			hi, dHi = mid, d

@@ -1,10 +1,14 @@
 package sizing
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"mtcmos/internal/circuits"
+	"mtcmos/internal/core"
 	"mtcmos/internal/mosfet"
+	"mtcmos/internal/simerr"
 )
 
 func tech07() *mosfet.Tech { t := mosfet.Tech07(); return &t }
@@ -138,5 +142,57 @@ func TestDelaysErrorsWhenNothingToggles(t *testing.T) {
 	}}
 	if _, err := Delays(c, Config{}, quiet); err == nil {
 		t.Error("quiescent transitions must error")
+	}
+}
+
+func TestDelayTargetDegradesToStaticLevel(t *testing.T) {
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	c.SleepWL = 8
+	trs := treeTransitions()
+
+	// An event budget far too small for any transition kills every
+	// simulation mid-run; the search must complete with the
+	// static-level estimate instead of aborting.
+	cfg := Config{Sim: core.Options{MaxEvents: 2}}
+	res, err := DelayTarget(c, cfg, trs, 0.05, 0)
+	if err != nil {
+		t.Fatalf("budget-killed search must degrade, not abort: %v", err)
+	}
+	if !res.Degraded || res.Estimate != "static-level" {
+		t.Fatalf("want degraded static-level result, got %+v", res)
+	}
+	if len(res.Warnings) == 0 {
+		t.Error("degraded result must carry a warning")
+	}
+	want, serr := StaticLevel(c)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if res.WL != want.WL {
+		t.Errorf("degraded WL = %g, want static-level bound %g", res.WL, want.WL)
+	}
+	if c.SleepWL != 8 {
+		t.Errorf("SleepWL must be restored, got %g", c.SleepWL)
+	}
+
+	// Cancellation must abort, not degrade: a user stop is not a
+	// sizing answer.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DelayTarget(c, Config{Ctx: ctx}, trs, 0.05, 0); !errors.Is(err, simerr.ErrCancelled) {
+		t.Fatalf("cancelled search must return ErrCancelled, got %v", err)
+	}
+}
+
+func TestDelaysTolerantSkipsFailingTransition(t *testing.T) {
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	c.SleepWL = 8
+	cfg := Config{}
+	cf := cfg.withDefaults(c)
+
+	// Healthy baseline: both transitions usable, no warnings.
+	worst, warns, err := delaysTolerant(c, cf, treeTransitions())
+	if err != nil || len(warns) != 0 || worst <= 0 {
+		t.Fatalf("clean run: worst=%g warns=%v err=%v", worst, warns, err)
 	}
 }

@@ -15,10 +15,12 @@
 package spice
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"mtcmos/internal/mosfet"
 	"mtcmos/internal/netlist"
@@ -51,6 +53,28 @@ type Options struct {
 	// the supply this is the current the source must deliver, so
 	// integrating Currents["vdd"]*Vdd yields the drawn energy.
 	MeasureCurrent []string
+
+	// --- Robustness (see DESIGN.md §8) ---
+
+	// Ctx cancels the run between step attempts; a cancelled run
+	// returns the partial Result with an ErrCancelled failure (or
+	// ErrBudget when the context carries a budget cause).
+	Ctx context.Context
+	// MaxSteps bounds accepted timesteps (0 = unlimited); exceeding it
+	// returns the partial Result with an ErrBudget failure.
+	MaxSteps int
+	// MaxEvals bounds total device evaluations (0 = unlimited),
+	// checked between step attempts.
+	MaxEvals int
+	// MaxWall bounds wall-clock time (0 = unlimited), checked between
+	// step attempts.
+	MaxWall time.Duration
+	// Recovery tunes the convergence-recovery ladder; the zero value
+	// enables every rung.
+	Recovery Recovery
+	// Intercept, when non-nil, observes and may replace every MOS
+	// current evaluation (fault injection; see internal/faultinject).
+	Intercept Intercept
 }
 
 func (o *Options) withDefaults() Options {
@@ -70,6 +94,7 @@ func (o *Options) withDefaults() Options {
 	if out.MaxSweep <= 0 {
 		out.MaxSweep = 60
 	}
+	out.Recovery = out.Recovery.withDefaults()
 	return out
 }
 
@@ -83,6 +108,8 @@ type Result struct {
 	Steps    int // accepted timesteps
 	Sweeps   int // total Gauss-Seidel sweeps
 	Evals    int // total device evaluations
+	// Recovery counts convergence-recovery ladder activity.
+	Recovery RecoveryStats
 }
 
 // Current returns the measured current trace of a node, or nil.
@@ -142,6 +169,7 @@ func (r *Result) Trace(node string) *wave.Trace {
 }
 
 type mosInst struct {
+	name       string
 	dev        mosfet.Device
 	d, g, s, b int32
 }
@@ -183,6 +211,11 @@ type engine struct {
 	nodeCaps [][]int32
 
 	order []int32 // free-node relaxation order
+
+	// Device-evaluation interception (fault injection); set only for
+	// the duration of a Run.
+	icept Intercept
+	einfo EvalInfo
 }
 
 // Compile builds a simulation engine from a flattened netlist.
@@ -210,7 +243,7 @@ func Compile(f *netlist.Flat, tech *mosfet.Tech) (*engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.mos = append(e.mos, mosInst{dev: dev, d: idx(m.D), g: idx(m.G), s: idx(m.S), b: idx(m.B)})
+		e.mos = append(e.mos, mosInst{name: strings.ToLower(m.Name), dev: dev, d: idx(m.D), g: idx(m.G), s: idx(m.S), b: idx(m.B)})
 	}
 	for _, r := range f.Ress {
 		if r.Ohms <= 0 {
@@ -336,20 +369,29 @@ func (e *engine) mosCurrents(m *mosInst, v []float64) (intoD, intoS float64) {
 	vd, vg, vs, vb := at(m.d), at(m.g), at(m.s), at(m.b)
 	if m.dev.Kind == mosfet.NMOS {
 		ids := m.dev.Ids(vg-vs, vd-vs, vs-vb)
+		if e.icept != nil {
+			e.einfo.Device = m.name
+			ids = e.icept(e.einfo, ids)
+		}
 		return -ids, ids
 	}
 	// PMOS in magnitudes: source is the high side by convention, but
 	// the model's terminal-exchange symmetry makes orientation safe.
 	isd := m.dev.Ids(vs-vg, vs-vd, vb-vs)
+	if e.icept != nil {
+		e.einfo.Device = m.name
+		isd = e.icept(e.einfo, isd)
+	}
 	return isd, -isd
 }
 
 // residual computes the KCL residual at free node i: net current into
 // the node from devices and resistors minus capacitor charging current
 // (backward Euler over dt from vprev). A positive residual means the
-// node must rise.
-func (e *engine) residual(i int32, v, vprev []float64, dt float64, evals *int) float64 {
-	into := 0.0
+// node must rise. gmin adds a shunt conductance to ground (the Gmin
+// recovery rung's homotopy load; 0 on the normal path).
+func (e *engine) residual(i int32, v, vprev []float64, dt, gmin float64, evals *int) float64 {
+	into := -gmin * v[i]
 	for _, mi := range e.nodeMOS[i] {
 		m := &e.mos[mi]
 		d, s := e.mosCurrents(m, v)
@@ -395,12 +437,18 @@ func (e *engine) residual(i int32, v, vprev []float64, dt float64, evals *int) f
 	return into - icharge
 }
 
-// Run executes the transient and returns recorded traces.
+// Run executes the transient and returns recorded traces. Runtime
+// failures (non-convergence, numerical poison, budget exhaustion,
+// cancellation) return the partial Result up to the failure time
+// alongside a typed *simerr.Error; only configuration errors return a
+// nil Result.
 func (e *engine) Run(opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	if o.TStop <= 0 {
 		return nil, fmt.Errorf("spice: TStop must be positive")
 	}
+	e.icept = o.Intercept
+	defer func() { e.icept = nil }()
 	n := len(e.names)
 	v := make([]float64, n)
 	vprev := make([]float64, n)
@@ -495,94 +543,25 @@ func (e *engine) Run(opts Options) (*Result, error) {
 	res := &Result{Traces: rec, Currents: curTraces}
 	record(0, true)
 
-	t := 0.0
-	dt := o.DTMax / 8
-	vtrial := make([]float64, n)
-	for t < o.TStop {
-		dtTry := math.Min(dt, o.TStop-t)
-		if nb := nextBreak(t); nb > t && nb-t < dtTry {
-			dtTry = nb - t
+	st := &runState{
+		v: v, vprev: vprev, vtrial: make([]float64, n),
+		t: 0, dt: o.DTMax / 8,
+		res: res, record: record, start: time.Now(),
+	}
+	for st.t < o.TStop {
+		dtTry := math.Min(st.dt, o.TStop-st.t)
+		if nb := nextBreak(st.t); nb > st.t && nb-st.t < dtTry {
+			dtTry = nb - st.t
 		}
-	attempt:
-		for {
-			copy(vprev, v)
-			copy(vtrial, v)
-			tNew := t + dtTry
-			for _, s := range e.srcs {
-				if s.node != groundIdx {
-					vtrial[s.node] = s.v.At(tNew)
-				}
-			}
-			converged := false
-			sweeps := 0
-			for ; sweeps < o.MaxSweep; sweeps++ {
-				maxDelta := 0.0
-				for _, i := range e.order {
-					vi := vtrial[i]
-					start := vi
-					// Scalar Newton, at most two iterations per sweep;
-					// Gauss-Seidel supplies the outer fixed point.
-					for it := 0; it < 2; it++ {
-						g := e.residual(i, vtrial, vprev, dtTry, &res.Evals)
-						const h = 1e-5
-						vtrial[i] = vi + h
-						gp := e.residual(i, vtrial, vprev, dtTry, &res.Evals)
-						vtrial[i] = vi
-						dg := (gp - g) / h
-						if dg >= -1e-18 {
-							// Degenerate derivative; fall back to a
-							// capacitance-limited explicit move.
-							dg = -e.cg[i]/dtTry - 1e-12
-						}
-						step := -g / dg
-						// Damp huge steps to keep Newton stable.
-						lim := 0.5 * (math.Abs(e.tech.Vdd) + 1)
-						if step > lim {
-							step = lim
-						} else if step < -lim {
-							step = -lim
-						}
-						vi += step
-						vtrial[i] = vi
-						if math.Abs(step) < o.VTol/4 {
-							break
-						}
-					}
-					if d := math.Abs(vi - start); d > maxDelta {
-						maxDelta = d
-					}
-				}
-				if maxDelta < o.VTol {
-					converged = true
-					sweeps++
-					break
-				}
-			}
-			res.Sweeps += sweeps
-			if converged {
-				copy(v, vtrial)
-				t = tNew
-				res.Steps++
-				record(t, t >= o.TStop)
-				// Adapt: quick convergence earns a larger step.
-				if sweeps <= 6 {
-					dt = math.Min(dt*1.4, o.DTMax)
-				} else if sweeps > 20 {
-					dt = math.Max(dt/2, o.DTMin)
-				}
-				break attempt
-			}
-			dtTry /= 2
-			if dtTry < o.DTMin {
-				return nil, fmt.Errorf("spice: no convergence at t=%g even at dt=%g", t, dtTry)
-			}
-			dt = dtTry
+		if err := e.advance(&o, st, dtTry); err != nil {
+			return res, err
 		}
 	}
 	return res, nil
 }
 
-// Simulate compiles and runs a flattened netlist in one call.
+// Simulate compiles and runs a flattened netlist in one call. Like
+// Run, it returns the partial Result alongside any runtime failure.
 func Simulate(f *netlist.Flat, tech *mosfet.Tech, opts Options) (*Result, error) {
 	e, err := Compile(f, tech)
 	if err != nil {

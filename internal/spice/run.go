@@ -120,9 +120,12 @@ func Run(c *circuit.Circuit, stim circuit.Stimulus, opts RunOptions) (*RunResult
 		opts.Record = canon
 	}
 
+	// Runtime failures carry the partial waveform up to the failure
+	// time (matching internal/core); pass it through alongside the
+	// error so callers can salvage what was simulated.
 	res, err := Simulate(flat, c.Tech, opts.Options)
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
-	return &RunResult{Result: res, Stim: stim, Vdd: c.Tech.Vdd}, nil
+	return &RunResult{Result: res, Stim: stim, Vdd: c.Tech.Vdd}, err
 }

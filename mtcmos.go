@@ -52,6 +52,7 @@ import (
 	"mtcmos/internal/power"
 	"mtcmos/internal/report"
 	"mtcmos/internal/sca"
+	"mtcmos/internal/simerr"
 	"mtcmos/internal/sizing"
 	"mtcmos/internal/spice"
 	"mtcmos/internal/vectors"
@@ -216,6 +217,62 @@ func SimulateNetlist(nl *Netlist, tech *Tech, opts spice.Options) (*spice.Result
 // EngineOptions configures a raw netlist transient (no circuit-level
 // conveniences).
 type EngineOptions = spice.Options
+
+// --- Failure taxonomy and resilience ---
+
+// Typed failure classes returned (wrapped) by both simulators and the
+// sizing search; test with errors.Is. See DESIGN.md §8.
+var (
+	// ErrNoConvergence: the relaxation solver gave up after the whole
+	// recovery ladder was exhausted.
+	ErrNoConvergence = simerr.ErrNoConvergence
+	// ErrNumerical: a NaN/Inf poisoned a node update (failed fast).
+	ErrNumerical = simerr.ErrNumerical
+	// ErrBudget: a step/eval/event/wall-clock budget or -timeout ran out.
+	ErrBudget = simerr.ErrBudget
+	// ErrCancelled: the run's context was cancelled (e.g. Ctrl-C).
+	ErrCancelled = simerr.ErrCancelled
+)
+
+// SimError is the structured simulation failure: a class above plus
+// diagnostics (node, simulated time, timestep, iteration counts).
+// Runtime failures return it alongside the partial result.
+type SimError = simerr.Error
+
+// IsRecoverable reports whether a failure is worth retrying with
+// different options (budgets, recovery ladder) rather than a
+// configuration error or a deliberate cancellation.
+func IsRecoverable(err error) bool { return simerr.IsRecoverable(err) }
+
+// RecoveryConfig tunes the reference engine's convergence-recovery
+// ladder (EngineOptions.Recovery).
+type RecoveryConfig = spice.Recovery
+
+// RecoveryStats counts, per run, how often each recovery rung fired
+// and how many failing steps were rescued.
+type RecoveryStats = spice.RecoveryStats
+
+// RecoveryRung identifies a rung of the convergence-recovery ladder in
+// escalation order.
+type RecoveryRung = spice.Rung
+
+// The ladder rungs: timestep back-off, Gauss-Seidel under-relaxation,
+// Gmin conductance stepping, source ramping.
+const (
+	RungNone       = spice.RungNone
+	RungBackoff    = spice.RungBackoff
+	RungDamping    = spice.RungDamping
+	RungGmin       = spice.RungGmin
+	RungSourceRamp = spice.RungSourceRamp
+)
+
+// EvalInfo describes one device evaluation to an Intercept hook.
+type EvalInfo = spice.EvalInfo
+
+// Intercept observes/modifies every device-current evaluation of the
+// reference engine (EngineOptions.Intercept); the fault-injection
+// harness in internal/faultinject is built on it.
+type Intercept = spice.Intercept
 
 // --- Static analysis (linting) ---
 

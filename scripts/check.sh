@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, vet, build, race-enabled tests.
 # Run from anywhere; exits nonzero on the first failure.
+# CHECK_TIMEOUT bounds the test phases (go test -timeout; default 10m).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CHECK_TIMEOUT="${CHECK_TIMEOUT:-10m}"
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -19,6 +22,9 @@ echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
-go test -race ./...
+go test -race -timeout "$CHECK_TIMEOUT" ./...
+
+echo "== fault-injection gate (-race) =="
+go test -race -timeout "$CHECK_TIMEOUT" -count=1 ./internal/faultinject/ ./internal/spice/
 
 echo "all checks passed"
