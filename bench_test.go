@@ -37,8 +37,19 @@ func BenchmarkFig5InverterTreeTransients(b *testing.B) {
 	runExp(b, "fig5", mtcmos.ExperimentConfig{})
 }
 
+// BenchmarkFig7MultiplierVectorSweep runs the Fig. 7 W/L-by-vector grid
+// with the default worker pool (one per CPU): `go test -cpu 1,2,4,8`
+// sets GOMAXPROCS and therefore the pool size, so the -cpu columns of
+// this benchmark ARE the parallel-sweep speedup measurement
+// (scripts/bench.sh records them in BENCH_parallel.json).
 func BenchmarkFig7MultiplierVectorSweep(b *testing.B) {
 	runExp(b, "fig7", mtcmos.ExperimentConfig{})
+}
+
+// BenchmarkFig7MultiplierVectorSweepSerial pins Workers to 1: the
+// serial baseline the parallel columns are compared against.
+func BenchmarkFig7MultiplierVectorSweepSerial(b *testing.B) {
+	runExp(b, "fig7", mtcmos.ExperimentConfig{Workers: 1})
 }
 
 func BenchmarkTable1DegradationTable(b *testing.B) {
@@ -110,6 +121,59 @@ func BenchmarkVBSAdderVector(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mtcmos.Simulate(ad.Circuit, stim, mtcmos.SwitchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVBSCompiledAdderVector is BenchmarkVBSAdderVector on a
+// compiled circuit: compile once, run many. The allocs/op delta against
+// the fresh-compile loop above is the pooled-run-state saving.
+func BenchmarkVBSCompiledAdderVector(b *testing.B) {
+	tech := mtcmos.Tech07()
+	ad := mtcmos.RippleCarryAdder(&tech, 3, 20e-15)
+	ad.SleepWL = 10
+	cp, err := mtcmos.CompileCircuit(ad.Circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stim := mtcmos.Stimulus{
+		Old:   ad.Inputs(0, 0, false),
+		New:   ad.Inputs(7, 5, false),
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.Run(stim, mtcmos.SwitchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateBatchAdder measures the facade batch path: 64
+// transitions fanned out over the default worker pool (scales with
+// -cpu like the experiment sweeps).
+func BenchmarkSimulateBatchAdder(b *testing.B) {
+	tech := mtcmos.Tech07()
+	ad := mtcmos.RippleCarryAdder(&tech, 3, 20e-15)
+	ad.SleepWL = 10
+	cp, err := mtcmos.CompileCircuit(ad.Circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stims []mtcmos.Stimulus
+	for i := 0; i < 64; i++ {
+		stims = append(stims, mtcmos.Stimulus{
+			Old:   ad.Inputs(uint64(i)%8, uint64(i)/8, false),
+			New:   ad.Inputs(7-uint64(i)%8, uint64(i)/8, false),
+			TEdge: 1e-9, TRise: 50e-12,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtcmos.SimulateBatch(cp, stims, mtcmos.BatchOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

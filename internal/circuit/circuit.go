@@ -3,6 +3,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mtcmos/internal/mosfet"
 )
@@ -75,7 +76,9 @@ type Circuit struct {
 
 	nets     map[string]*Net
 	netOrder []*Net
-	topo     []*Gate // cached topological order
+
+	topoMu sync.Mutex
+	topo   []*Gate // cached topological order, guarded by topoMu
 }
 
 // New returns an empty circuit over the given technology.
@@ -162,7 +165,9 @@ func (c *Circuit) AddGate(kind Kind, name, out string, size float64, ins ...stri
 	}
 	on.Driver = g
 	c.Gates = append(c.Gates, g)
+	c.topoMu.Lock()
 	c.topo = nil
+	c.topoMu.Unlock()
 	return g, nil
 }
 
@@ -190,8 +195,11 @@ func (c *Circuit) Check() error {
 }
 
 // Topo returns the gates in topological order (inputs first). It fails
-// on combinational cycles.
+// on combinational cycles. Safe for concurrent use once construction is
+// finished: parallel sweeps may race to fill the cache on first use.
 func (c *Circuit) Topo() ([]*Gate, error) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
 	if c.topo != nil {
 		return c.topo, nil
 	}

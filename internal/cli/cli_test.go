@@ -214,3 +214,40 @@ func TestSimCSVOut(t *testing.T) {
 		}
 	}
 }
+
+func TestSimWLSweep(t *testing.T) {
+	run := func(jobs string) string {
+		var buf bytes.Buffer
+		err := Sim([]string{"-circuit", "tree", "-wl", "0,2,8,20", "-j", jobs}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := run("1")
+	if !strings.Contains(serial, "sleep-size sweep") || !strings.Contains(serial, "20") {
+		t.Errorf("missing sweep table:\n%s", serial)
+	}
+	// -j must not change the printed table.
+	if par := run("8"); par != serial {
+		t.Errorf("-j 8 output diverged from -j 1:\n%s\nvs\n%s", par, serial)
+	}
+	// Sweeps are switch-level only.
+	var buf bytes.Buffer
+	if err := Sim([]string{"-circuit", "tree", "-wl", "2,8", "-engine", "spice"}, &buf); err == nil {
+		t.Error("spice sweep must be rejected")
+	}
+}
+
+func TestExpWorkersFlag(t *testing.T) {
+	run := func(jobs string) string {
+		var buf bytes.Buffer
+		if err := Exp([]string{"-e", "fig7", "-fast", "-mult", "4", "-j", jobs}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if run("1") != run("8") {
+		t.Error("mtexp -j changed the rendered experiment output")
+	}
+}

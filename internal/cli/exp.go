@@ -36,6 +36,7 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) error {
 		seed    = fs.Int64("seed", 1, "sampling seed")
 		timings = fs.Bool("time", false, "print per-experiment wall time")
 		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited; overruns exit 4)")
+		jobs    = fs.Int("j", 0, "parallel sweep workers (0 = one per CPU, 1 = serial); results are identical for any value")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -58,6 +59,7 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) error {
 		AdderBits:      *adderN,
 		Seed:           *seed,
 		Ctx:            ctx,
+		Workers:        *jobs,
 	}
 
 	var ids []string

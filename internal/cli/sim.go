@@ -30,7 +30,8 @@ func SimContext(ctx context.Context, args []string, w io.Writer) error {
 		circ    = fs.String("circuit", "tree", "benchmark circuit: tree | chain | adder | mult")
 		netFile = fs.String("netlist", "", "simulate a raw SPICE-dialect deck instead of a benchmark circuit")
 		techF   = fs.String("tech", "", "technology: 0.7 | 0.3 (defaults to the circuit's paper node)")
-		wl      = fs.Float64("wl", 10, "sleep transistor W/L (0 = plain CMOS)")
+		wlS     = fs.String("wl", "10", "sleep transistor W/L (0 = plain CMOS); a comma-separated list sweeps the sizes on the parallel executor (vbs engine)")
+		jobs    = fs.Int("j", 0, "parallel workers for a -wl sweep (0 = one per CPU, 1 = serial)")
 		cx      = fs.Float64("cx", 0, "virtual-ground parasitic capacitance (farads)")
 		engine  = fs.String("engine", "vbs", "simulation engine: vbs (switch-level) | spice (reference)")
 		oldV    = fs.String("old", "", "old input vector (circuit-specific, e.g. '0,1' or '7f,81'; tree: 0|1)")
@@ -56,16 +57,32 @@ func SimContext(ctx context.Context, args []string, w io.Writer) error {
 		return runNetlist(ctx, w, *netFile, *techF, *tstop, *traceS, *plot, *nolint, *maxStep)
 	}
 
+	var wls []float64
+	for _, part := range strings.Split(*wlS, ",") {
+		v, err := parseValue(part)
+		if err != nil {
+			return fmt.Errorf("bad -wl %q: %w", part, err)
+		}
+		wls = append(wls, v)
+	}
+
 	c, stim, outs, err := buildCircuit(*circ, *bits, *oldV, *newV)
 	if err != nil {
 		return err
 	}
-	c.SleepWL = *wl
+	c.SleepWL = wls[0]
 	c.VGndCap = *cx
 	if !*nolint {
 		if err := lintCircuit(c, stim.Old, stim.New); err != nil {
 			return err
 		}
+	}
+
+	if len(wls) > 1 {
+		if *engine != "vbs" {
+			return fmt.Errorf("-wl sweeps support the vbs engine only (got %q)", *engine)
+		}
+		return runSweep(ctx, w, c, stim, outs, wls, *jobs, *rev, *nobody, *maxStep)
 	}
 
 	switch *engine {
@@ -127,6 +144,37 @@ func SimContext(ctx context.Context, args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown engine %q", *engine)
 	}
+}
+
+// runSweep runs one stimulus across several sleep sizes on the
+// parallel sweep executor and prints a per-size summary table.
+func runSweep(ctx context.Context, w io.Writer, c *mtcmos.Circuit, stim mtcmos.Stimulus, outs []string, wls []float64, jobs int, rev, nobody bool, maxStep int) error {
+	cp, err := mtcmos.CompileCircuit(c)
+	if err != nil {
+		return err
+	}
+	results, err := mtcmos.SimulateSweep(cp, wls, stim, mtcmos.BatchOptions{
+		Workers: jobs,
+		Sim: mtcmos.SwitchOptions{
+			ReverseConduction: rev, NoBodyEffect: nobody,
+			Ctx: ctx, MaxEvents: maxStep,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	tb := &mtcmos.Table{Title: "Switch-level sleep-size sweep", Columns: []string{"W/L", "worst_delay_ns", "worst_net", "peakVx_mV", "events"}}
+	for i, res := range results {
+		worst, worstNet := 0.0, "-"
+		for _, n := range outs {
+			if d, ok := res.Delay(n); ok && d > worst {
+				worst, worstNet = d, n
+			}
+		}
+		tb.Addf("%g\t%.4g\t%s\t%.1f\t%d", wls[i], worst*1e9, worstNet, res.PeakVx*1e3, res.Events)
+	}
+	fmt.Fprintln(w, tb.String())
+	return nil
 }
 
 func parseUint(s string, base int) (uint64, error) {

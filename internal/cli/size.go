@@ -33,6 +33,7 @@ func SizeContext(ctx context.Context, args []string, w io.Writer) error {
 		estF    = fs.String("estimate", "all", "estimators to run: all | sum | peak | delay | static-level")
 		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole search (0 = unlimited; overruns exit 4)")
 		maxStep = fs.Int("max-steps", 0, "cap switch-level events per simulation; 0 = unlimited")
+		jobs    = fs.Int("j", 0, "parallel workers for per-transition sweeps (0 = one per CPU, 1 = serial); results are identical for any value")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -53,6 +54,7 @@ func SizeContext(ctx context.Context, args []string, w io.Writer) error {
 	}
 	cfg.Ctx = ctx
 	cfg.Sim.MaxEvents = *maxStep
+	cfg.Workers = *jobs
 	if !*nolint {
 		if err := lintCircuit(c, nil, nil); err != nil {
 			return err

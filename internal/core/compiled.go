@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/mosfet"
+	"mtcmos/internal/wave"
+)
+
+// Compiled is a circuit+technology pair prepared for repeated
+// switch-level runs: the topological order, equivalent-inverter
+// parameters, pullup currents, and sleep resistances are derived once,
+// and per-run mutable state comes from an internal sync.Pool.
+//
+// A Compiled value is immutable after Compile and safe for concurrent
+// Run/RunWL/RunDomains calls from many goroutines — that is what the
+// sweep executor (internal/sched) fans out over. It snapshots the
+// circuit's domain configuration (SleepWL, VGndCap) at compile time;
+// later mutation of those fields on the Circuit does NOT affect runs.
+// Use RunWL/RunDomains to vary the sleep sizing across runs instead of
+// mutating the circuit. The gate-graph structure itself (gates, nets,
+// loads) must not be modified while runs are in flight.
+type Compiled struct {
+	c    *circuit.Circuit
+	tech *mosfet.Tech
+
+	doms []circuit.Domain // compile-time domain snapshot
+	rs   []float64        // sleep resistance per domain (0 = ideal ground)
+
+	eq  []circuit.EquivGate
+	ipu []float64 // constant pullup current per gate
+
+	netNames []string // all net names, for Options.TraceAll
+
+	kRampN float64 // ramp-averaged NMOS drive factor (InputSlope model)
+	kRampP float64 // ramp-averaged PMOS drive factor
+
+	pool sync.Pool // *sim
+}
+
+// Compile levelizes and characterizes a circuit for run-many use. It
+// performs every check and derivation Simulate used to repeat per run.
+func Compile(c *circuit.Circuit) (*Compiled, error) {
+	if err := c.Check(); err != nil {
+		return nil, err
+	}
+	tech := c.Tech
+	if tech == nil {
+		return nil, fmt.Errorf("core: circuit %s has no technology", c.Name)
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	rs, err := c.DomainResistances()
+	if err != nil {
+		return nil, err
+	}
+	doms := c.Domains()
+	for _, g := range c.Gates {
+		if g.Domain < 0 || g.Domain >= len(doms) {
+			return nil, fmt.Errorf("core: gate %s assigned to unknown domain %d", g.Name, g.Domain)
+		}
+	}
+
+	cp := &Compiled{
+		c: c, tech: tech,
+		doms: doms, rs: rs,
+		eq:     c.Equiv(),
+		kRampN: rampFactor(tech.Vdd, tech.Vtn, tech.Alpha),
+		kRampP: rampFactor(tech.Vdd, -tech.Vtp, tech.Alpha),
+	}
+	cp.ipu = make([]float64, len(c.Gates))
+	vovP := tech.Vdd + tech.Vtp // Vtp is negative: Vdd - |Vtp|
+	if vovP > 0 {
+		scale := 0.5 * math.Pow(tech.Vdd, 2-tech.Alpha) * math.Pow(vovP, tech.Alpha)
+		for i := range c.Gates {
+			cp.ipu[i] = cp.eq[i].BetaP * scale
+		}
+	}
+	nets := c.Nets()
+	cp.netNames = make([]string, len(nets))
+	for i, n := range nets {
+		cp.netNames[i] = n.Name
+	}
+	return cp, nil
+}
+
+// Circuit returns the circuit this engine was compiled from.
+func (cp *Compiled) Circuit() *circuit.Circuit { return cp.c }
+
+// Domains returns a copy of the compile-time domain snapshot; the
+// canonical starting point for RunDomains overrides.
+func (cp *Compiled) Domains() []circuit.Domain {
+	out := make([]circuit.Domain, len(cp.doms))
+	copy(out, cp.doms)
+	return out
+}
+
+// Run simulates one input-vector transition with the compile-time
+// domain configuration. Safe to call concurrently.
+func (cp *Compiled) Run(stim circuit.Stimulus, opts Options) (*Result, error) {
+	return cp.run(cp.doms, cp.rs, stim, opts)
+}
+
+// RunWL is Run with domain 0's sleep W/L overridden (0 = plain CMOS);
+// other domains keep their compiled configuration. This replaces the
+// mutate-SleepWL-and-restore idiom of the sizing sweeps.
+func (cp *Compiled) RunWL(wl float64, stim circuit.Stimulus, opts Options) (*Result, error) {
+	if len(cp.doms) == 1 && wl == cp.doms[0].SleepWL {
+		return cp.run(cp.doms, cp.rs, stim, opts)
+	}
+	doms := cp.Domains()
+	doms[0].SleepWL = wl
+	return cp.RunDomains(doms, stim, opts)
+}
+
+// RunDomains is Run with a full per-domain configuration override
+// (index-aligned with the compiled domains; the slice length must
+// match). Sleep resistances are re-derived from the override.
+func (cp *Compiled) RunDomains(doms []circuit.Domain, stim circuit.Stimulus, opts Options) (*Result, error) {
+	if len(doms) != len(cp.doms) {
+		return nil, fmt.Errorf("core: domain override has %d domains, compiled circuit has %d", len(doms), len(cp.doms))
+	}
+	rs := make([]float64, len(doms))
+	for i, d := range doms {
+		if d.SleepWL <= 0 {
+			continue
+		}
+		r, err := mosfet.SleepResistance(cp.tech, d.SleepWL)
+		if err != nil {
+			return nil, err
+		}
+		rs[i] = r
+	}
+	return cp.run(doms, rs, stim, opts)
+}
+
+// run leases a simulator from the pool, primes it for this transition,
+// and executes the event loop. The returned Result shares nothing with
+// the pooled state.
+func (cp *Compiled) run(doms []circuit.Domain, rs []float64, stim circuit.Stimulus, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	s := cp.lease()
+	defer cp.release(s)
+	s.o = o
+	s.doms, s.rs = doms, rs
+	s.mtcmos, s.anyRelax = false, false
+	for _, d := range doms {
+		if d.SleepWL > 0 {
+			s.mtcmos = true
+			if d.VGndCap > 0 {
+				s.anyRelax = true
+			}
+		}
+	}
+
+	oldVals, err := cp.c.Evaluate(stim.Old)
+	if err != nil {
+		return nil, err
+	}
+	s.logic = oldVals
+	tech := cp.tech
+	for i, g := range cp.c.Gates {
+		lv := s.logic[g.Out.Name]
+		v := 0.0
+		if lv {
+			v = tech.Vdd
+		}
+		s.st[i] = gateState{v: v, d: idle, logic: lv}
+	}
+
+	n := len(cp.c.Gates)
+	s.res = &Result{
+		Crossings: map[string][]float64{},
+		Waves:     map[string]*wave.PWL{},
+		TEdge:     stim.TEdge + stim.TRise/2,
+	}
+	if o.RecordActivity {
+		s.res.Activity = make([][]Interval, n)
+		for i := range s.fallStart {
+			s.fallStart[i] = -1
+			s.prevDir[i] = idle
+		}
+	}
+	if o.TraceAll {
+		for _, name := range cp.netNames {
+			s.traced[name] = true
+		}
+	}
+	for _, name := range o.TraceNets {
+		s.traced[name] = true
+	}
+	for i, g := range cp.c.Gates {
+		s.trace(g.Out.Name, 0, s.st[i].v)
+	}
+	for _, in := range cp.c.Inputs {
+		v := 0.0
+		if s.logic[in.Name] {
+			v = tech.Vdd
+		}
+		s.trace(in.Name, 0, v)
+	}
+	s.res.Domains = make([]DomainResult, len(doms))
+	for di, d := range doms {
+		if d.SleepWL <= 0 {
+			continue
+		}
+		dr := &s.res.Domains[di]
+		dr.VGnd = &wave.PWL{}
+		dr.VGnd.Append(0, 0)
+		dr.ISleep = &wave.PWL{}
+		dr.ISleep.Append(0, 0)
+	}
+	if doms[0].SleepWL > 0 {
+		s.res.VGnd = s.res.Domains[0].VGnd
+		s.res.ISleep = s.res.Domains[0].ISleep
+	}
+
+	res := s.res
+	if err := s.run(stim); err != nil {
+		// Return the partial result alongside the error; it is useful
+		// for diagnosing oscillations.
+		return res, err
+	}
+	return res, nil
+}
+
+// lease returns a primed per-run simulator bound to this engine.
+func (cp *Compiled) lease() *sim {
+	if v := cp.pool.Get(); v != nil {
+		s := v.(*sim)
+		clear(s.traced)
+		for i := range s.vx {
+			s.vx[i], s.vxSlope[i] = 0, 0
+		}
+		s.tNow = 0
+		return s
+	}
+	n := len(cp.c.Gates)
+	nd := len(cp.doms)
+	return &sim{
+		c: cp.c, tech: cp.tech,
+		eq: cp.eq, ipu: cp.ipu,
+		kRampN: cp.kRampN, kRampP: cp.kRampP,
+		st:        make([]gateState, n),
+		vx:        make([]float64, nd),
+		vxSlope:   make([]float64, nd),
+		fallStart: make([]float64, n),
+		prevDir:   make([]dir, n),
+		traced:    map[string]bool{},
+	}
+}
+
+// release detaches run-scoped references (the Result escapes to the
+// caller; the logic map is owned by it via Result.Final) and returns
+// the scratch simulator to the pool.
+func (cp *Compiled) release(s *sim) {
+	s.res = nil
+	s.logic = nil
+	s.doms, s.rs = nil, nil
+	s.o = Options{}
+	cp.pool.Put(s)
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/circuits"
+	"mtcmos/internal/mosfet"
+)
+
+func tech03() *mosfet.Tech { t := mosfet.Tech03(); return &t }
+
+// resultKey flattens the caller-visible scalars of a Result so runs
+// can be compared for exact equality.
+func resultKey(r *Result) string {
+	d0, _ := r.Delay("out")
+	return fmt.Sprintf("vx=%.17g is=%.17g ev=%d tend=%.17g d=%.17g stall=%v",
+		r.PeakVx, r.PeakISleep, r.Events, r.TEnd, d0, r.Stalled)
+}
+
+func TestCompiledMatchesSimulate(t *testing.T) {
+	ad := circuits.RippleCarryAdder(tech07(), 3, 20e-15)
+	ad.SleepWL = 8
+	cp, err := Compile(ad.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := [][4]uint64{{0, 0, 7, 5}, {1, 6, 2, 2}, {7, 7, 0, 1}, {5, 2, 3, 4}, {0, 0, 7, 1}}
+	for _, vec := range vecs {
+		stim := circuit.Stimulus{
+			Old:   ad.Inputs(vec[0], vec[1], false),
+			New:   ad.Inputs(vec[2], vec[3], false),
+			TEdge: 1e-9, TRise: 50e-12,
+		}
+		want, err := Simulate(ad.Circuit, stim, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cp.Run(stim, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wk, gk := fmt.Sprintf("%v %v", want.PeakVx, want.Events), fmt.Sprintf("%v %v", got.PeakVx, got.Events); wk != gk {
+			t.Fatalf("vec %v: compiled run %s != simulate %s", vec, gk, wk)
+		}
+		for _, net := range []string{"s0", "s1", "s2", "cout"} {
+			wd, wok := want.Delay(net)
+			gd, gok := got.Delay(net)
+			if wok != gok || wd != gd {
+				t.Fatalf("vec %v net %s: compiled delay (%v,%v) != simulate (%v,%v)", vec, net, gd, gok, wd, wok)
+			}
+		}
+		for k, v := range want.Final {
+			if got.Final[k] != v {
+				t.Fatalf("vec %v: Final[%s] mismatch", vec, k)
+			}
+		}
+	}
+}
+
+func TestRunWLMatchesMutation(t *testing.T) {
+	ad := circuits.RippleCarryAdder(tech07(), 3, 20e-15)
+	ad.SleepWL = 5
+	cp, err := Compile(ad.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(7)
+	stim := circuit.Stimulus{
+		Old:   ad.Inputs(0, 0, false),
+		New:   ad.Inputs(mask, 1, false),
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	for _, wl := range []float64{0, 2, 5, 12, 30} {
+		got, err := cp.RunWL(wl, stim, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: the old mutate-and-simulate idiom.
+		save := ad.SleepWL
+		ad.SleepWL = wl
+		want, err := Simulate(ad.Circuit, stim, Options{})
+		ad.SleepWL = save
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resultKey(got) != resultKey(want) {
+			t.Fatalf("wl=%g: RunWL %s != mutated Simulate %s", wl, resultKey(got), resultKey(want))
+		}
+		if wl == 0 && got.VGnd != nil {
+			t.Fatalf("wl=0 must be plain CMOS (no virtual ground)")
+		}
+	}
+	if ad.SleepWL != 5 {
+		t.Fatalf("RunWL mutated the circuit: SleepWL = %g", ad.SleepWL)
+	}
+}
+
+// TestCompiledConcurrentRuns hammers one compiled engine from many
+// goroutines under -race and checks every run is bit-identical to its
+// serial reference.
+func TestCompiledConcurrentRuns(t *testing.T) {
+	m := circuits.CarrySaveMultiplier(tech03(), 4, 15e-15)
+	m.SleepWL = 20
+	cp, err := Compile(m.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(15)
+	type job struct {
+		stim circuit.Stimulus
+		wl   float64
+	}
+	var jobs []job
+	for i := uint64(0); i < 8; i++ {
+		jobs = append(jobs, job{
+			stim: circuit.Stimulus{
+				Old:   m.Inputs(i, mask-i),
+				New:   m.Inputs(mask, i|1),
+				TEdge: 1e-9, TRise: 50e-12,
+			},
+			wl: float64(5 * (i + 1)),
+		})
+	}
+	want := make([]string, len(jobs))
+	for i, j := range jobs {
+		r, err := cp.RunWL(j.wl, j.stim, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = resultKey(r)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4*len(jobs))
+	for rep := 0; rep < 4; rep++ {
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(slot int, j job, ref string) {
+				defer wg.Done()
+				r, err := cp.RunWL(j.wl, j.stim, Options{})
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				if got := resultKey(r); got != ref {
+					errs[slot] = fmt.Errorf("concurrent run diverged: %s != %s", got, ref)
+				}
+			}(rep*len(jobs)+i, j, want[i])
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompiledSnapshotsDomains(t *testing.T) {
+	c := circuits.InverterChain(tech07(), 3, 50e-15)
+	c.SleepWL = 10
+	cp, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SleepWL = 99 // must not leak into compiled runs
+	r, err := cp.Run(stepStim("in", false, true), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SleepWL = 10
+	ref, err := Simulate(c, stepStim("in", false, true), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeakVx != ref.PeakVx {
+		t.Fatalf("compiled run used mutated SleepWL: PeakVx %g vs %g", r.PeakVx, ref.PeakVx)
+	}
+}

@@ -261,133 +261,16 @@ type sim struct {
 }
 
 // Simulate runs the variable-breakpoint switch-level simulation of one
-// input-vector transition on a gate-level circuit.
+// input-vector transition on a gate-level circuit. It is Compile
+// followed by a single Run; callers with many transitions or W/L
+// points over the same circuit should Compile once and reuse the
+// engine (see Compiled).
 func Simulate(c *circuit.Circuit, stim circuit.Stimulus, opts Options) (*Result, error) {
-	o := opts.withDefaults()
-	if err := c.Check(); err != nil {
-		return nil, err
-	}
-	tech := c.Tech
-	if tech == nil {
-		return nil, fmt.Errorf("core: circuit %s has no technology", c.Name)
-	}
-	if err := tech.Validate(); err != nil {
-		return nil, err
-	}
-	rs, err := c.DomainResistances()
+	cp, err := Compile(c)
 	if err != nil {
 		return nil, err
 	}
-	doms := c.Domains()
-
-	s := &sim{
-		c: c, o: o, tech: tech,
-		doms:    doms,
-		rs:      rs,
-		eq:      c.Equiv(),
-		logic:   map[string]bool{},
-		traced:  map[string]bool{},
-		vx:      make([]float64, len(doms)),
-		vxSlope: make([]float64, len(doms)),
-	}
-	for di, d := range doms {
-		if d.SleepWL > 0 {
-			s.mtcmos = true
-		}
-		if d.SleepWL > 0 && d.VGndCap > 0 {
-			s.anyRelax = true
-		}
-		_ = di
-	}
-	for _, g := range c.Gates {
-		if g.Domain < 0 || g.Domain >= len(doms) {
-			return nil, fmt.Errorf("core: gate %s assigned to unknown domain %d", g.Name, g.Domain)
-		}
-	}
-	n := len(c.Gates)
-	s.st = make([]gateState, n)
-	s.ipu = make([]float64, n)
-	vovP := tech.Vdd + tech.Vtp // Vtp is negative: Vdd - |Vtp|
-	for i := range c.Gates {
-		if vovP > 0 {
-			s.ipu[i] = 0.5 * s.eq[i].BetaP * math.Pow(tech.Vdd, 2-tech.Alpha) * math.Pow(vovP, tech.Alpha)
-		}
-	}
-
-	if o.InputSlope {
-		s.kRampN = rampFactor(tech.Vdd, tech.Vtn, tech.Alpha)
-		s.kRampP = rampFactor(tech.Vdd, -tech.Vtp, tech.Alpha)
-	}
-
-	oldVals, err := c.Evaluate(stim.Old)
-	if err != nil {
-		return nil, err
-	}
-	for k, v := range oldVals {
-		s.logic[k] = v
-	}
-	for i, g := range c.Gates {
-		lv := s.logic[g.Out.Name]
-		v := 0.0
-		if lv {
-			v = tech.Vdd
-		}
-		s.st[i] = gateState{v: v, d: idle, logic: lv}
-	}
-
-	s.res = &Result{
-		Crossings: map[string][]float64{},
-		Waves:     map[string]*wave.PWL{},
-		TEdge:     stim.TEdge + stim.TRise/2,
-	}
-	if o.RecordActivity {
-		s.res.Activity = make([][]Interval, n)
-		s.fallStart = make([]float64, n)
-		s.prevDir = make([]dir, n)
-		for i := range s.fallStart {
-			s.fallStart[i] = -1
-		}
-	}
-	if o.TraceAll {
-		for _, net := range c.Nets() {
-			s.traced[net.Name] = true
-		}
-	}
-	for _, name := range o.TraceNets {
-		s.traced[name] = true
-	}
-	for i, g := range c.Gates {
-		s.trace(g.Out.Name, 0, s.st[i].v)
-	}
-	for _, in := range c.Inputs {
-		v := 0.0
-		if s.logic[in.Name] {
-			v = tech.Vdd
-		}
-		s.trace(in.Name, 0, v)
-	}
-	s.res.Domains = make([]DomainResult, len(doms))
-	for di, d := range doms {
-		if d.SleepWL <= 0 {
-			continue
-		}
-		dr := &s.res.Domains[di]
-		dr.VGnd = &wave.PWL{}
-		dr.VGnd.Append(0, 0)
-		dr.ISleep = &wave.PWL{}
-		dr.ISleep.Append(0, 0)
-	}
-	if doms[0].SleepWL > 0 {
-		s.res.VGnd = s.res.Domains[0].VGnd
-		s.res.ISleep = s.res.Domains[0].ISleep
-	}
-
-	if err := s.run(stim); err != nil {
-		// Return the partial result alongside the error; it is useful
-		// for diagnosing oscillations.
-		return s.res, err
-	}
-	return s.res, nil
+	return cp.Run(stim, opts)
 }
 
 // checkBudgets enforces cancellation and the wall-clock budget between

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -378,19 +379,27 @@ func TestDelayMonotoneProperty(t *testing.T) {
 		if !ok1 {
 			return !ok2 || d2 >= 0 // nothing toggled: trivially fine
 		}
-		// The settling delay is monotone in W/L only while the glitch
-		// pattern is unchanged: a larger sleep device can *unfilter* a
-		// glitch (virtual-ground bounce smooths short pulses below
-		// Vdd/2), adding a later final crossing. Compare only when the
-		// two runs saw the same crossing counts per output.
+		// The settling delay is monotone in W/L only for clean
+		// transitions: virtual-ground bounce reshapes glitches, so a
+		// multi-crossing output can legally settle later at a larger
+		// sleep size even when the crossing count is unchanged (the
+		// last pulse widens past Vdd/2 later). Compare per output and
+		// only where both runs saw a single crossing.
 		for _, n := range outs {
-			if len(r1.Crossings[n]) != len(r2.Crossings[n]) {
-				return true
+			if len(r1.Crossings[n]) != 1 || len(r2.Crossings[n]) != 1 {
+				continue
+			}
+			p1, _ := r1.Delay(n)
+			p2, _ := r2.Delay(n)
+			if p2 > p1*1.0000001 {
+				return false
 			}
 		}
-		return d2 <= d1*1.0000001
+		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	// Fixed seed: reproducible counterexamples, stable CI.
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"mtcmos/internal/circuits"
 	"mtcmos/internal/core"
 	"mtcmos/internal/report"
+	"mtcmos/internal/sched"
 	"mtcmos/internal/vectors"
 )
 
@@ -41,21 +42,45 @@ func Fig13(cfg Config) (*Output, error) {
 		cols = append(cols, "spice_ns", "ratio")
 	}
 	s := report.NewSeries("Adder delay vs sleep W/L, vector (000001)->(110101)", "W/L", cols...)
-	for _, wl := range fig13WLs {
-		ad.SleepWL = wl
-		dv, _, err := vbsDelay(cfg, ad.Circuit, stim, core.Options{})
+	// The switch-level points share one compiled engine with per-run W/L
+	// overrides; the reference engine compiles its own deck per point,
+	// so each job builds a private adder for it.
+	cp, err := core.Compile(ad.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	outs := outputNames(ad.Circuit)
+	type point struct{ dv, ds float64 }
+	pts, err := sched.Map(cfg.Ctx, cfg.Workers, len(fig13WLs), func(i int) (point, error) {
+		wl := fig13WLs[i]
+		res, err := cp.RunWL(wl, stim, cfg.simOpts(core.Options{}))
 		if err != nil {
-			return nil, err
+			return point{}, err
+		}
+		dv, _, ok := res.MaxDelay(outs)
+		if !ok {
+			return point{}, fmt.Errorf("experiments: no output toggled")
 		}
 		if cfg.Fast {
-			s.Add(wl, dv*1e9)
+			return point{dv: dv}, nil
+		}
+		own := paperAdder(cfg.AdderBits)
+		own.SleepWL = wl
+		ds, _, err := spiceDelay(cfg, own.Circuit, stim, adderTStop)
+		if err != nil {
+			return point{}, err
+		}
+		return point{dv: dv, ds: ds}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, wl := range fig13WLs {
+		if cfg.Fast {
+			s.Add(wl, pts[i].dv*1e9)
 			continue
 		}
-		ds, _, err := spiceDelay(cfg, ad.Circuit, stim, adderTStop)
-		if err != nil {
-			return nil, err
-		}
-		s.Add(wl, dv*1e9, ds*1e9, dv/ds)
+		s.Add(wl, pts[i].dv*1e9, pts[i].ds*1e9, pts[i].dv/pts[i].ds)
 	}
 	out.Series = append(out.Series, s)
 	out.note("paper shape: both engines agree on the rising-delay-at-small-W/L trend; absolute offsets reflect the first-order gate model (paper section 5.3)")
@@ -74,13 +99,11 @@ func adderSpace(bits int) *vectors.Space {
 }
 
 // degVBS computes the % degradation due to MTCMOS (paper Fig. 14's
-// y-axis) of one transition: the worst settling delay over outputs at
-// the given sleep size vs the plain-CMOS baseline.
-func degVBS(cfg Config, ad *circuits.Adder, stim circuit.Stimulus, wl float64, outs []string) (float64, bool, error) {
-	saved := ad.SleepWL
-	defer func() { ad.SleepWL = saved }()
-	ad.SleepWL = 0
-	base, err := core.Simulate(ad.Circuit, stim, cfg.simOpts(core.Options{}))
+// y-axis) of one transition on a compiled switch-level engine: the
+// worst settling delay over outputs at the given sleep size vs the
+// plain-CMOS baseline. Safe to call from many workers at once.
+func degVBS(cfg Config, cp *core.Compiled, stim circuit.Stimulus, wl float64, outs []string) (float64, bool, error) {
+	base, err := cp.RunWL(0, stim, cfg.simOpts(core.Options{}))
 	if err != nil {
 		return 0, false, err
 	}
@@ -88,8 +111,7 @@ func degVBS(cfg Config, ad *circuits.Adder, stim circuit.Stimulus, wl float64, o
 	if !ok || d0 <= 0 {
 		return 0, false, nil
 	}
-	ad.SleepWL = wl
-	mt, err := core.Simulate(ad.Circuit, stim, cfg.simOpts(core.Options{}))
+	mt, err := cp.RunWL(wl, stim, cfg.simOpts(core.Options{}))
 	if err != nil {
 		return 0, false, err
 	}
@@ -115,33 +137,47 @@ func Fig14(cfg Config) (*Output, error) {
 	space := adderSpace(cfg.AdderBits)
 	s2 := fmt.Sprintf("s%d", cfg.AdderBits-1)
 
-	// Collect transitions that toggle the top sum bit.
+	// Measure every ordered pair on one compiled engine, fanned out over
+	// the executor; results come back in pair order, so the collected
+	// candidate list — and everything downstream — is identical for any
+	// worker count.
+	cp, err := core.Compile(ad.Circuit)
+	if err != nil {
+		return nil, err
+	}
 	type cand struct {
 		oa, ob, na, nb uint64
 		deg            float64
+		ok             bool
 	}
-	var cands []cand
 	half := uint64(1) << uint(cfg.AdderBits)
-	err := space.Exhaustive(func(o, w uint64, tr vectors.Transition) error {
+	size := space.Size()
+	all, err := sched.Map(cfg.Ctx, cfg.Workers, int(size*size), func(i int) (cand, error) {
+		o, w := uint64(i)/size, uint64(i)%size
 		oa, ob := o%half, o/half
 		na, nb := w%half, w/half
 		ov, _ := ad.Evaluate(ad.Inputs(oa, ob, false))
 		nv, _ := ad.Evaluate(ad.Inputs(na, nb, false))
 		if ov[s2] == nv[s2] {
-			return nil
+			return cand{}, nil
 		}
 		stim := adderStim(ad, oa, ob, na, nb)
-		deg, ok, err := degVBS(cfg, ad, stim, wl, outs)
-		if err != nil || !ok {
-			return err
+		deg, ok, err := degVBS(cfg, cp, stim, wl, outs)
+		if err != nil {
+			return cand{}, err
 		}
-		cands = append(cands, cand{oa, ob, na, nb, deg})
-		return nil
+		return cand{oa, ob, na, nb, deg, ok}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].deg > cands[j].deg })
+	var cands []cand
+	for _, c := range all {
+		if c.ok {
+			cands = append(cands, c)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].deg > cands[j].deg })
 
 	s := report.NewSeries(fmt.Sprintf("%% degradation due to MTCMOS (W/L=%g), %d S2-toggling vectors, sorted", wl, len(cands)),
 		"rank", "vbs_deg_pct")
@@ -169,22 +205,36 @@ func Fig14(cfg Config) (*Output, error) {
 		}
 		ref := report.NewSeries(fmt.Sprintf("reference-engine overlay (%d vectors)", nSpice),
 			"rank", "spice_deg_pct", "vbs_deg_pct")
-		for k := 0; k < nSpice; k++ {
+		// Each overlay point runs two reference transients; the jobs own
+		// private adder instances because the reference engine compiles
+		// its deck from the circuit's current SleepWL.
+		type refPt struct {
+			i   int
+			deg float64
+		}
+		refPts, err := sched.Map(cfg.Ctx, cfg.Workers, nSpice, func(k int) (refPt, error) {
 			i := k * (len(cands) - 1) / max(1, nSpice-1)
 			cd := cands[i]
-			stim := adderStim(ad, cd.oa, cd.ob, cd.na, cd.nb)
-			ad.SleepWL = 0
-			b, _, err := spiceDelay(cfg, ad.Circuit, stim, adderTStop)
+			own := paperAdder(cfg.AdderBits)
+			stim := adderStim(own, cd.oa, cd.ob, cd.na, cd.nb)
+			own.SleepWL = 0
+			b, _, err := spiceDelay(cfg, own.Circuit, stim, adderTStop)
 			if err != nil {
-				return nil, err
+				return refPt{}, err
 			}
-			ad.SleepWL = wl
-			m, _, err := spiceDelay(cfg, ad.Circuit, stim, adderTStop)
+			own.SleepWL = wl
+			m, _, err := spiceDelay(cfg, own.Circuit, stim, adderTStop)
 			if err != nil {
-				return nil, err
+				return refPt{}, err
 			}
-			ad.SleepWL = 0
-			ref.Add(float64(i), 100*(m-b)/b, cd.deg)
+			return refPt{i: i, deg: 100 * (m - b) / b}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range refPts {
+			i := p.i
+			ref.Add(float64(i), p.deg, cands[i].deg)
 		}
 		out.Series = append(out.Series, ref)
 	}
@@ -205,13 +255,21 @@ func Speedup(cfg Config) (*Output, error) {
 	space := adderSpace(cfg.AdderBits)
 	half := uint64(1) << uint(cfg.AdderBits)
 
+	// The exhaustive sweep runs on the executor against one compiled
+	// engine; the wall-clock total is what a user of the tool sees at
+	// the configured worker count.
+	cp, err := core.Compile(ad.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	size := space.Size()
+	n := int(size * size)
 	start := time.Now()
-	n := 0
-	err := space.Exhaustive(func(o, w uint64, tr vectors.Transition) error {
+	_, err = sched.Map(cfg.Ctx, cfg.Workers, n, func(i int) (struct{}, error) {
+		o, w := uint64(i)/size, uint64(i)%size
 		stim := adderStim(ad, o%half, o/half, w%half, w/half)
-		_, err := core.Simulate(ad.Circuit, stim, cfg.simOpts(core.Options{}))
-		n++
-		return err
+		_, err := cp.Run(stim, cfg.simOpts(core.Options{}))
+		return struct{}{}, err
 	})
 	if err != nil {
 		return nil, err
@@ -220,7 +278,8 @@ func Speedup(cfg Config) (*Output, error) {
 
 	tb := report.NewTable("Runtime for the exhaustive adder sweep",
 		"tool", "vectors", "total", "per-vector", "speedup")
-	tb.AddRow("switch-level (measured)", fmt.Sprint(n), vbsTotal.String(),
+	tb.AddRow(fmt.Sprintf("switch-level (measured, %d workers)", sched.Workers(cfg.Workers)),
+		fmt.Sprint(n), vbsTotal.String(),
 		(vbsTotal / time.Duration(n)).String(), "1x")
 
 	if !cfg.Fast {

@@ -46,6 +46,13 @@ type Config struct {
 	// Ctx cancels a run between simulator events; it is threaded into
 	// every simulation an experiment performs (see DESIGN.md §8).
 	Ctx context.Context
+
+	// Workers bounds the parallel sweep executor (internal/sched) the
+	// vector and W/L fan-outs run on: 0 means one worker per CPU, 1
+	// forces serial execution. Every experiment produces byte-identical
+	// tables and series regardless of the worker count (see DESIGN.md
+	// §9); -j N on cmd/mtexp sets this.
+	Workers int
 }
 
 // simOpts threads the run context into simulator options.

@@ -247,12 +247,20 @@ func TestVectorConstantsMatchPaper(t *testing.T) {
 
 func TestWorstVectorSearch(t *testing.T) {
 	m := paperMultiplier(4)
-	best, err := WorstVectorSearch(m, 20, 2, 3)
+	best, err := WorstVectorSearch(m, 20, 2, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if best.Metric <= 0 {
 		t.Errorf("greedy search found no degrading vector: %+v", best)
+	}
+	// Fanning the restarts out must not change the winner.
+	par, err := WorstVectorSearch(m, 20, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != best {
+		t.Errorf("workers=4 diverged from serial: %+v vs %+v", par, best)
 	}
 	t.Logf("worst found: old=%04b/%04b new=%04b/%04b deg=%.1f%%",
 		best.OldV&0xF, best.OldV>>4, best.NewV&0xF, best.NewV>>4, best.Metric*100)
@@ -270,5 +278,59 @@ func TestLintAuditClean(t *testing.T) {
 		if row[3] != "0" {
 			t.Errorf("circuit %s has %s lint errors", row[0], row[3])
 		}
+	}
+}
+
+// outputKey renders every table and series of an Output to one string,
+// so worker-count comparisons are byte-exact.
+func outputKey(o *Output) string {
+	s := o.ID + "\n"
+	for _, tb := range o.Tables {
+		s += tb.String() + "\n"
+	}
+	for _, sr := range o.Series {
+		s += sr.String() + "\n"
+	}
+	return s
+}
+
+// TestFig7WorkerCountInvariant: the Fig. 7 sweep must render the exact
+// same series at any worker count (-j is a pure speed knob).
+func TestFig7WorkerCountInvariant(t *testing.T) {
+	c1 := fastCfg()
+	c1.Workers = 1
+	o1, err := Fig7(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8 := fastCfg()
+	c8.Workers = 8
+	o8, err := Fig7(c8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputKey(o1) != outputKey(o8) {
+		t.Errorf("fig7 diverged between -j 1 and -j 8:\n%s\nvs\n%s", outputKey(o1), outputKey(o8))
+	}
+}
+
+// TestFig14WorkerCountInvariant: same for the per-vector spread sweep,
+// whose candidate collection crosses the fan-out boundary.
+func TestFig14WorkerCountInvariant(t *testing.T) {
+	c1 := fastCfg()
+	c1.AdderBits = 2
+	c1.Workers = 1
+	o1, err := Fig14(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8 := c1
+	c8.Workers = 8
+	o8, err := Fig14(c8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputKey(o1) != outputKey(o8) {
+		t.Errorf("fig14 diverged between -j 1 and -j 8:\n%s\nvs\n%s", outputKey(o1), outputKey(o8))
 	}
 }

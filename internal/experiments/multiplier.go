@@ -7,6 +7,7 @@ import (
 	"mtcmos/internal/circuits"
 	"mtcmos/internal/core"
 	"mtcmos/internal/report"
+	"mtcmos/internal/sched"
 	"mtcmos/internal/sizing"
 	"mtcmos/internal/units"
 	"mtcmos/internal/vectors"
@@ -65,29 +66,41 @@ func Fig7(cfg Config) (*Output, error) {
 	oa, ob, na, nb = vectorB(cfg.MultiplierBits)
 	stimB := multStim(m, oa, ob, na, nb)
 
-	// CMOS baselines.
-	m.SleepWL = 0
-	baseA, _, err := multDelay(cfg, m, stimA)
+	// One compiled engine serves the whole sweep; the W/L axis and the
+	// CMOS baselines (wl=0) are per-run overrides fanned out on the
+	// executor. Job layout: [baseA, baseB, wl0A, wl0B, wl1A, ...].
+	cp, err := core.Compile(m.Circuit)
 	if err != nil {
 		return nil, err
 	}
-	baseB, _, err := multDelay(cfg, m, stimB)
+	type job struct {
+		wl   float64
+		stim circuit.Stimulus
+	}
+	jobs := []job{{0, stimA}, {0, stimB}}
+	for _, wl := range fig7WLs {
+		jobs = append(jobs, job{wl, stimA}, job{wl, stimB})
+	}
+	ds, err := sched.Map(cfg.Ctx, cfg.Workers, len(jobs), func(i int) (float64, error) {
+		res, err := cp.RunWL(jobs[i].wl, jobs[i].stim, cfg.simOpts(core.Options{}))
+		if err != nil {
+			return 0, err
+		}
+		d, _, ok := res.MaxDelay(m.ProductNets)
+		if !ok {
+			return 0, fmt.Errorf("experiments: no product bit toggled")
+		}
+		return d, nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	baseA, baseB := ds[0], ds[1]
 
 	s := report.NewSeries(fmt.Sprintf("%dx%d multiplier delay vs sleep W/L", cfg.MultiplierBits, cfg.MultiplierBits),
 		"W/L", "A_ns", "B_ns", "A_deg_pct", "B_deg_pct")
-	for _, wl := range fig7WLs {
-		m.SleepWL = wl
-		dA, _, err := multDelay(cfg, m, stimA)
-		if err != nil {
-			return nil, err
-		}
-		dB, _, err := multDelay(cfg, m, stimB)
-		if err != nil {
-			return nil, err
-		}
+	for k, wl := range fig7WLs {
+		dA, dB := ds[2+2*k], ds[3+2*k]
 		s.Add(wl, dA*1e9, dB*1e9, 100*(dA-baseA)/baseA, 100*(dB-baseB)/baseB)
 	}
 	out.Series = append(out.Series, s)
@@ -118,30 +131,32 @@ func Table1(cfg Config) (*Output, error) {
 	trB := mk(vectorB, "B")
 	cfgS := sizing.Config{Outputs: m.ProductNets, Ctx: cfg.Ctx}
 
+	// The 3x2 degradation grid fans out on the executor: each cell is
+	// one independent Degradation measurement.
+	wls := []float64{60, 170, 500}
+	trs := []sizing.Transition{trA, trB}
+	degs, err := sched.Map(cfg.Ctx, cfg.Workers, len(wls)*len(trs), func(i int) (float64, error) {
+		return sizing.Degradation(m.Circuit, cfgS, []sizing.Transition{trs[i%2]}, wls[i/2])
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := report.NewTable("Delay degradation (%) vs sleep W/L",
 		"W/L", "vector A", "vector B")
-	for _, wl := range []float64{60, 170, 500} {
-		dA, err := sizing.Degradation(m.Circuit, cfgS, []sizing.Transition{trA}, wl)
-		if err != nil {
-			return nil, err
-		}
-		dB, err := sizing.Degradation(m.Circuit, cfgS, []sizing.Transition{trB}, wl)
-		if err != nil {
-			return nil, err
-		}
-		tb.Addf("%.0f\t%.1f%%\t%.1f%%", wl, dA*100, dB*100)
+	for k, wl := range wls {
+		tb.Addf("%.0f\t%.1f%%\t%.1f%%", wl, degs[2*k]*100, degs[2*k+1]*100)
 	}
 	out.Tables = append(out.Tables, tb)
 
+	// The two 5%-budget searches are independent bisections.
 	hi := 64 * sizing.SumOfWidths(m.Circuit)
-	resA, err := sizing.DelayTarget(m.Circuit, cfgS, []sizing.Transition{trA}, 0.05, hi)
+	sized, err := sched.Map(cfg.Ctx, cfg.Workers, 2, func(i int) (*sizing.DelayTargetResult, error) {
+		return sizing.DelayTarget(m.Circuit, cfgS, []sizing.Transition{trs[i]}, 0.05, hi)
+	})
 	if err != nil {
 		return nil, err
 	}
-	resB, err := sizing.DelayTarget(m.Circuit, cfgS, []sizing.Transition{trB}, 0.05, hi)
-	if err != nil {
-		return nil, err
-	}
+	resA, resB := sized[0], sized[1]
 	// The trap: size by B, evaluate on A.
 	trap, err := sizing.Degradation(m.Circuit, cfgS, []sizing.Transition{trA}, resB.WL)
 	if err != nil {
@@ -261,44 +276,67 @@ func Widths(cfg Config) (*Output, error) {
 // fast simulator inside a greedy bit-flip search to find high-
 // degradation vectors without exhaustive enumeration. Exported for the
 // examples and the facade; not part of the paper's figures.
-func WorstVectorSearch(m *circuits.Multiplier, wl float64, restarts int, seed int64) (vectors.Ranked, error) {
+//
+// Restarts draw their starting pairs from independent derived seeds
+// (vectors.StartPair) and hill-climb independently, so they fan out on
+// the executor; the result is identical for any worker count, with
+// metric ties between restarts resolved toward the lowest restart
+// index. workers <= 0 means one per CPU.
+func WorstVectorSearch(m *circuits.Multiplier, wl float64, restarts int, seed int64, workers int) (vectors.Ranked, error) {
 	names := append(vectors.BitNames("x", m.N), vectors.BitNames("y", m.N)...)
 	space, err := vectors.NewSpace(names...)
 	if err != nil {
 		return vectors.Ranked{}, err
 	}
-	saved := m.SleepWL
-	defer func() { m.SleepWL = saved }()
-	half := uint64(1) << uint(m.N)
-	var firstErr error
-	metric := func(o, w uint64) float64 {
-		stim := multStim(m, o%half, o/half, w%half, w/half)
-		m.SleepWL = 0
-		base, err := core.Simulate(m.Circuit, stim, core.Options{})
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return -1
-		}
-		d0, _, ok := base.MaxDelay(m.ProductNets)
-		if !ok || d0 <= 0 {
-			return -1
-		}
-		m.SleepWL = wl
-		mt, err := core.Simulate(m.Circuit, stim, core.Options{})
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return -1
-		}
-		d1, _, ok := mt.MaxDelay(m.ProductNets)
-		if !ok {
-			return -1
-		}
-		return (d1 - d0) / d0
+	cp, err := core.Compile(m.Circuit)
+	if err != nil {
+		return vectors.Ranked{}, err
 	}
-	best := space.GreedySearch(seed, restarts, metric)
+	half := uint64(1) << uint(m.N)
+	type climb struct {
+		best vectors.Ranked
+		err  error
+	}
+	climbs, _ := sched.Map(nil, workers, restarts, func(r int) (climb, error) {
+		var firstErr error
+		metric := func(o, w uint64) float64 {
+			stim := multStim(m, o%half, o/half, w%half, w/half)
+			base, err := cp.RunWL(0, stim, core.Options{})
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return -1
+			}
+			d0, _, ok := base.MaxDelay(m.ProductNets)
+			if !ok || d0 <= 0 {
+				return -1
+			}
+			mt, err := cp.RunWL(wl, stim, core.Options{})
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return -1
+			}
+			d1, _, ok := mt.MaxDelay(m.ProductNets)
+			if !ok {
+				return -1
+			}
+			return (d1 - d0) / d0
+		}
+		o, w := space.StartPair(seed, r)
+		return climb{best: space.HillClimb(o, w, metric), err: firstErr}, nil
+	})
+	best := vectors.Ranked{Metric: -1}
+	var firstErr error
+	for _, c := range climbs {
+		if c.err != nil && firstErr == nil {
+			firstErr = c.err
+		}
+		if c.best.Metric > best.Metric {
+			best = c.best
+		}
+	}
 	return best, firstErr
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mtcmos/internal/core"
 	"mtcmos/internal/report"
 	"mtcmos/internal/vectors"
 )
@@ -37,9 +38,13 @@ func Screen(cfg Config) (*Output, error) {
 	space := adderSpace(cfg.AdderBits)
 	half := uint64(1) << uint(cfg.AdderBits)
 	eq := ad.Circuit.Equiv()
+	cp, err := core.Compile(ad.Circuit)
+	if err != nil {
+		return nil, err
+	}
 
 	var entries []screenEntry
-	err := space.Exhaustive(func(o, w uint64, tr vectors.Transition) error {
+	err = space.Exhaustive(func(o, w uint64, tr vectors.Transition) error {
 		oa, ob := o%half, o/half
 		na, nb := w%half, w/half
 		ov, err := ad.Evaluate(ad.Inputs(oa, ob, false))
@@ -64,7 +69,7 @@ func Screen(cfg Config) (*Output, error) {
 			return nil
 		}
 		stim := adderStim(ad, oa, ob, na, nb)
-		deg, ok, err := degVBS(cfg, ad, stim, wl, outs)
+		deg, ok, err := degVBS(cfg, cp, stim, wl, outs)
 		if err != nil || !ok {
 			return err
 		}

@@ -26,12 +26,15 @@
 // rung below it keeps failing, the target rung sees a clean circuit
 // and converges.
 //
-// An Injector is intended for a single simulation run at a time; its
-// counters are not synchronized across goroutines.
+// An Injector's perturbation counters are atomic, so one injector may
+// be shared by concurrent runs on the parallel sweep executor
+// (internal/sched); Hits then reports totals across all of them. Count
+// caps are likewise enforced atomically across runs.
 package faultinject
 
 import (
 	"math"
+	"sync/atomic"
 
 	"mtcmos/internal/spice"
 )
@@ -88,15 +91,15 @@ type Fault struct {
 }
 
 // Injector applies a set of scheduled faults; wire Intercept into
-// spice.Options.Intercept.
+// spice.Options.Intercept. Safe for concurrent use by multiple runs.
 type Injector struct {
 	faults []Fault
-	hits   []int
+	hits   []atomic.Int64
 }
 
 // New builds an injector over the given faults.
 func New(faults ...Fault) *Injector {
-	return &Injector{faults: faults, hits: make([]int, len(faults))}
+	return &Injector{faults: faults, hits: make([]atomic.Int64, len(faults))}
 }
 
 // Intercept implements spice.Intercept: it applies every active fault
@@ -113,10 +116,12 @@ func (in *Injector) Intercept(info spice.EvalInfo, ids float64) float64 {
 		if f.ClearAtRung != spice.RungNone && info.Rung >= f.ClearAtRung {
 			continue
 		}
-		if f.Count > 0 && in.hits[fi] >= f.Count {
+		if n := in.hits[fi].Add(1); f.Count > 0 && n > int64(f.Count) {
+			// Over the cap: undo the reservation so Hits stays exact
+			// even when concurrent runs race past the limit.
+			in.hits[fi].Add(-1)
 			continue
 		}
-		in.hits[fi]++
 		switch f.Kind {
 		case NaN:
 			ids = math.NaN()
@@ -137,13 +142,14 @@ func (in *Injector) Intercept(info spice.EvalInfo, ids float64) float64 {
 	return ids
 }
 
-// Hits reports how many evaluations fault i has perturbed.
-func (in *Injector) Hits(i int) int { return in.hits[i] }
+// Hits reports how many evaluations fault i has perturbed (summed
+// across every run sharing this injector).
+func (in *Injector) Hits(i int) int { return int(in.hits[i].Load()) }
 
 // Reset zeroes the perturbation counters so the injector can drive a
-// fresh run.
+// fresh run. Do not call while runs are in flight.
 func (in *Injector) Reset() {
 	for i := range in.hits {
-		in.hits[i] = 0
+		in.hits[i].Store(0)
 	}
 }

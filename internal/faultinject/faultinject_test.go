@@ -3,6 +3,7 @@ package faultinject
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"mtcmos/internal/mosfet"
@@ -287,5 +288,76 @@ func TestStuckAlternatesPerSweep(t *testing.T) {
 	}
 	if got := inj.Intercept(spice.EvalInfo{Sweep: 1}, 0); got != -1e-3 {
 		t.Errorf("odd sweep: got %g", got)
+	}
+}
+
+// TestConcurrentInjection shares one injector across parallel runs of
+// the same compiled engine (the parallel-sweep configuration) under
+// -race: the spike counters must aggregate exactly, and a Count cap
+// must hold globally across runs.
+func TestConcurrentInjection(t *testing.T) {
+	f, tech := invFlat(t)
+	e, err := spice.Compile(f, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := spice.Options{
+		TStop: 2.5e-9, DTMin: 1e-13,
+		InitialV: map[string]float64{"out": 1.2},
+	}
+
+	// A benign spike (x1: identity) counts evaluations without
+	// disturbing the solve, so the run count is deterministic.
+	inj := New(Fault{Kind: Spike, Magnitude: 1, Start: 0})
+	opts.Intercept = inj.Intercept
+	ref, err := e.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRun := inj.Hits(0)
+	if perRun == 0 || ref.Evals == 0 {
+		t.Fatalf("identity spike never fired (hits=%d evals=%d)", perRun, ref.Evals)
+	}
+
+	const G = 8
+	inj.Reset()
+	errs := make([]error, G)
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, errs[g] = e.Run(opts)
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inj.Hits(0); got != G*perRun {
+		t.Errorf("concurrent hits = %d, want %d (%d runs x %d)", got, G*perRun, G, perRun)
+	}
+
+	// Count cap enforced across concurrent runs, exactly.
+	const cap = 37
+	capped := New(Fault{Kind: Spike, Magnitude: 1, Start: 0, Count: cap})
+	opts.Intercept = capped.Intercept
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, errs[g] = e.Run(opts)
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := capped.Hits(0); got != cap {
+		t.Errorf("capped hits = %d, want exactly %d", got, cap)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"mtcmos/internal/circuit"
 	"mtcmos/internal/core"
 	"mtcmos/internal/mosfet"
+	"mtcmos/internal/sched"
 	"mtcmos/internal/simerr"
 )
 
@@ -37,6 +38,10 @@ type Config struct {
 	// Ctx cancels the whole search (copied into Sim.Ctx when that is
 	// unset); see DESIGN.md §8.
 	Ctx context.Context
+	// Workers caps the per-transition simulation fan-out (0 = one
+	// worker per CPU, 1 = serial). Results and errors are independent
+	// of the worker count; see DESIGN.md §9.
+	Workers int
 }
 
 func (cfg *Config) withDefaults(c *circuit.Circuit) Config {
@@ -69,21 +74,43 @@ func SumOfWidths(c *circuit.Circuit) float64 {
 	return c.SumNMOSWidthWL()
 }
 
-// Delays runs the switch-level simulator at the circuit's current
-// SleepWL and returns the worst settling delay over the transitions.
-func Delays(c *circuit.Circuit, cfg Config, trs []Transition) (float64, error) {
-	cf := cfg.withDefaults(c)
-	worst := 0.0
-	any := false
-	for _, tr := range trs {
-		res, err := core.Simulate(c, cf.stim(tr), cf.Sim)
-		if err != nil {
-			return 0, fmt.Errorf("sizing: transition %s: %w", tr.Label, err)
+// domsAt returns the compiled domain snapshot with domain 0's sleep
+// size overridden: the run-parameter replacement for the old
+// mutate-SleepWL-and-restore idiom (which raced under parallel runs).
+func domsAt(cp *core.Compiled, wl float64) []circuit.Domain {
+	doms := cp.Domains()
+	doms[0].SleepWL = wl
+	return doms
+}
+
+// delayOut is one transition's measured worst output delay.
+type delayOut struct {
+	d  float64
+	ok bool // some observed output toggled
+}
+
+// delaysOn fans the transitions out over the sweep executor, all
+// against one compiled engine at one domain configuration, and folds
+// the worst delay. Fails with the lowest-indexed transition's error,
+// exactly like the serial loop it replaced.
+func delaysOn(cp *core.Compiled, doms []circuit.Domain, cf Config, trs []Transition) (float64, error) {
+	outs, err := sched.Map(cf.Sim.Ctx, cf.Workers, len(trs), func(i int) (delayOut, error) {
+		res, rerr := cp.RunDomains(doms, cf.stim(trs[i]), cf.Sim)
+		if rerr != nil {
+			return delayOut{}, fmt.Errorf("sizing: transition %s: %w", trs[i].Label, rerr)
 		}
-		if d, _, ok := res.MaxDelay(cf.Outputs); ok {
+		d, _, ok := res.MaxDelay(cf.Outputs)
+		return delayOut{d: d, ok: ok}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	worst, any := 0.0, false
+	for _, o := range outs {
+		if o.ok {
 			any = true
-			if d > worst {
-				worst = d
+			if o.d > worst {
+				worst = o.d
 			}
 		}
 	}
@@ -93,7 +120,19 @@ func Delays(c *circuit.Circuit, cfg Config, trs []Transition) (float64, error) {
 	return worst, nil
 }
 
-// delaysTolerant is Delays with per-transition fault tolerance: a
+// Delays runs the switch-level simulator at the circuit's current
+// SleepWL and returns the worst settling delay over the transitions.
+// Transitions run concurrently per Config.Workers.
+func Delays(c *circuit.Circuit, cfg Config, trs []Transition) (float64, error) {
+	cf := cfg.withDefaults(c)
+	cp, err := core.Compile(c)
+	if err != nil {
+		return 0, err
+	}
+	return delaysOn(cp, cp.Domains(), cf, trs)
+}
+
+// delaysTolerant is delaysOn with per-transition fault tolerance: a
 // recoverable simulator failure (non-convergence, numerical poison,
 // exhausted budget — everything the recovery ladder could not rescue)
 // skips that transition with a warning instead of aborting the search.
@@ -101,13 +140,24 @@ func Delays(c *circuit.Circuit, cfg Config, trs []Transition) (float64, error) {
 // from a failed run is deliberately NOT measured: an incomplete
 // waveform can understate the delay and undersize the sleep device. It
 // errors only when no transition produced a usable delay.
-func delaysTolerant(c *circuit.Circuit, cf Config, trs []Transition) (float64, []string, error) {
+//
+// Every transition runs (concurrently, per Config.Workers), but
+// outcomes are folded in transition order, so warnings and the
+// reported error are identical to the serial path's.
+func delaysTolerant(cp *core.Compiled, doms []circuit.Domain, cf Config, trs []Transition) (float64, []string, error) {
+	outs, errs := sched.MapAll(cf.Sim.Ctx, cf.Workers, len(trs), func(i int) (delayOut, error) {
+		res, err := cp.RunDomains(doms, cf.stim(trs[i]), cf.Sim)
+		if err != nil {
+			return delayOut{}, err
+		}
+		d, _, ok := res.MaxDelay(cf.Outputs)
+		return delayOut{d: d, ok: ok}, nil
+	})
 	worst, any := 0.0, false
 	var warns []string
 	var firstSkip error
-	for _, tr := range trs {
-		res, err := core.Simulate(c, cf.stim(tr), cf.Sim)
-		if err != nil {
+	for i, tr := range trs {
+		if err := errs[i]; err != nil {
 			if !simerr.IsRecoverable(err) || errors.Is(err, simerr.ErrCancelled) {
 				return 0, warns, fmt.Errorf("sizing: transition %s: %w", tr.Label, err)
 			}
@@ -117,10 +167,10 @@ func delaysTolerant(c *circuit.Circuit, cf Config, trs []Transition) (float64, [
 			warns = append(warns, fmt.Sprintf("transition %s skipped: %v", tr.Label, err))
 			continue
 		}
-		if d, _, ok := res.MaxDelay(cf.Outputs); ok {
+		if outs[i].ok {
 			any = true
-			if d > worst {
-				worst = d
+			if outs[i].d > worst {
+				worst = outs[i].d
 			}
 		}
 	}
@@ -138,18 +188,20 @@ func delaysTolerant(c *circuit.Circuit, cf Config, trs []Transition) (float64, [
 
 // Degradation returns the fractional slowdown of the circuit at sleep
 // size wl relative to the plain-CMOS baseline, over the worst of the
-// given transitions: (t_mtcmos - t_cmos) / t_cmos.
+// given transitions: (t_mtcmos - t_cmos) / t_cmos. The circuit is
+// compiled once and never mutated, so concurrent Degradation calls on
+// one circuit are safe.
 func Degradation(c *circuit.Circuit, cfg Config, trs []Transition, wl float64) (float64, error) {
-	saved := c.SleepWL
-	defer func() { c.SleepWL = saved }()
-
-	c.SleepWL = 0
-	base, err := Delays(c, cfg, trs)
+	cf := cfg.withDefaults(c)
+	cp, err := core.Compile(c)
 	if err != nil {
 		return 0, err
 	}
-	c.SleepWL = wl
-	mt, err := Delays(c, cfg, trs)
+	base, err := delaysOn(cp, domsAt(cp, 0), cf, trs)
+	if err != nil {
+		return 0, err
+	}
+	mt, err := delaysOn(cp, domsAt(cp, wl), cf, trs)
 	if err != nil {
 		return 0, err
 	}
@@ -183,8 +235,10 @@ func DelayTarget(c *circuit.Circuit, cfg Config, trs []Transition, target, hi fl
 		return nil, fmt.Errorf("sizing: target degradation must be positive, got %g", target)
 	}
 	cf := cfg.withDefaults(c)
-	saved := c.SleepWL
-	defer func() { c.SleepWL = saved }()
+	cp, cerr := core.Compile(c)
+	if cerr != nil {
+		return nil, cerr
+	}
 
 	res := &DelayTargetResult{Estimate: "delay-target"}
 	// fail degrades the search to the static-level estimate rather than
@@ -207,8 +261,7 @@ func DelayTarget(c *circuit.Circuit, cfg Config, trs []Transition, target, hi fl
 		return res, nil
 	}
 
-	c.SleepWL = 0
-	base, warns, err := delaysTolerant(c, cf, trs)
+	base, warns, err := delaysTolerant(cp, domsAt(cp, 0), cf, trs)
 	res.Warnings = append(res.Warnings, warns...)
 	if err != nil {
 		return fail(err)
@@ -220,8 +273,7 @@ func DelayTarget(c *circuit.Circuit, cfg Config, trs []Transition, target, hi fl
 		hi = 64 * SumOfWidths(c)
 	}
 	degAt := func(wl float64) (float64, error) {
-		c.SleepWL = wl
-		d, warns, err := delaysTolerant(c, cf, trs)
+		d, warns, err := delaysTolerant(cp, domsAt(cp, wl), cf, trs)
 		res.Warnings = append(res.Warnings, warns...)
 		if err != nil {
 			return 0, err
@@ -284,21 +336,29 @@ func PeakCurrent(c *circuit.Circuit, cfg Config, trs []Transition, maxBounce flo
 		return nil, fmt.Errorf("sizing: maxBounce must be positive, got %g", maxBounce)
 	}
 	cf := cfg.withDefaults(c)
-	saved := c.SleepWL
-	defer func() { c.SleepWL = saved }()
+	cp, err := core.Compile(c)
+	if err != nil {
+		return nil, err
+	}
 
 	// Measure the raw discharge-current profile on a huge sleep device:
 	// effectively ideal ground, but the MTCMOS path still records the
 	// total current through the rail.
-	c.SleepWL = 1e7
-	peak := 0.0
-	for _, tr := range trs {
-		res, err := core.Simulate(c, cf.stim(tr), cf.Sim)
-		if err != nil {
-			return nil, fmt.Errorf("sizing: transition %s: %w", tr.Label, err)
+	doms := domsAt(cp, 1e7)
+	peaks, err := sched.Map(cf.Sim.Ctx, cf.Workers, len(trs), func(i int) (float64, error) {
+		res, rerr := cp.RunDomains(doms, cf.stim(trs[i]), cf.Sim)
+		if rerr != nil {
+			return 0, fmt.Errorf("sizing: transition %s: %w", trs[i].Label, rerr)
 		}
-		if res.PeakISleep > peak {
-			peak = res.PeakISleep
+		return res.PeakISleep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	peak := 0.0
+	for _, p := range peaks {
+		if p > peak {
+			peak = p
 		}
 	}
 	if peak <= 0 {

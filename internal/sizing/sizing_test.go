@@ -189,10 +189,68 @@ func TestDelaysTolerantSkipsFailingTransition(t *testing.T) {
 	c.SleepWL = 8
 	cfg := Config{}
 	cf := cfg.withDefaults(c)
+	cp, cerr := core.Compile(c)
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
 
 	// Healthy baseline: both transitions usable, no warnings.
-	worst, warns, err := delaysTolerant(c, cf, treeTransitions())
+	worst, warns, err := delaysTolerant(cp, cp.Domains(), cf, treeTransitions())
 	if err != nil || len(warns) != 0 || worst <= 0 {
 		t.Fatalf("clean run: worst=%g warns=%v err=%v", worst, warns, err)
+	}
+}
+
+// TestWorkerCountIndependence proves every parallel entry point returns
+// bit-identical results regardless of worker count — the contract that
+// lets -j N be a pure speed knob.
+func TestWorkerCountIndependence(t *testing.T) {
+	c := circuits.InverterTree(tech07(), 3, 3, 50e-15)
+	c.SleepWL = 8
+	trs := treeTransitions()
+
+	run := func(workers int) (float64, float64, float64, *DelayTargetResult) {
+		cfg := Config{Workers: workers}
+		d, err := Delays(c, cfg, trs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg, err := Degradation(c, cfg, trs, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkr, err := PeakCurrent(c, cfg, trs, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk := pkr.WL
+		dt, err := DelayTarget(c, cfg, trs, 0.05, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, deg, pk, dt
+	}
+
+	d1, deg1, pk1, dt1 := run(1)
+	d8, deg8, pk8, dt8 := run(8)
+	if d1 != d8 || deg1 != deg8 || pk1 != pk8 {
+		t.Errorf("workers=1 vs 8: delays %g/%g deg %g/%g peak %g/%g",
+			d1, d8, deg1, deg8, pk1, pk8)
+	}
+	if dt1.WL != dt8.WL || dt1.Degradation != dt8.Degradation || dt1.Evals != dt8.Evals {
+		t.Errorf("DelayTarget diverged: %+v vs %+v", dt1, dt8)
+	}
+
+	// The tolerant path must also produce identical warnings: force
+	// per-transition failures with a tiny event budget.
+	for _, w := range []int{1, 8} {
+		cfg := Config{Workers: w, Sim: core.Options{MaxEvents: 2}}
+		res, err := DelayTarget(c, cfg, trs, 0.05, 0)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !res.Degraded || res.Estimate != "static-level" {
+			t.Fatalf("workers=%d: want static-level fallback, got %+v", w, res)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"mtcmos/internal/mosfet"
@@ -133,12 +134,13 @@ func (r *Result) Energy(node string, volts float64) (float64, error) {
 
 // deviceCurrentInto sums the current flowing into node i from MOS
 // devices and resistors at node voltages v (capacitors and sources
-// excluded).
-func (e *engine) deviceCurrentInto(i int32, v []float64) float64 {
+// excluded). st carries the run's interception hook; nil for
+// hook-free contexts (operating-point solves).
+func (e *Engine) deviceCurrentInto(i int32, v []float64, st *runState) float64 {
 	into := 0.0
 	for _, mi := range e.nodeMOS[i] {
 		m := &e.mos[mi]
-		d, srcI := e.mosCurrents(m, v)
+		d, srcI := e.mosCurrents(m, v, st)
 		if m.d == i {
 			into += d
 		}
@@ -191,13 +193,16 @@ type srcInst struct {
 
 const groundIdx = int32(-1)
 
-// engine holds the compiled circuit.
-type engine struct {
+// Engine holds the compiled circuit. It is immutable after Compile and
+// safe for concurrent Run and OperatingPoint calls: all per-run
+// mutable state (node voltages, trial vectors, interception hooks)
+// lives in a runState leased from an internal sync.Pool.
+type Engine struct {
 	tech  *mosfet.Tech
 	names []string
 	index map[string]int32
 
-	cg    []float64 // grounded capacitance per node (incl. Cmin)
+	cg    []float64 // grounded capacitance per node (explicit caps to ground)
 	fixed []int32   // source index per node, -1 if free
 
 	mos   []mosInst
@@ -212,18 +217,15 @@ type engine struct {
 
 	order []int32 // free-node relaxation order
 
-	// Device-evaluation interception (fault injection); set only for
-	// the duration of a Run.
-	icept Intercept
-	einfo EvalInfo
+	pool sync.Pool // *runState: recycled per-run solver vectors
 }
 
 // Compile builds a simulation engine from a flattened netlist.
-func Compile(f *netlist.Flat, tech *mosfet.Tech) (*engine, error) {
+func Compile(f *netlist.Flat, tech *mosfet.Tech) (*Engine, error) {
 	if err := tech.Validate(); err != nil {
 		return nil, err
 	}
-	e := &engine{tech: tech, index: map[string]int32{}}
+	e := &Engine{tech: tech, index: map[string]int32{}}
 	idx := func(name string) int32 {
 		name = netlist.CanonNode(name)
 		if name == netlist.Ground {
@@ -351,15 +353,17 @@ func deviceFor(tech *mosfet.Tech, m netlist.MOS) (mosfet.Device, error) {
 }
 
 // NodeNames returns all node names known to the engine, sorted.
-func (e *engine) NodeNames() []string {
+func (e *Engine) NodeNames() []string {
 	out := append([]string(nil), e.names...)
 	sort.Strings(out)
 	return out
 }
 
 // mosCurrents returns the current flowing into the drain and source
-// terminals of device m at node voltages v (ground = 0).
-func (e *engine) mosCurrents(m *mosInst, v []float64) (intoD, intoS float64) {
+// terminals of device m at node voltages v (ground = 0). The run's
+// interception hook (fault injection), when present on st, observes
+// and may replace the channel current.
+func (e *Engine) mosCurrents(m *mosInst, v []float64, st *runState) (intoD, intoS float64) {
 	at := func(i int32) float64 {
 		if i == groundIdx {
 			return 0
@@ -369,18 +373,18 @@ func (e *engine) mosCurrents(m *mosInst, v []float64) (intoD, intoS float64) {
 	vd, vg, vs, vb := at(m.d), at(m.g), at(m.s), at(m.b)
 	if m.dev.Kind == mosfet.NMOS {
 		ids := m.dev.Ids(vg-vs, vd-vs, vs-vb)
-		if e.icept != nil {
-			e.einfo.Device = m.name
-			ids = e.icept(e.einfo, ids)
+		if st != nil && st.icept != nil {
+			st.einfo.Device = m.name
+			ids = st.icept(st.einfo, ids)
 		}
 		return -ids, ids
 	}
 	// PMOS in magnitudes: source is the high side by convention, but
 	// the model's terminal-exchange symmetry makes orientation safe.
 	isd := m.dev.Ids(vs-vg, vs-vd, vb-vs)
-	if e.icept != nil {
-		e.einfo.Device = m.name
-		isd = e.icept(e.einfo, isd)
+	if st != nil && st.icept != nil {
+		st.einfo.Device = m.name
+		isd = st.icept(st.einfo, isd)
 	}
 	return isd, -isd
 }
@@ -390,12 +394,12 @@ func (e *engine) mosCurrents(m *mosInst, v []float64) (intoD, intoS float64) {
 // (backward Euler over dt from vprev). A positive residual means the
 // node must rise. gmin adds a shunt conductance to ground (the Gmin
 // recovery rung's homotopy load; 0 on the normal path).
-func (e *engine) residual(i int32, v, vprev []float64, dt, gmin float64, evals *int) float64 {
+func (e *Engine) residual(i int32, v, vprev []float64, dt, gmin float64, st *runState) float64 {
 	into := -gmin * v[i]
 	for _, mi := range e.nodeMOS[i] {
 		m := &e.mos[mi]
-		d, s := e.mosCurrents(m, v)
-		*evals++
+		d, s := e.mosCurrents(m, v, st)
+		st.res.Evals++
 		if m.d == i {
 			into += d
 		}
@@ -417,7 +421,7 @@ func (e *engine) residual(i int32, v, vprev []float64, dt, gmin float64, evals *
 		}
 		into += (vo - v[i]) * r.g
 	}
-	// Grounded cap (incl. Cmin).
+	// Grounded cap.
 	icharge := e.cg[i] * (v[i] - vprev[i]) / dt
 	// Floating caps.
 	for _, ci := range e.nodeCaps[i] {
@@ -442,16 +446,15 @@ func (e *engine) residual(i int32, v, vprev []float64, dt, gmin float64, evals *
 // cancellation) return the partial Result up to the failure time
 // alongside a typed *simerr.Error; only configuration errors return a
 // nil Result.
-func (e *engine) Run(opts Options) (*Result, error) {
+func (e *Engine) Run(opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	if o.TStop <= 0 {
 		return nil, fmt.Errorf("spice: TStop must be positive")
 	}
-	e.icept = o.Intercept
-	defer func() { e.icept = nil }()
-	n := len(e.names)
-	v := make([]float64, n)
-	vprev := make([]float64, n)
+	st := e.lease()
+	defer e.release(st)
+	st.icept = o.Intercept
+	v := st.v
 
 	for name, val := range o.InitialV {
 		if i, ok := e.index[netlist.CanonNode(name)]; ok {
@@ -509,7 +512,7 @@ func (e *engine) Run(opts Options) (*Result, error) {
 		}
 		for _, i := range curNodes {
 			// Positive = delivered by the node into the devices.
-			curTraces[e.names[i]].Append(t, -e.deviceCurrentInto(i, v))
+			curTraces[e.names[i]].Append(t, -e.deviceCurrentInto(i, v, st))
 		}
 	}
 
@@ -541,13 +544,10 @@ func (e *engine) Run(opts Options) (*Result, error) {
 	}
 
 	res := &Result{Traces: rec, Currents: curTraces}
+	st.t, st.dt = 0, o.DTMax/8
+	st.res, st.record, st.start = res, record, time.Now()
 	record(0, true)
 
-	st := &runState{
-		v: v, vprev: vprev, vtrial: make([]float64, n),
-		t: 0, dt: o.DTMax / 8,
-		res: res, record: record, start: time.Now(),
-	}
 	for st.t < o.TStop {
 		dtTry := math.Min(st.dt, o.TStop-st.t)
 		if nb := nextBreak(st.t); nb > st.t && nb-st.t < dtTry {
@@ -560,8 +560,36 @@ func (e *engine) Run(opts Options) (*Result, error) {
 	return res, nil
 }
 
+// lease returns a recycled (or fresh) per-run state with zeroed
+// voltage vectors.
+func (e *Engine) lease() *runState {
+	if x := e.pool.Get(); x != nil {
+		st := x.(*runState)
+		for i := range st.v {
+			st.v[i], st.vprev[i], st.vtrial[i] = 0, 0, 0
+		}
+		return st
+	}
+	n := len(e.names)
+	return &runState{
+		v:      make([]float64, n),
+		vprev:  make([]float64, n),
+		vtrial: make([]float64, n),
+	}
+}
+
+// release drops the run-scoped references (the Result and traces
+// escape to the caller) and recycles the solver vectors.
+func (e *Engine) release(st *runState) {
+	st.res, st.record, st.icept = nil, nil, nil
+	st.einfo = EvalInfo{}
+	e.pool.Put(st)
+}
+
 // Simulate compiles and runs a flattened netlist in one call. Like
 // Run, it returns the partial Result alongside any runtime failure.
+// Callers simulating the same deck repeatedly should Compile once and
+// reuse the Engine across (possibly concurrent) Runs.
 func Simulate(f *netlist.Flat, tech *mosfet.Tech, opts Options) (*Result, error) {
 	e, err := Compile(f, tech)
 	if err != nil {

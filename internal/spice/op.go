@@ -13,7 +13,7 @@ import (
 // together with every output-low load — which node-decoupled sweeps
 // cannot move. Sources are evaluated at time tEval; seed voltages (by
 // node name) accelerate convergence.
-func (e *engine) OperatingPoint(seed map[string]float64, tEval float64) ([]float64, error) {
+func (e *Engine) OperatingPoint(seed map[string]float64, tEval float64) ([]float64, error) {
 	n := len(e.names)
 	v := make([]float64, n)
 	for name, val := range seed {
@@ -34,7 +34,7 @@ func (e *engine) OperatingPoint(seed map[string]float64, tEval float64) ([]float
 
 	residual := func(gmin float64, out []float64) {
 		for k, i := range free {
-			out[k] = e.deviceCurrentInto(i, v) - gmin*v[i]
+			out[k] = e.deviceCurrentInto(i, v, nil) - gmin*v[i]
 		}
 	}
 
@@ -165,7 +165,7 @@ func solveDense(j [][]float64, b []float64) ([]float64, error) {
 }
 
 // NodeVoltage reads one node from an operating-point vector.
-func (e *engine) NodeVoltage(v []float64, name string) (float64, bool) {
+func (e *Engine) NodeVoltage(v []float64, name string) (float64, bool) {
 	i, ok := e.index[name]
 	if !ok {
 		return 0, false
@@ -175,10 +175,10 @@ func (e *engine) NodeVoltage(v []float64, name string) (float64, bool) {
 
 // SupplyCurrent returns the current a source-driven node delivers into
 // the devices at the operating point.
-func (e *engine) SupplyCurrent(v []float64, name string) (float64, bool) {
+func (e *Engine) SupplyCurrent(v []float64, name string) (float64, bool) {
 	i, ok := e.index[name]
 	if !ok {
 		return 0, false
 	}
-	return -e.deviceCurrentInto(i, v), true
+	return -e.deviceCurrentInto(i, v, nil), true
 }

@@ -105,13 +105,19 @@ type EvalInfo struct {
 type Intercept func(info EvalInfo, ids float64) float64
 
 // runState is the mutable transient-loop state shared by the stepping
-// and recovery code.
+// and recovery code. One runState belongs to exactly one Run call;
+// the solver vectors are recycled through the engine's pool, while
+// everything that escapes to the caller (the Result) is run-fresh.
 type runState struct {
 	v, vprev, vtrial []float64
 	t, dt            float64
 	res              *Result
 	record           func(t float64, force bool)
 	start            time.Time
+
+	// Device-evaluation interception (fault injection) for this run.
+	icept Intercept
+	einfo EvalInfo
 }
 
 // attempt parameterizes one candidate solve of a single timestep.
@@ -135,7 +141,7 @@ type sweepOut struct {
 
 // stepError builds a classified failure carrying the partial-run
 // diagnostics.
-func (e *engine) stepError(kind error, st *runState, node int32, t, dt float64, msg string) *simerr.Error {
+func (e *Engine) stepError(kind error, st *runState, node int32, t, dt float64, msg string) *simerr.Error {
 	name := ""
 	if node >= 0 {
 		name = e.names[node]
@@ -148,7 +154,7 @@ func (e *engine) stepError(kind error, st *runState, node int32, t, dt float64, 
 
 // checkBudgets enforces cancellation and the step/eval/wall budgets;
 // called between step attempts so overshoot is at most one attempt.
-func (e *engine) checkBudgets(o *Options, st *runState) error {
+func (e *Engine) checkBudgets(o *Options, st *runState) error {
 	if o.Ctx != nil {
 		if err := o.Ctx.Err(); err != nil {
 			kind, msg := simerr.ErrCancelled, err.Error()
@@ -172,7 +178,7 @@ func (e *engine) checkBudgets(o *Options, st *runState) error {
 
 // attemptStep seeds vtrial, applies the (possibly ramped) source
 // values for t+dt, and runs the sweep solver.
-func (e *engine) attemptStep(o *Options, st *runState, a attempt) sweepOut {
+func (e *Engine) attemptStep(o *Options, st *runState, a attempt) sweepOut {
 	copy(st.vprev, st.v)
 	if !a.keepSeed {
 		copy(st.vtrial, st.v)
@@ -189,18 +195,19 @@ func (e *engine) attemptStep(o *Options, st *runState, a attempt) sweepOut {
 		}
 		st.vtrial[s.node] = target
 	}
-	e.einfo = EvalInfo{T: tNew, Dt: a.dt, Rung: a.rung}
-	return e.solveSweeps(o, st.vtrial, st.vprev, a, &st.res.Evals)
+	st.einfo = EvalInfo{T: tNew, Dt: a.dt, Rung: a.rung}
+	return e.solveSweeps(o, st, a)
 }
 
 // solveSweeps runs damped Gauss-Seidel sweeps of per-node scalar
 // Newton iterations for one backward-Euler step. Every updated voltage
 // is guarded against NaN/Inf so numerical poison fails fast with the
 // offending node identified.
-func (e *engine) solveSweeps(o *Options, vtrial, vprev []float64, a attempt, evals *int) sweepOut {
+func (e *Engine) solveSweeps(o *Options, st *runState, a attempt) sweepOut {
+	vtrial, vprev := st.vtrial, st.vprev
 	out := sweepOut{worst: -1}
 	for ; out.sweeps < a.maxSweep; out.sweeps++ {
-		e.einfo.Sweep = out.sweeps
+		st.einfo.Sweep = out.sweeps
 		maxDelta := 0.0
 		for _, i := range e.order {
 			vi := vtrial[i]
@@ -208,10 +215,10 @@ func (e *engine) solveSweeps(o *Options, vtrial, vprev []float64, a attempt, eva
 			// Scalar Newton, at most two iterations per sweep;
 			// Gauss-Seidel supplies the outer fixed point.
 			for it := 0; it < 2; it++ {
-				g := e.residual(i, vtrial, vprev, a.dt, a.gmin, evals)
+				g := e.residual(i, vtrial, vprev, a.dt, a.gmin, st)
 				const h = 1e-5
 				vtrial[i] = vi + h
-				gp := e.residual(i, vtrial, vprev, a.dt, a.gmin, evals)
+				gp := e.residual(i, vtrial, vprev, a.dt, a.gmin, st)
 				vtrial[i] = vi
 				dg := (gp - g) / h
 				if dg >= -1e-18 {
@@ -257,7 +264,7 @@ func (e *engine) solveSweeps(o *Options, vtrial, vprev []float64, a attempt, eva
 // under-relaxation, then Gmin conductance stepping, then source
 // ramping. On success the state and result are updated; otherwise a
 // typed *simerr.Error is returned and the partial result stays valid.
-func (e *engine) advance(o *Options, st *runState, dtTry float64) error {
+func (e *Engine) advance(o *Options, st *runState, dtTry float64) error {
 	accept := func(a attempt, sweeps int, rescued bool) {
 		copy(st.v, st.vtrial)
 		st.t += a.dt
@@ -358,7 +365,7 @@ func (e *engine) advance(o *Options, st *runState, dtTry float64) error {
 // problems whose converged solutions seed one another. The final
 // problem of the sequence is the physical one, so its solution (when
 // every stage converges) is a legitimate step.
-func (e *engine) homotopy(o *Options, st *runState, dt float64, rung Rung, gmins []float64) (bool, sweepOut, attempt, error) {
+func (e *Engine) homotopy(o *Options, st *runState, dt float64, rung Rung, gmins []float64) (bool, sweepOut, attempt, error) {
 	var stages []attempt
 	switch rung {
 	case RungGmin:

@@ -47,7 +47,7 @@ func Standby(c *circuit.Circuit, inputs map[string]bool) (*StandbyResult, error)
 		}
 	}
 
-	solve := func(sleepOff bool, seed map[string]float64) (*engine, []float64, error) {
+	solve := func(sleepOff bool, seed map[string]float64) (*Engine, []float64, error) {
 		nl, err := c.Netlist(circuit.Stimulus{Old: inputs, New: inputs, SleepOff: sleepOff})
 		if err != nil {
 			return nil, nil, err

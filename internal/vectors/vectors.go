@@ -145,37 +145,69 @@ func (tk *TopK) Add(r Ranked) {
 // Items returns the current top transitions, best first.
 func (tk *TopK) Items() []Ranked { return append([]Ranked(nil), tk.items...) }
 
+// restartSeed derives restart r's independent RNG seed from the
+// user-facing seed with a splitmix64-style mix, so every restart's
+// starting pair is a pure function of (seed, r) — not of how many
+// restarts ran before it or on which worker. This is what lets the
+// parallel executor fan restarts out without changing the answer.
+func restartSeed(seed int64, r int) int64 {
+	z := uint64(seed) + (uint64(r)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// StartPair returns restart r's deterministic random starting pair.
+func (s *Space) StartPair(seed int64, r int) (oldV, newV uint64) {
+	rng := rand.New(rand.NewSource(restartSeed(seed, r)))
+	n := s.Size()
+	return rng.Uint64() % n, rng.Uint64() % n
+}
+
+// HillClimb greedily improves the pair (oldV, newV) by single-bit
+// flips until no flip increases metric, and returns the local optimum.
+// The flip order is fixed, so the climb is deterministic in its
+// starting point. Metric calls are serial; the caller may run many
+// climbs concurrently.
+func (s *Space) HillClimb(oldV, newV uint64, metric func(oldV, newV uint64) float64) Ranked {
+	bits := len(s.Names)
+	cur := Ranked{OldV: oldV, NewV: newV, Metric: metric(oldV, newV)}
+	for improved := true; improved; {
+		improved = false
+		for b := 0; b < 2*bits; b++ {
+			cand := cur
+			if b < bits {
+				cand.OldV = cur.OldV ^ 1<<uint(b)
+			} else {
+				cand.NewV = cur.NewV ^ 1<<uint(b-bits)
+			}
+			cand.Metric = metric(cand.OldV, cand.NewV)
+			if cand.Metric > cur.Metric {
+				cur = cand
+				improved = true
+			}
+		}
+	}
+	return cur
+}
+
 // GreedySearch hill-climbs over single-bit flips of (old, new) pairs to
 // maximize metric, restarting `restarts` times from random pairs. It
 // evaluates the metric O(restarts * bits * iterations) times — far
 // fewer than exhaustive enumeration — and returns the best pair found.
 // This is the vector-space narrowing workflow of paper section 5 made
 // automatic.
+//
+// Each restart draws its start from an independent seed derived from
+// (seed, restart index), so the result is identical whether restarts
+// run serially or fanned out across workers (StartPair + HillClimb are
+// the building blocks parallel callers compose themselves). Ties
+// between restarts go to the lowest restart index.
 func (s *Space) GreedySearch(seed int64, restarts int, metric func(oldV, newV uint64) float64) Ranked {
-	rng := rand.New(rand.NewSource(seed))
-	n := s.Size()
-	bits := len(s.Names)
 	best := Ranked{Metric: -1}
 	for r := 0; r < restarts; r++ {
-		o := rng.Uint64() % n
-		w := rng.Uint64() % n
-		cur := Ranked{OldV: o, NewV: w, Metric: metric(o, w)}
-		for improved := true; improved; {
-			improved = false
-			for b := 0; b < 2*bits; b++ {
-				cand := cur
-				if b < bits {
-					cand.OldV = cur.OldV ^ 1<<uint(b)
-				} else {
-					cand.NewV = cur.NewV ^ 1<<uint(b-bits)
-				}
-				cand.Metric = metric(cand.OldV, cand.NewV)
-				if cand.Metric > cur.Metric {
-					cur = cand
-					improved = true
-				}
-			}
-		}
+		o, w := s.StartPair(seed, r)
+		cur := s.HillClimb(o, w, metric)
 		if cur.Metric > best.Metric {
 			best = cur
 		}

@@ -133,3 +133,53 @@ func TestMergeAndClone(t *testing.T) {
 		t.Error("Clone must not alias")
 	}
 }
+
+// TestRestartIndependentSeeds pins the satellite bugfix: each restart's
+// starting pair depends only on (seed, r), so any execution order —
+// including a parallel fan-out — reproduces the serial search exactly.
+func TestRestartIndependentSeeds(t *testing.T) {
+	s, err := NewSpace(BitNames("x", 6)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct restarts must not replay one serial RNG stream: pairs
+	// for r and r+1 must match regardless of whether r ran first.
+	o0, w0 := s.StartPair(7, 0)
+	o1, w1 := s.StartPair(7, 1)
+	o1b, w1b := s.StartPair(7, 1) // without drawing r=0 first
+	if o1 != o1b || w1 != w1b {
+		t.Fatalf("StartPair(7,1) depends on call order: (%d,%d) vs (%d,%d)", o1, w1, o1b, w1b)
+	}
+	if o0 == o1 && w0 == w1 {
+		t.Fatalf("restarts 0 and 1 drew the same pair (%d,%d)", o0, w0)
+	}
+
+	metric := func(oldV, newV uint64) float64 {
+		return float64(popcount(oldV^newV)) + 0.01*float64(newV%7)
+	}
+	serial := s.GreedySearch(42, 6, metric)
+	// Simulate a parallel executor: climb every restart independently
+	// (in reverse order, even), then fold in restart order.
+	results := make([]Ranked, 6)
+	for r := 5; r >= 0; r-- {
+		o, w := s.StartPair(42, r)
+		results[r] = s.HillClimb(o, w, metric)
+	}
+	best := Ranked{Metric: -1}
+	for _, cur := range results {
+		if cur.Metric > best.Metric {
+			best = cur
+		}
+	}
+	if best != serial {
+		t.Fatalf("parallel fold %+v != serial GreedySearch %+v", best, serial)
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}

@@ -52,6 +52,7 @@ import (
 	"mtcmos/internal/power"
 	"mtcmos/internal/report"
 	"mtcmos/internal/sca"
+	"mtcmos/internal/sched"
 	"mtcmos/internal/simerr"
 	"mtcmos/internal/sizing"
 	"mtcmos/internal/spice"
@@ -167,9 +168,50 @@ type SwitchResult = core.Result
 // Simulate runs the paper's variable-breakpoint switch-level simulator
 // on one input-vector transition. With SleepWL == 0 the circuit is
 // simulated as plain CMOS — the baseline for "% degradation due to
-// MTCMOS".
+// MTCMOS". For many transitions on one circuit, compile once with
+// CompileCircuit and use SimulateBatch/SimulateSweep instead.
 func Simulate(c *Circuit, stim Stimulus, opts SwitchOptions) (*SwitchResult, error) {
 	return core.Simulate(c, stim, opts)
+}
+
+// CompiledCircuit is a circuit prepared once for repeated switch-level
+// runs: topology, device characterization and sleep resistances are
+// derived at compile time, and per-run scratch state is pooled. It is
+// immutable and safe for concurrent runs; vary the sleep size per run
+// with RunWL/RunDomains rather than mutating the Circuit.
+type CompiledCircuit = core.Compiled
+
+// CompileCircuit prepares a circuit for run-many use, snapshotting its
+// sleep-domain configuration (SleepWL, VGndCap) as compiled.
+func CompileCircuit(c *Circuit) (*CompiledCircuit, error) { return core.Compile(c) }
+
+// BatchOptions configures the parallel batch entry points.
+type BatchOptions struct {
+	// Workers bounds the worker pool: 0 means one worker per CPU, 1
+	// forces serial execution. Results are identical for any value.
+	Workers int
+	// Sim is the per-run simulator configuration; its Ctx cancels the
+	// whole batch.
+	Sim SwitchOptions
+}
+
+// SimulateBatch runs one switch-level transient per stimulus on the
+// parallel sweep executor. Results come back in input order; on
+// failure the error belongs to the lowest-index failing stimulus, and
+// the corresponding result slot carries any partial result.
+func SimulateBatch(cp *CompiledCircuit, stims []Stimulus, opts BatchOptions) ([]*SwitchResult, error) {
+	return sched.Map(opts.Sim.Ctx, opts.Workers, len(stims), func(i int) (*SwitchResult, error) {
+		return cp.Run(stims[i], opts.Sim)
+	})
+}
+
+// SimulateSweep runs one stimulus at each sleep W/L (0 = plain CMOS)
+// on the parallel sweep executor — the W/L-axis fan-out behind the
+// paper's delay-vs-size figures. Results come back in wls order.
+func SimulateSweep(cp *CompiledCircuit, wls []float64, stim Stimulus, opts BatchOptions) ([]*SwitchResult, error) {
+	return sched.Map(opts.Sim.Ctx, opts.Workers, len(wls), func(i int) (*SwitchResult, error) {
+		return cp.RunWL(wls[i], stim, opts.Sim)
+	})
 }
 
 // --- Reference transient engine ---

@@ -191,3 +191,64 @@ func TestFacadeAccuracyOptions(t *testing.T) {
 		t.Errorf("refined model must be slower: %g vs %g", dr, dp)
 	}
 }
+
+// TestFacadeBatchAndSweep exercises the compiled-circuit batch API: a
+// batch over stimuli and a sweep over sleep sizes, both matching
+// one-shot Simulate exactly at any worker count.
+func TestFacadeBatchAndSweep(t *testing.T) {
+	tech := mtcmos.Tech07()
+	tree := mtcmos.InverterTree(&tech, 3, 3, 50e-15)
+	tree.SleepWL = 8
+	cp, err := mtcmos.CompileCircuit(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := mtcmos.Stimulus{
+		Old:   map[string]bool{"in": false},
+		New:   map[string]bool{"in": true},
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+	down := mtcmos.Stimulus{
+		Old:   map[string]bool{"in": true},
+		New:   map[string]bool{"in": false},
+		TEdge: 1e-9, TRise: 50e-12,
+	}
+
+	for _, workers := range []int{1, 4} {
+		opts := mtcmos.BatchOptions{Workers: workers}
+		batch, err := mtcmos.SimulateBatch(cp, []mtcmos.Stimulus{up, down}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, stim := range []mtcmos.Stimulus{up, down} {
+			ref, err := mtcmos.Simulate(tree, stim, mtcmos.SwitchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := batch[i].Delay("s3_0")
+			want, _ := ref.Delay("s3_0")
+			if got != want {
+				t.Errorf("workers=%d stim %d: batch delay %g != %g", workers, i, got, want)
+			}
+		}
+
+		wls := []float64{0, 2, 8, 20}
+		sweep, err := mtcmos.SimulateSweep(cp, wls, up, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, wl := range wls {
+			tree.SleepWL = wl
+			ref, err := mtcmos.Simulate(tree, up, mtcmos.SwitchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree.SleepWL = 8
+			got, _ := sweep[i].Delay("s3_0")
+			want, _ := ref.Delay("s3_0")
+			if got != want {
+				t.Errorf("workers=%d wl=%g: sweep delay %g != %g", workers, wl, got, want)
+			}
+		}
+	}
+}

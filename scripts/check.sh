@@ -27,4 +27,13 @@ go test -race -timeout "$CHECK_TIMEOUT" ./...
 echo "== fault-injection gate (-race) =="
 go test -race -timeout "$CHECK_TIMEOUT" -count=1 ./internal/faultinject/ ./internal/spice/
 
+echo "== parallel-sweep gate (-race) =="
+# Determinism and thread-safety of the sweep executor and the compiled
+# engines: identical results at any worker count, concurrent runs on
+# shared engines, atomic fault counters.
+go test -race -timeout "$CHECK_TIMEOUT" -count=1 \
+    -run 'TestMap|TestWorkers|TestCompiledConcurrentRuns|TestEngineConcurrentRuns|TestConcurrentInjection|TestWorkerCountIndependence|TestFig7WorkerCountInvariant|TestFig14WorkerCountInvariant|TestWorstVectorSearch|TestSimWLSweep|TestExpWorkersFlag|TestFacadeBatchAndSweep|TestRestartIndependentSeeds' \
+    ./internal/sched/ ./internal/core/ ./internal/spice/ ./internal/faultinject/ \
+    ./internal/sizing/ ./internal/experiments/ ./internal/vectors/ ./internal/cli/ .
+
 echo "all checks passed"
