@@ -1,0 +1,14 @@
+proven-driven node: a static false positive the prover suppresses
+* The output "out" has no pull-up network, so the static graph rules
+* (mtlint -graph) warn MT019 that it may float. But its two pulldowns
+* are gated by a and by nota = NOT(a): one of them always conducts,
+* so the floating state is unsatisfiable. mtlint -prove refutes it
+* and suppresses the warning (-verbose shows the refutation core).
+Vdd vdd 0 DC 1.2
+Va a 0 PWL(0 0 1n 0 1.05n 1.2)
+Mpinv nota a vdd vdd pmos W=2.8u L=0.7u
+Mninv nota a 0 0 nmos W=1.4u L=0.7u
+Mn1 out a 0 0 nmos W=1.4u L=0.7u
+Mn2 out nota 0 0 nmos W=1.4u L=0.7u
+Cout out 0 20f
+.end

@@ -11,6 +11,7 @@ import (
 	"mtcmos"
 	"mtcmos/internal/lint"
 	"mtcmos/internal/netlist"
+	"mtcmos/internal/sched"
 )
 
 // Lint implements the mtlint command: run the static analyzer over one
@@ -21,13 +22,16 @@ func Lint(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mtlint", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		techF   = fs.String("tech", "0.7", "technology for process-window checks: 0.7 | 0.3 | none")
-		sevF    = fs.String("severity", "info", "minimum severity to report: info | warn | error")
-		formatF = fs.String("format", "", "output format: text | json | sarif (default text)")
-		jsonF   = fs.Bool("json", false, "emit machine-readable JSON (alias for -format json)")
-		graphF  = fs.Bool("graph", false, "also run the graph-backed rules (MT018+): CCC partition, DC-path and stack checks")
-		werrorF = fs.Bool("werror", false, "treat warnings as errors (nonzero exit), for CI gates")
-		rulesF  = fs.Bool("rules", false, "list every rule (code, severity, description) and exit")
+		techF    = fs.String("tech", "0.7", "technology for process-window checks: 0.7 | 0.3 | none")
+		sevF     = fs.String("severity", "info", "minimum severity to report: info | warn | error")
+		formatF  = fs.String("format", "", "output format: text | json | sarif (default text)")
+		jsonF    = fs.Bool("json", false, "emit machine-readable JSON (alias for -format json)")
+		graphF   = fs.Bool("graph", false, "also run the graph-backed rules (MT018+): CCC partition, DC-path and stack checks")
+		proveF   = fs.Bool("prove", false, "run the path-condition SAT prover (implies -graph): witness vectors on MT018, vector-dependent shorts as MT023, infeasible MT019 findings suppressed")
+		verboseF = fs.Bool("verbose", false, "with -prove, also report prover-suppressed findings with their refutation cores")
+		workersF = fs.Int("j", 1, "lint decks on N parallel workers (0 = one per CPU); output is byte-identical to -j 1")
+		werrorF  = fs.Bool("werror", false, "treat warnings as errors (nonzero exit), for CI gates")
+		rulesF   = fs.Bool("rules", false, "list every rule (code, severity, description) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,29 +69,38 @@ func Lint(args []string, w io.Writer) error {
 	}
 	files := fs.Args()
 	if len(files) == 0 {
-		return fmt.Errorf("usage: mtlint [-tech 0.7|0.3|none] [-severity info|warn|error] [-format text|json|sarif] [-graph] [-werror] deck.sp ...")
+		return fmt.Errorf("usage: mtlint [-tech 0.7|0.3|none] [-severity info|warn|error] [-format text|json|sarif] [-graph] [-prove] [-verbose] [-j N] [-werror] deck.sp ...")
 	}
+	opts := lint.Options{Graph: *graphF || *proveF, Prove: *proveF, Verbose: *verboseF}
 
-	totalErrors, totalWarnings := 0, 0
-	reports := make([]lintReport, 0, len(files))
-	for _, path := range files {
-		diags, err := lintDeckFile(path, tech, *graphF)
+	// Decks are independent, sched.Map returns results in item order,
+	// and the prover is deterministic per deck, so any worker count
+	// produces byte-identical reports.
+	reports, err := sched.Map(nil, sched.Workers(*workersF), len(files), func(i int) (lintReport, error) {
+		path := files[i]
+		diags, err := lintDeckFile(path, tech, opts)
 		if err != nil {
-			return err
+			return lintReport{}, err
 		}
-		totalErrors += lint.Count(diags, lint.Error)
-		totalWarnings += lint.Count(diags, lint.Warn)
 		shown := lint.Filter(diags, min)
 		if shown == nil {
 			shown = []lint.Diagnostic{}
 		}
-		reports = append(reports, lintReport{
+		return lintReport{
 			File:        path,
 			Diagnostics: shown,
 			Errors:      lint.Count(diags, lint.Error),
 			Warnings:    lint.Count(diags, lint.Warn),
 			Infos:       lint.Count(diags, lint.Info),
-		})
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	totalErrors, totalWarnings := 0, 0
+	for _, r := range reports {
+		totalErrors += r.Errors
+		totalWarnings += r.Warnings
 	}
 
 	switch format {
@@ -138,7 +151,7 @@ func (r lintReport) summary() string {
 // lintDeckFile parses and lints one deck. Syntax errors become MT000
 // diagnostics so broken decks report through the same pipeline; only
 // I/O failures are returned as errors.
-func lintDeckFile(path string, tech *mtcmos.Tech, graph bool) ([]lint.Diagnostic, error) {
+func lintDeckFile(path string, tech *mtcmos.Tech, opts lint.Options) ([]lint.Diagnostic, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -152,7 +165,7 @@ func lintDeckFile(path string, tech *mtcmos.Tech, graph bool) ([]lint.Diagnostic
 		}
 		return []lint.Diagnostic{d}, nil
 	}
-	return lint.RunAll(nl, nil, tech, graph), nil
+	return lint.RunWith(nl, nil, tech, opts), nil
 }
 
 func lintTech(name string) (*mtcmos.Tech, error) {

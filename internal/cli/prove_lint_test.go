@@ -1,0 +1,133 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// mtlint -prove end-to-end: witness vectors on MT018, the MT023
+// vector-dependent short, prover suppression of infeasible MT019
+// findings, and byte-identical output regardless of -j.
+
+func TestLintProveSneakWitnessText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lint([]string{"-prove", "testdata/sneak.sp"}, &buf); err == nil {
+		t.Fatal("sneak deck must still exit nonzero under -prove")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MT018 error") || !strings.Contains(out, "[witness") {
+		t.Errorf("MT018 under -prove should carry a witness vector:\n%s", out)
+	}
+	checkGolden(t, "sneak.prove.txt.golden", buf.Bytes())
+}
+
+func TestLintProveCondShortText(t *testing.T) {
+	var buf bytes.Buffer
+	// The short only conducts under s=0 t=1, so it is a warning (MT023),
+	// not an error: the run exits zero without -werror.
+	if err := Lint([]string{"-prove", "testdata/condshort.sp"}, &buf); err != nil {
+		t.Fatalf("vector-dependent short alone must not fail without -werror: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MT023 warn") || !strings.Contains(out, "[witness s=0 t=1]") {
+		t.Errorf("expected an MT023 warning with witness s=0 t=1:\n%s", out)
+	}
+	if strings.Contains(out, "MT018") {
+		t.Errorf("conditional short must not be reported as always-on MT018:\n%s", out)
+	}
+	checkGolden(t, "condshort.txt.golden", buf.Bytes())
+}
+
+func TestLintProveCondShortSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lint([]string{"-prove", "-format", "sarif", "testdata/condshort.sp"}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	var log struct {
+		Runs []struct {
+			Results []struct {
+				RuleID     string         `json:"ruleId"`
+				Properties map[string]any `json:"properties"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v\n%s", err, buf.String())
+	}
+	found := false
+	for _, r := range log.Runs[0].Results {
+		if r.RuleID == "MT023" {
+			found = true
+			if w, _ := r.Properties["witness"].(string); w != "s=0 t=1" {
+				t.Errorf("MT023 properties.witness = %q, want \"s=0 t=1\"", w)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no MT023 result in SARIF output:\n%s", buf.String())
+	}
+	checkGolden(t, "condshort.sarif.golden", buf.Bytes())
+}
+
+func TestLintProveSuppressesRefutedMT019(t *testing.T) {
+	var buf bytes.Buffer
+	// Statically proven.sp warns MT019 (no pull-up on out); the prover
+	// refutes the floating state, so under -prove -werror it passes.
+	if err := Lint([]string{"-graph", "-werror", "testdata/proven.sp"}, &buf); err == nil {
+		t.Fatal("static -graph -werror should fail on the MT019 warning")
+	}
+	buf.Reset()
+	if err := Lint([]string{"-prove", "-werror", "testdata/proven.sp"}, &buf); err != nil {
+		t.Fatalf("prover should suppress the refuted MT019: %v\n%s", err, buf.String())
+	}
+	if strings.Contains(buf.String(), "MT019") {
+		t.Errorf("refuted MT019 still reported under -prove:\n%s", buf.String())
+	}
+	buf.Reset()
+	// -verbose surfaces the suppressed finding as Info with its core.
+	if err := Lint([]string{"-prove", "-verbose", "testdata/proven.sp"}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MT019 info") || !strings.Contains(out, "finding suppressed") {
+		t.Errorf("-verbose should show the suppression note:\n%s", out)
+	}
+	checkGolden(t, "proven.verbose.txt.golden", buf.Bytes())
+}
+
+func TestLintProveKeepsRealMT019(t *testing.T) {
+	var buf bytes.Buffer
+	// warnonly.sp's floating output is genuinely reachable: the prover
+	// must keep the warning (with a witness) and -werror must still fail.
+	if err := Lint([]string{"-prove", "-werror", "testdata/warnonly.sp"}, &buf); err == nil {
+		t.Fatal("reachable MT019 must keep failing under -prove -werror")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MT019 warn") || !strings.Contains(out, "[witness") {
+		t.Errorf("kept MT019 should carry a witness vector:\n%s", out)
+	}
+}
+
+func TestLintParallelIdentical(t *testing.T) {
+	decks := []string{
+		"testdata/sneak.sp", "testdata/condshort.sp", "testdata/proven.sp",
+		"testdata/clean.sp", "testdata/warnonly.sp",
+	}
+	for _, format := range []string{"text", "sarif"} {
+		run := func(j string) []byte {
+			var buf bytes.Buffer
+			args := append([]string{"-prove", "-verbose", "-format", format, "-j", j}, decks...)
+			// sneak.sp has an error-severity finding, so err is non-nil
+			// for both worker counts; only the bytes matter here.
+			Lint(args, &buf)
+			return buf.Bytes()
+		}
+		serial, parallel := run("1"), run("8")
+		if !bytes.Equal(serial, parallel) {
+			t.Errorf("%s output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+				format, serial, parallel)
+		}
+	}
+}

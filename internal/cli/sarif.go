@@ -52,6 +52,10 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+
+	// Properties carries the prover's extras (mtlint -prove): the
+	// witness input vector and the parallel-path count.
+	Properties map[string]any `json:"properties,omitempty"`
 }
 
 type sarifLocation struct {
@@ -114,12 +118,22 @@ func writeSARIF(w io.Writer, reports []lintReport) error {
 			if d.Subject != "" {
 				loc.LogicalLocations = []sarifLogic{{Name: d.Subject}}
 			}
-			results = append(results, sarifResult{
+			res := sarifResult{
 				RuleID:    d.Code,
 				Level:     sarifLevel(d.Severity),
 				Message:   sarifMessage{Text: d.Message},
 				Locations: []sarifLocation{loc},
-			})
+			}
+			if d.Witness != "" || d.Paths > 1 {
+				res.Properties = map[string]any{}
+				if d.Witness != "" {
+					res.Properties["witness"] = d.Witness
+				}
+				if d.Paths > 1 {
+					res.Properties["paths"] = d.Paths
+				}
+			}
+			results = append(results, res)
 		}
 	}
 	log := sarifLog{

@@ -1,0 +1,8 @@
+deck with a vector-dependent vdd->gnd sneak path (s=0, t=1)
+Vdd vdd 0 DC 1.2
+Vs s 0 PWL(0 0 1n 0 1.05n 1.2)
+Vt t 0 PWL(0 0 1n 0 1.05n 1.2)
+Mpu x s vdd vdd pmos W=2.8u L=0.7u
+Mpd x t 0 0 nmos W=1.4u L=0.7u
+Cl x 0 10f
+.end

@@ -1,0 +1,11 @@
+deck whose MT019 warning is a proven false positive
+* out is pulled low by mn1 (gate a) or mn2 (gate ab = not a), so it
+* can never float
+Vdd vdd 0 DC 1.2
+Va a 0 PWL(0 0 1n 0 1.05n 1.2)
+Mpi ab a vdd vdd pmos W=2.8u L=0.7u
+Mni ab a 0 0 nmos W=1.4u L=0.7u
+Mn1 out a 0 0 nmos W=1.4u L=0.7u
+Mn2 out ab 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end

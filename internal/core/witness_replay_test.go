@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/sca"
+)
+
+// End-to-end witness validation: a gate-level circuit is expanded to a
+// transistor netlist, a sneak device is injected, the path-condition
+// prover produces a witness vector, and that witness is replayed
+// through this package's event-driven engine. The solver's model must
+// agree with the settled logic values the engine computes, and the
+// sneak's gate must really be driven on.
+
+// expandWithSneak builds x = NAND2(a, b), y = INV(x), expands it to
+// transistors, and straps an NMOS from vdd to ground gated by x: a
+// vector-dependent rail short that conducts exactly when x settles
+// high (any vector with a·b = 0).
+func expandWithSneak(t *testing.T) (*circuit.Circuit, *sca.Analysis) {
+	t.Helper()
+	tech := tech07()
+	c := circuit.New("sneaky", tech)
+	c.Input("a")
+	c.Input("b")
+	c.MustGate(circuit.Nand2, "g1", "x", 2, "a", "b")
+	c.MustGate(circuit.Inv, "g2", "y", 1, "x")
+	c.SetLoad("y", 20e-15)
+
+	// Toggling every input makes the expansion drive them with PWL
+	// sources, which the analyzer classifies as signal rails — the
+	// variables the prover's witness ranges over.
+	nl, err := c.Netlist(circuit.Stimulus{
+		Old:   map[string]bool{"a": false, "b": false},
+		New:   map[string]bool{"a": true, "b": true},
+		TEdge: 1e-9, TRise: 50e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := nl.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.MOS = append(f.MOS, f.MOS[0])
+	sneak := &f.MOS[len(f.MOS)-1]
+	sneak.Name = "msneak"
+	sneak.D, sneak.G, sneak.S, sneak.B = "vdd", "x", "0", "0"
+	sneak.Model = circuit.ModelNMOS
+	return c, sca.Analyze(f, sca.Config{})
+}
+
+func TestWitnessReplaysThroughEventEngine(t *testing.T) {
+	c, a := expandWithSneak(t)
+	pf := a.Prove()
+	var sh *sca.ProvenShort
+	for i := range pf.Shorts {
+		for _, dev := range pf.Shorts[i].Devices {
+			if dev == "msneak" {
+				sh = &pf.Shorts[i]
+			}
+		}
+	}
+	if sh == nil {
+		t.Fatalf("prover missed the injected sneak: %+v", pf.Shorts)
+	}
+	if sh.Always {
+		t.Fatalf("sneak conducts only when x=1, got Always: %+v", sh)
+	}
+	if err := a.Replay(sh.Model).CheckShort(*sh); err != nil {
+		t.Fatalf("switch-level replay rejects the witness: %v", err)
+	}
+
+	// Drive the event engine with the witness input vector and let it
+	// settle.
+	vec := map[string]bool{}
+	for _, in := range c.Inputs {
+		v, ok := sh.Witness.Get(in.Name)
+		if !ok {
+			t.Fatalf("witness %q misses input %s", sh.Witness, in.Name)
+		}
+		vec[in.Name] = v
+	}
+	cp, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cp.Run(circuit.Stimulus{
+		Old: map[string]bool{"a": !vec["a"], "b": !vec["b"]}, New: vec,
+		TEdge: 1e-9, TRise: 50e-12,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The sneak's gate net must have settled high — the short is live
+	// under this vector in the dynamic engine too.
+	if !res.Final["x"] {
+		t.Errorf("witness %q does not turn the sneak on: Final[x] = false", sh.Witness)
+	}
+	// Every circuit net the solver assigned must match the engine's
+	// settled value (the model also names expansion-internal and dis
+	// variables; only circuit nets are comparable).
+	checked := 0
+	for _, nv := range sh.Model {
+		if c.FindNet(nv.Net) == nil {
+			continue
+		}
+		checked++
+		if res.Final[nv.Net] != nv.Value {
+			t.Errorf("net %s: solver model says %v, event engine settles %v",
+				nv.Net, nv.Value, res.Final[nv.Net])
+		}
+	}
+	if checked < 3 { // a, b, x at minimum
+		t.Errorf("cross-checked only %d nets; model %q", checked, sh.Model)
+	}
+}
+
+// TestWitnessAgreesForAllShorts replays every proven short's model,
+// not just the injected device's: the acceptance bar is that each
+// MT018/MT023 witness survives the independent engines.
+func TestWitnessAgreesForAllShorts(t *testing.T) {
+	c, a := expandWithSneak(t)
+	cp, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := a.Prove()
+	if len(pf.Shorts) == 0 {
+		t.Fatal("no shorts proven")
+	}
+	for _, sh := range pf.Shorts {
+		if err := a.Replay(sh.Model).CheckShort(sh); err != nil {
+			t.Errorf("short %v: replay rejects witness: %v", sh.Devices, err)
+			continue
+		}
+		vec := map[string]bool{}
+		for _, in := range c.Inputs {
+			if v, ok := sh.Witness.Get(in.Name); ok {
+				vec[in.Name] = v
+			}
+		}
+		res, err := cp.Run(circuit.Stimulus{
+			Old: map[string]bool{"a": !vec["a"], "b": !vec["b"]}, New: vec,
+			TEdge: 1e-9, TRise: 50e-12,
+		}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nv := range sh.Model {
+			if c.FindNet(nv.Net) == nil {
+				continue
+			}
+			if res.Final[nv.Net] != nv.Value {
+				t.Errorf("short %v net %s: model %v != engine %v",
+					sh.Devices, nv.Net, nv.Value, res.Final[nv.Net])
+			}
+		}
+	}
+}

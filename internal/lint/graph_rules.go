@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"fmt"
+	"sort"
 	"strings"
 
 	"mtcmos/internal/sca"
@@ -14,6 +16,13 @@ import (
 // DC potentials of its gate net, and DC paths are enumerated per
 // component. They are opt-in (mtlint -graph, lint.RunAll) because the
 // partition and path enumeration cost more than the card-level checks.
+//
+// Under Options.Prove (mtlint -prove) the MT018/MT019/MT023 rules
+// additionally consult the path-condition SAT proof (sca.Prove):
+// MT018 findings carry witness vectors, conditional rail shorts
+// surface as MT023, and MT019 findings whose floating state is
+// refuted are suppressed (reported at Info severity with the
+// refutation core under Options.Verbose).
 
 var graphRegistry = []*rule{
 	ruleAlwaysOnShort,
@@ -21,6 +30,55 @@ var graphRegistry = []*rule{
 	ruleDeepConductingPath,
 	ruleCCCSummary,
 	ruleSleepAboveLevelBound,
+	ruleVectorDependentShort,
+}
+
+// shortKey identifies the rail pair a short connects inside one
+// component; the prover and the static pass may walk different
+// parallel branches of the same short, so device lists don't key.
+func shortKey(comp int, from, to string) string {
+	return fmt.Sprintf("%d %s>%s", comp, from, to)
+}
+
+// staticShortGroups dedupes the static findings: shorts sharing one
+// component and rail pair collapse into a single finding with a path
+// count.
+type staticShortGroup struct {
+	first sca.ShortPath
+	count int
+}
+
+func staticShortGroups(shorts []sca.ShortPath) []staticShortGroup {
+	byKey := map[string]int{}
+	var out []staticShortGroup
+	for _, sh := range shorts {
+		k := shortKey(sh.Component, sh.From, sh.To)
+		if i, ok := byKey[k]; ok {
+			out[i].count++
+			continue
+		}
+		byKey[k] = len(out)
+		out = append(out, staticShortGroup{first: sh, count: 1})
+	}
+	return out
+}
+
+// emitStaticShort renders one (deduped) static MT018 finding.
+func emitStaticShort(s *sink, g staticShortGroup) {
+	sh := g.first
+	subject := sh.Devices[0]
+	var d *Diagnostic
+	if sh.Component >= 0 {
+		d = s.emit(subject, "always-on DC path %s -> %s through %s: every device on it conducts in every input state, so the deck draws static short-circuit current",
+			sh.From, sh.To, strings.Join(sh.Devices, " -> "))
+	} else {
+		d = s.emit(subject, "device %s straps rail %s directly to %s and its gate holds it permanently on",
+			subject, sh.From, sh.To)
+	}
+	if g.count > 1 {
+		d.Message += fmt.Sprintf(" (%d parallel paths)", g.count)
+		d.Paths = g.count
+	}
 }
 
 var ruleAlwaysOnShort = &rule{
@@ -32,17 +90,104 @@ var ruleAlwaysOnShort = &rule{
 		if a == nil {
 			return
 		}
-		for _, sh := range a.Shorts {
+		if !t.opts.Prove {
+			for _, g := range staticShortGroups(a.Shorts) {
+				emitStaticShort(s, g)
+			}
+			return
+		}
+		// Prove mode: emit the solver's always-on shorts with their
+		// witnesses, then any static finding the bounded enumeration
+		// did not cover (deeper than the path caps) in its plain form.
+		pf := t.Proof()
+		covered := map[string]bool{}
+		for _, sh := range pf.Shorts {
+			if !sh.Always {
+				continue
+			}
+			covered[shortKey(sh.Component, sh.From, sh.To)] = true
 			subject := sh.Devices[0]
+			var d *Diagnostic
 			if sh.Component >= 0 {
-				s.emit(subject, "always-on DC path %s -> %s through %s: every device on it conducts in every input state, so the deck draws static short-circuit current",
+				d = s.emit(subject, "always-on DC path %s -> %s through %s: every device on it conducts in every input state, so the deck draws static short-circuit current",
 					sh.From, sh.To, strings.Join(sh.Devices, " -> "))
 			} else {
-				s.emit(subject, "device %s straps rail %s directly to %s and its gate holds it permanently on",
+				d = s.emit(subject, "device %s straps rail %s directly to %s and its gate holds it permanently on",
 					subject, sh.From, sh.To)
+			}
+			if sh.Paths > 1 {
+				d.Message += fmt.Sprintf(" (%d parallel paths)", sh.Paths)
+			}
+			// Every witness the tool prints has survived the
+			// independent switch-level replay (sca.Replay); a witness
+			// the replay rejects would mean an encoder bug, and is
+			// withheld rather than shown.
+			if a.Replay(sh.Model).CheckShort(sh) == nil {
+				d.Witness = sh.Witness.String()
+			}
+			d.Paths = sh.Paths
+		}
+		for _, g := range staticShortGroups(a.Shorts) {
+			if !covered[shortKey(g.first.Component, g.first.From, g.first.To)] {
+				emitStaticShort(s, g)
 			}
 		}
 	},
+}
+
+// floatKey groups floating-output findings that share one pull
+// network: same component, same missing directions.
+func floatKey(fo sca.FloatingOutput) string {
+	return fmt.Sprintf("%d %v %v", fo.Component, fo.MissingPullUp, fo.MissingPullDown)
+}
+
+func missingDirs(fo sca.FloatingOutput) string {
+	var missing []string
+	if fo.MissingPullUp {
+		missing = append(missing, "pull-up")
+	}
+	if fo.MissingPullDown {
+		missing = append(missing, "pull-down")
+	}
+	return strings.Join(missing, " or ")
+}
+
+// emitFloatingGroup renders one MT019 finding for a set of outputs
+// sharing a component and missing direction; witness (possibly empty)
+// comes from the prover.
+func emitFloatingGroup(s *sink, fos []sca.FloatingOutput, witness string) {
+	fo := fos[0]
+	var d *Diagnostic
+	if len(fos) == 1 {
+		d = s.emit(fo.Net, "output %q (component %d) has no %s network that can ever conduct: the node cannot be driven to that rail and will float or retain charge",
+			fo.Net, fo.Component, missingDirs(fo))
+	} else {
+		nets := make([]string, len(fos))
+		for i, f := range fos {
+			nets[i] = f.Net
+		}
+		d = s.emit(fo.Net, "outputs %s (component %d) have no %s network that can ever conduct: the nodes cannot be driven to that rail and will float or retain charge (%d outputs)",
+			strings.Join(nets, ", "), fo.Component, missingDirs(fo), len(fos))
+		d.Paths = len(fos)
+	}
+	d.Witness = witness
+}
+
+// groupFloating buckets findings by shared pull network, preserving
+// first-seen order (the inputs are already net-sorted).
+func groupFloating(fos []sca.FloatingOutput) [][]sca.FloatingOutput {
+	byKey := map[string]int{}
+	var out [][]sca.FloatingOutput
+	for _, fo := range fos {
+		k := floatKey(fo)
+		if i, ok := byKey[k]; ok {
+			out[i] = append(out[i], fo)
+			continue
+		}
+		byKey[k] = len(out)
+		out = append(out, []sca.FloatingOutput{fo})
+	}
+	return out
 }
 
 var ruleMissingPullNetwork = &rule{
@@ -54,16 +199,61 @@ var ruleMissingPullNetwork = &rule{
 		if a == nil {
 			return
 		}
-		for _, fo := range a.Floating {
-			var missing []string
-			if fo.MissingPullUp {
-				missing = append(missing, "pull-up")
+		if !t.opts.Prove {
+			for _, g := range groupFloating(a.Floating) {
+				emitFloatingGroup(s, g, "")
 			}
-			if fo.MissingPullDown {
-				missing = append(missing, "pull-down")
+			return
+		}
+		// Prove mode: only findings whose floating state is reachable
+		// survive, each with its own witness vector; refuted findings
+		// are suppressed (surfaced at Info severity under Verbose).
+		pf := t.Proof()
+		for _, k := range pf.Floating {
+			w := ""
+			if k.Model != nil && a.Replay(k.Model).CheckFloating(k) == nil {
+				w = k.Witness.String()
 			}
-			s.emit(fo.Net, "output %q (component %d) has no %s network that can ever conduct: the node cannot be driven to that rail and will float or retain charge",
-				fo.Net, fo.Component, strings.Join(missing, " or "))
+			emitFloatingGroup(s, []sca.FloatingOutput{k.FloatingOutput}, w)
+		}
+		if t.opts.Verbose {
+			for _, inf := range pf.Suppressed {
+				s.at(Info, inf.Net, "output %q (component %d) misses a %s network, but its floating state is unsatisfiable: pull paths %s cannot all be off at once — finding suppressed",
+					inf.Net, inf.Component, missingDirs(inf.FloatingOutput), strings.Join(inf.Core, " and "))
+			}
+		}
+	},
+}
+
+var ruleVectorDependentShort = &rule{
+	code:  "MT023",
+	sev:   Warn,
+	title: "vector-dependent DC path between rails (sneak short under some input, -prove)",
+	check: func(t *Target, s *sink) {
+		a := t.Graph()
+		if !t.opts.Prove || a == nil {
+			return
+		}
+		shorts := t.Proof().Shorts
+		sorted := make([]sca.ProvenShort, 0, len(shorts))
+		for _, sh := range shorts {
+			if !sh.Always {
+				sorted = append(sorted, sh)
+			}
+		}
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].Devices[0] < sorted[j].Devices[0]
+		})
+		for _, sh := range sorted {
+			d := s.emit(sh.Devices[0], "DC path %s -> %s through %s conducts when %s: the deck draws static short-circuit current under that input state",
+				sh.From, sh.To, strings.Join(sh.Devices, " -> "), strings.Join(sh.Cond, " & "))
+			if sh.Paths > 1 {
+				d.Message += fmt.Sprintf(" (%d parallel paths)", sh.Paths)
+			}
+			if a.Replay(sh.Model).CheckShort(sh) == nil {
+				d.Witness = sh.Witness.String()
+			}
+			d.Paths = sh.Paths
 		}
 	},
 }

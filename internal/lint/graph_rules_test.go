@@ -42,7 +42,7 @@ func TestGraphRegistryStable(t *testing.T) {
 			t.Errorf("rule %s has no title", code)
 		}
 	}
-	for _, want := range []string{"MT018", "MT019", "MT020", "MT021", "MT022"} {
+	for _, want := range []string{"MT018", "MT019", "MT020", "MT021", "MT022", "MT023"} {
 		if !seen[want] {
 			t.Errorf("graph registry missing %s", want)
 		}

@@ -79,17 +79,35 @@ func ParseSeverity(s string) (Severity, error) {
 }
 
 // Diagnostic is one finding: a stable code, a severity, the device or
-// node it is about, and a self-contained message.
+// node it is about, and a self-contained message. Findings produced
+// under the path-condition prover (Options.Prove) may additionally
+// carry a witness input vector and a parallel-path count.
 type Diagnostic struct {
 	Code     string   `json:"code"`
 	Severity Severity `json:"severity"`
 	Subject  string   `json:"subject,omitempty"`
 	Message  string   `json:"message"`
+
+	// Witness is the proving input vector ("a=0 b=1") for MT018/MT023
+	// shorts (a vector under which the path conducts) and for kept
+	// MT019 findings (a vector leaving the node undriven). Empty for
+	// findings outside prove mode, and for decks with no switching
+	// inputs.
+	Witness string `json:"witness,omitempty"`
+
+	// Paths counts parallel DC paths collapsed into this one finding
+	// (0 or 1 for a singleton).
+	Paths int `json:"paths,omitempty"`
 }
 
-// String renders the diagnostic as "MT001 error: message".
+// String renders the diagnostic as "MT001 error: message", with the
+// witness vector appended when one was proven.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s %s: %s", d.Code, d.Severity, d.Message)
+	s := fmt.Sprintf("%s %s: %s", d.Code, d.Severity, d.Message)
+	if d.Witness != "" {
+		s += " [witness " + d.Witness + "]"
+	}
+	return s
 }
 
 // SyntaxCode is the pseudo-code used when a deck cannot be parsed or
@@ -97,6 +115,22 @@ func (d Diagnostic) String() string {
 // diagnostic pipeline so tools report syntax and semantic findings
 // uniformly.
 const SyntaxCode = "MT000"
+
+// Options configures one lint pass beyond the always-on card rules.
+type Options struct {
+	// Graph enables the graph-backed rules (MT018+).
+	Graph bool
+
+	// Prove runs the path-condition SAT prover over the graph
+	// analysis (implies Graph): MT018 findings gain witness vectors,
+	// vector-dependent rail shorts surface as MT023, and MT019
+	// findings whose floating state is unsatisfiable are suppressed.
+	Prove bool
+
+	// Verbose additionally reports prover-suppressed findings at Info
+	// severity, with their refutation cores.
+	Verbose bool
+}
 
 // Target bundles everything one lint pass can look at. Any field may
 // be nil; each rule checks only the representations it understands.
@@ -106,8 +140,12 @@ type Target struct {
 	Circuit *circuit.Circuit // gate-level circuit
 	Tech    *mosfet.Tech     // process window and supply rails
 
+	opts Options
+
 	graph     *sca.Analysis // cached graph analysis shared by MT018+
 	graphDone bool
+	proof     *sca.Proof // cached path-condition proof (opts.Prove)
+	proofDone bool
 }
 
 // Graph lazily runs (and caches) the static circuit analysis over the
@@ -121,6 +159,19 @@ func (t *Target) Graph() *sca.Analysis {
 		}
 	}
 	return t.graph
+}
+
+// Proof lazily runs (and caches) the path-condition prover over the
+// graph analysis, so the prove-aware rules share one solver pass.
+// Returns nil when the target has no flat deck.
+func (t *Target) Proof() *sca.Proof {
+	if !t.proofDone {
+		t.proofDone = true
+		if a := t.Graph(); a != nil {
+			t.proof = a.Prove()
+		}
+	}
+	return t.proof
 }
 
 // Rule is one registered lint check.
@@ -161,17 +212,20 @@ type sink struct {
 	out  []Diagnostic
 }
 
-func (s *sink) emit(subject, format string, args ...any) {
-	s.at(s.rule.sev, subject, format, args...)
+func (s *sink) emit(subject, format string, args ...any) *Diagnostic {
+	return s.at(s.rule.sev, subject, format, args...)
 }
 
-func (s *sink) at(sev Severity, subject, format string, args ...any) {
+// at appends a finding and returns it so prove-aware rules can attach
+// witness vectors and path counts.
+func (s *sink) at(sev Severity, subject, format string, args ...any) *Diagnostic {
 	s.out = append(s.out, Diagnostic{
 		Code:     s.rule.code,
 		Severity: sev,
 		Subject:  subject,
 		Message:  fmt.Sprintf(format, args...),
 	})
+	return &s.out[len(s.out)-1]
 }
 
 // Rules returns the card-level rule registry in code order.
@@ -227,7 +281,17 @@ func Run(nl *netlist.Netlist, c *circuit.Circuit, tech *mosfet.Tech) []Diagnosti
 // shorts, missing pull networks, pass-gate chains, and the static
 // level bound check.
 func RunAll(nl *netlist.Netlist, c *circuit.Circuit, tech *mosfet.Tech, graph bool) []Diagnostic {
-	t := &Target{Netlist: nl, Circuit: c, Tech: tech}
+	return RunWith(nl, c, tech, Options{Graph: graph})
+}
+
+// RunWith is the fully-configurable entry point: RunAll plus the
+// path-condition prover (Options.Prove), which upgrades MT018/MT019
+// with witness vectors and suppression proofs and enables MT023.
+func RunWith(nl *netlist.Netlist, c *circuit.Circuit, tech *mosfet.Tech, opts Options) []Diagnostic {
+	if opts.Prove {
+		opts.Graph = true
+	}
+	t := &Target{Netlist: nl, Circuit: c, Tech: tech, opts: opts}
 	if c != nil && c.Tech != nil {
 		t.Tech = c.Tech
 	}
@@ -249,7 +313,7 @@ func RunAll(nl *netlist.Netlist, c *circuit.Circuit, tech *mosfet.Tech, graph bo
 	for _, r := range registry {
 		diags = append(diags, r.Check(t)...)
 	}
-	if graph {
+	if opts.Graph {
 		for _, r := range graphRegistry {
 			diags = append(diags, r.Check(t)...)
 		}

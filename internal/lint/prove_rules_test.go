@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"mtcmos/internal/mosfet"
+	"mtcmos/internal/netlist"
+)
+
+// proveLint runs the full rule set with the path-condition prover on.
+func proveLint(t *testing.T, deck string, verbose bool) []Diagnostic {
+	t.Helper()
+	nl, err := netlist.ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := mosfet.Tech07()
+	return RunWith(nl, nil, &tech, Options{Prove: true, Verbose: verbose})
+}
+
+func findCode(diags []Diagnostic, code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+const sneakDeck = `sneak
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mn out in 0 0 nmos W=1.4u L=0.7u
+Mleak1 vdd vdd x 0 nmos W=1.4u L=0.7u
+Mleak2 x vdd 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+
+func TestProveModeMT018CarriesWitness(t *testing.T) {
+	diags := proveLint(t, sneakDeck, false)
+	hits := findCode(diags, "MT018")
+	if len(hits) != 1 {
+		t.Fatalf("MT018 findings = %v, want exactly one", hits)
+	}
+	d := hits[0]
+	if !strings.Contains(d.Message, "mleak1 -> mleak2") {
+		t.Errorf("message %q lacks the device path", d.Message)
+	}
+	if d.Witness == "" {
+		t.Errorf("prove-mode MT018 has no witness: %+v", d)
+	}
+	if !strings.Contains(d.String(), "[witness ") {
+		t.Errorf("String() does not render the witness: %s", d.String())
+	}
+}
+
+func TestProveModeMT023VectorDependentShort(t *testing.T) {
+	deck := `conditional sneak
+Vdd vdd 0 DC 1.2
+Vs s 0 PWL(0 0 1n 0 1.1n 1.2)
+Vt t 0 PWL(0 0 1n 0 1.1n 1.2)
+Mpu x s vdd vdd pmos W=2.8u L=0.7u
+Mpd x t 0 0 nmos W=1.4u L=0.7u
+Cl x 0 10f
+.end
+`
+	// Without the prover the deck passes the graph rules silently.
+	nl, err := netlist.ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := mosfet.Tech07()
+	if hits := findCode(RunAll(nl, nil, &tech, true), "MT018"); len(hits) != 0 {
+		t.Fatalf("static pass reports a short: %v", hits)
+	}
+
+	diags := proveLint(t, deck, false)
+	hits := findCode(diags, "MT023")
+	if len(hits) != 1 {
+		t.Fatalf("MT023 findings = %v, want exactly one", hits)
+	}
+	d := hits[0]
+	if d.Severity != Warn {
+		t.Errorf("MT023 severity = %v", d.Severity)
+	}
+	if !strings.Contains(d.Message, "s=0 & t=1") {
+		t.Errorf("message %q lacks the condition", d.Message)
+	}
+	if d.Witness != "s=0 t=1" {
+		t.Errorf("witness = %q, want \"s=0 t=1\"", d.Witness)
+	}
+	if len(findCode(diags, "MT018")) != 0 {
+		t.Errorf("conditional short also reported as MT018")
+	}
+}
+
+func TestProveModeMT019Suppression(t *testing.T) {
+	deck := `pulldowns gated a and !a
+Vdd vdd 0 DC 1.2
+Va a 0 PWL(0 0 1n 0 1.1n 1.2)
+Mpi ab a vdd vdd pmos W=2.8u L=0.7u
+Mni ab a 0 0 nmos W=1.4u L=0.7u
+Mn1 out a 0 0 nmos W=1.4u L=0.7u
+Mn2 out ab 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+	// Statically the deck warns; the prover refutes the warning.
+	nl, err := netlist.ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := mosfet.Tech07()
+	if hits := findCode(RunAll(nl, nil, &tech, true), "MT019"); len(hits) != 1 {
+		t.Fatalf("static MT019 findings = %v, want one to suppress", hits)
+	}
+	diags := proveLint(t, deck, false)
+	if hits := findCode(diags, "MT019"); len(hits) != 0 {
+		t.Errorf("suppressed finding still reported: %v", hits)
+	}
+
+	// Verbose resurfaces it at Info severity with the refutation core.
+	verbose := findCode(proveLint(t, deck, true), "MT019")
+	if len(verbose) != 1 {
+		t.Fatalf("verbose MT019 findings = %v, want the suppression note", verbose)
+	}
+	d := verbose[0]
+	if d.Severity != Info {
+		t.Errorf("suppression note severity = %v, want info", d.Severity)
+	}
+	if !strings.Contains(d.Message, "suppressed") || !strings.Contains(d.Message, "mn1 and mn2") {
+		t.Errorf("suppression note %q lacks the refutation core", d.Message)
+	}
+}
+
+func TestProveModeMT019KeptWithWitness(t *testing.T) {
+	deck := `floating when in=0
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mpd out in 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+	hits := findCode(proveLint(t, deck, false), "MT019")
+	if len(hits) != 1 {
+		t.Fatalf("MT019 findings = %v, want exactly one", hits)
+	}
+	d := hits[0]
+	if d.Severity != Warn {
+		t.Errorf("severity = %v", d.Severity)
+	}
+	if d.Witness != "in=0" {
+		t.Errorf("witness = %q, want \"in=0\"", d.Witness)
+	}
+	if !strings.Contains(d.Message, "no pull-up network") {
+		t.Errorf("message %q lost the static shape", d.Message)
+	}
+}
+
+func TestStaticMT018DedupesParallelBridges(t *testing.T) {
+	deck := `two straps
+Vdd vdd 0 DC 1.2
+Mstrap1 vdd vdd 0 0 nmos W=1.4u L=0.7u
+Mstrap2 vdd vdd 0 0 nmos W=1.4u L=0.7u
+Mload vdd vdd out 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+	nl, err := netlist.ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := mosfet.Tech07()
+	hits := findCode(RunAll(nl, nil, &tech, true), "MT018")
+	if len(hits) != 1 {
+		t.Fatalf("MT018 findings = %v, want one deduped finding", hits)
+	}
+	if hits[0].Paths != 2 || !strings.Contains(hits[0].Message, "2 parallel paths") {
+		t.Errorf("dedupe missing path count: %+v", hits[0])
+	}
+}
+
+func TestStaticMT019DedupesSharedNetwork(t *testing.T) {
+	// out1 and out2 share one channel-connected pull-down network and
+	// both miss a pull-up: one finding, two outputs.
+	deck := `shared floating pair
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mn1 out1 in 0 0 nmos W=1.4u L=0.7u
+Mpass out2 in out1 0 nmos W=1.4u L=0.7u
+C1 out1 0 10f
+C2 out2 0 10f
+.end
+`
+	nl, err := netlist.ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := mosfet.Tech07()
+	hits := findCode(RunAll(nl, nil, &tech, true), "MT019")
+	if len(hits) != 1 {
+		t.Fatalf("MT019 findings = %v, want one deduped finding", hits)
+	}
+	d := hits[0]
+	if d.Paths != 2 || !strings.Contains(d.Message, "out1, out2") {
+		t.Errorf("dedupe missing output list: %+v", d)
+	}
+}

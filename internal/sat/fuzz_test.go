@@ -1,0 +1,111 @@
+package sat
+
+import (
+	"testing"
+)
+
+// FuzzSolve decodes the fuzz input into a random CNF over up to 20
+// variables and cross-checks the solver against brute-force
+// enumeration: SAT/UNSAT verdicts must agree, and every returned model
+// must actually satisfy the formula. Unknown is only legal when a
+// conflict budget is set, which this harness never does.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04})
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x12, 0x34, 0x56, 0x78})
+	f.Add([]byte("always-on path conditions"))
+	f.Add([]byte{9, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		// Byte 0 fixes the variable universe (1..20); the rest stream
+		// literals, with 0 ending a clause.
+		nVars := int(data[0])%20 + 1
+		s := New()
+		s.grow(nVars)
+		var cnf [][]int
+		var cur []int
+		flush := func() {
+			if len(cur) > 0 {
+				c := make([]int, len(cur))
+				copy(c, cur)
+				cnf = append(cnf, c)
+				s.AddClause(c...)
+				cur = cur[:0]
+			}
+		}
+		for _, b := range data[1:] {
+			if len(cnf) >= 64 {
+				break
+			}
+			if b%8 == 0 {
+				flush()
+				continue
+			}
+			v := int(b)%nVars + 1
+			if b%2 == 0 {
+				v = -v
+			}
+			cur = append(cur, v)
+		}
+		flush()
+
+		got := s.Solve()
+		if got.Status == Unknown {
+			t.Fatalf("unbudgeted solve returned unknown for %v", cnf)
+		}
+		want := bruteForce20(nVars, cnf)
+		if (got.Status == Sat) != want {
+			t.Fatalf("solver=%v brute=%v for %d vars %v", got.Status, want, nVars, cnf)
+		}
+		if got.Status == Sat {
+			checkModel(t, cnf, got.Model)
+		}
+
+		// Re-solving must reproduce the identical result (determinism
+		// and incremental-state hygiene).
+		again := s.Solve()
+		if again.Status != got.Status {
+			t.Fatalf("re-solve changed status: %v -> %v", got.Status, again.Status)
+		}
+		if got.Status == Sat {
+			for v := 1; v <= nVars; v++ {
+				if got.Model[v] != again.Model[v] {
+					t.Fatalf("re-solve changed model at x%d", v)
+				}
+			}
+		}
+	})
+}
+
+// bruteForce20 enumerates all 2^nVars assignments with clause bitmasks
+// (nVars <= 20, so at most ~1M assignments).
+func bruteForce20(nVars int, cnf [][]int) bool {
+	type mask struct{ pos, neg uint32 }
+	masks := make([]mask, len(cnf))
+	for i, c := range cnf {
+		for _, l := range c {
+			if l > 0 {
+				masks[i].pos |= 1 << (l - 1)
+			} else {
+				masks[i].neg |= 1 << (-l - 1)
+			}
+		}
+	}
+	total := uint32(1) << nVars
+	for m := uint32(0); m < total; m++ {
+		ok := true
+		for _, cm := range masks {
+			if m&cm.pos == 0 && ^m&cm.neg == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,540 @@
+// Package sat is a small, dependency-free CDCL satisfiability solver
+// built for the path-condition queries of the static circuit analyzer
+// (internal/sca): prove that a conditional DC path can conduct (and
+// produce the input vector that makes it conduct), or refute it (and
+// name the assumptions that clash).
+//
+// The solver is a textbook conflict-driven clause-learning engine —
+// two-watched-literal unit propagation, first-UIP conflict analysis
+// with clause learning and non-chronological backjumping — stripped of
+// every stochastic heuristic so that results are reproducible:
+//
+//   - decisions always pick the lowest-index unassigned variable;
+//   - the first polarity tried is always false;
+//   - there are no restarts, no clause deletion, and no
+//     activity-driven ordering.
+//
+// The determinism contract (DESIGN.md §10) is that the same sequence
+// of AddClause and Solve calls yields byte-identical models and cores
+// on every run, on every GOMAXPROCS, which is what lets mtlint -prove
+// fan decks out across workers and still merge identical reports.
+//
+// Literals are non-zero ints in the DIMACS convention: +v is variable
+// v, -v its negation, v >= 1. Variables are created implicitly by
+// AddClause / Solve or explicitly with NewVar.
+package sat
+
+// Status is the outcome of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver gave up (conflict budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) has none.
+	Unsat
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Result carries the outcome of one Solve call.
+type Result struct {
+	Status Status
+	// Model holds the satisfying assignment when Status == Sat,
+	// indexed by variable (Model[v] for v in 1..NumVars; index 0 is
+	// unused). Variables the formula never constrains are false: the
+	// solver's false-first polarity never flips a don't-care.
+	Model []bool
+	// Core is the refutation core when Status == Unsat: the subset of
+	// the Solve assumptions that were actually used to derive the
+	// contradiction, in the order they appear on the solver trail. A
+	// formula that is unsatisfiable on its own yields an empty core.
+	Core []int
+}
+
+// Value reads one variable from the model (false when out of range).
+func (r *Result) Value(v int) bool {
+	if r.Model == nil || v <= 0 || v >= len(r.Model) {
+		return false
+	}
+	return r.Model[v]
+}
+
+// clause is a disjunction of literals; lits[0] and lits[1] are the
+// watched pair (unit and binary clauses are handled before watching).
+type clause struct {
+	lits    []int
+	learned bool
+}
+
+// Solver is a CDCL solver instance. The zero value is not usable; call
+// New. A Solver is not safe for concurrent use — mtlint -prove gives
+// every deck its own instance instead.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	watches [][]*clause // literal-indexed occurrence lists
+
+	assign []int8    // var-indexed: 0 unassigned, +1 true, -1 false
+	level  []int     // var-indexed decision level
+	reason []*clause // var-indexed antecedent (nil for decisions)
+	trail  []int     // assigned literals, in assignment order
+	lim    []int     // trail length at each decision level
+	qhead  int       // propagation queue head (index into trail)
+
+	seen []bool // conflict-analysis scratch, var-indexed
+
+	units []int // top-level unit clauses, enqueued at Solve time
+	ok    bool  // false once the formula is root-level unsat
+
+	// MaxConflicts bounds one Solve call (0 = the 100k default); an
+	// exhausted budget returns Status Unknown, which callers treat as
+	// "no proof either way". Path conditions are tiny, so the budget
+	// exists only to keep a pathological deck from wedging lint.
+	MaxConflicts int
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{ok: true}
+}
+
+// NumVars returns the highest variable index seen so far.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NewVar allocates and returns a fresh variable index.
+func (s *Solver) NewVar() int {
+	s.grow(s.nVars + 1)
+	return s.nVars
+}
+
+// grow ensures variable indices 1..v exist.
+func (s *Solver) grow(v int) {
+	if v <= s.nVars {
+		return
+	}
+	s.nVars = v
+	for len(s.assign) < v+1 {
+		s.assign = append(s.assign, 0)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.seen = append(s.seen, false)
+	}
+	for len(s.watches) < 2*(v+1) {
+		s.watches = append(s.watches, nil)
+	}
+}
+
+// widx maps a literal to its watch-list index.
+func widx(l int) int {
+	if l > 0 {
+		return 2 * l
+	}
+	return -2*l + 1
+}
+
+func abs(l int) int {
+	if l < 0 {
+		return -l
+	}
+	return l
+}
+
+// value returns the literal's truth value: +1 true, -1 false, 0 unset.
+func (s *Solver) value(l int) int8 {
+	v := s.assign[abs(l)]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a disjunction of literals. Duplicate literals are
+// dropped and tautologies (v OR -v) are discarded. Adding the empty
+// clause makes the formula trivially unsatisfiable. Clauses must be
+// added before Solve-time propagation learns from them; adding more
+// clauses between Solve calls is allowed.
+func (s *Solver) AddClause(lits ...int) {
+	if !s.ok {
+		return
+	}
+	// Normalize: dedupe (stable, preserving first occurrence) and
+	// detect tautology.
+	out := lits[:0:0]
+	for _, l := range lits {
+		if l == 0 {
+			continue
+		}
+		s.grow(abs(l))
+		dup, taut := false, false
+		for _, m := range out {
+			if m == l {
+				dup = true
+			}
+			if m == -l {
+				taut = true
+			}
+		}
+		if taut {
+			return
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	// Between Solve calls the trail holds only permanent (level-0)
+	// assignments. A literal false there is false forever, so it must
+	// not occupy a watch slot — a clause whose watches are both
+	// already false would never be revisited. Move non-false literals
+	// to the watched positions (stable otherwise).
+	free := 0
+	for i, l := range out {
+		if s.value(l) != -1 {
+			out[free], out[i] = out[i], out[free]
+			free++
+			if free == 2 {
+				break
+			}
+		}
+	}
+	switch {
+	case len(out) == 0 || free == 0:
+		// Empty, or every literal is permanently false.
+		s.ok = false
+	case len(out) == 1 || free == 1:
+		// Unit, or unit under the permanent assignment: out[0] is the
+		// only literal that can still be true.
+		s.units = append(s.units, out[0])
+	default:
+		c := &clause{lits: out}
+		s.clauses = append(s.clauses, c)
+		s.watch(c)
+	}
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[widx(-c.lits[0])] = append(s.watches[widx(-c.lits[0])], c)
+	s.watches[widx(-c.lits[1])] = append(s.watches[widx(-c.lits[1])], c)
+}
+
+// enqueue records an assignment implied by reason (nil = decision).
+func (s *Solver) enqueue(l int, from *clause) {
+	v := abs(l)
+	if l > 0 {
+		s.assign[v] = 1
+	} else {
+		s.assign[v] = -1
+	}
+	s.level[v] = len(s.lim)
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate runs unit propagation to fixpoint; it returns the first
+// conflicting clause, or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		// Clauses watching -p may have become unit or conflicting.
+		ws := s.watches[widx(p)]
+		kept := ws[:0]
+		var confl *clause
+		for wi, c := range ws {
+			// Ensure the falsified watch sits at lits[1].
+			if c.lits[0] == -p {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == 1 {
+				kept = append(kept, c) // already satisfied
+				continue
+			}
+			// Look for a replacement watch.
+			moved := false
+			for i := 2; i < len(c.lits); i++ {
+				if s.value(c.lits[i]) != -1 {
+					c.lits[1], c.lits[i] = c.lits[i], c.lits[1]
+					s.watches[widx(-c.lits[1])] = append(s.watches[widx(-c.lits[1])], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Unit or conflicting.
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == -1 {
+				confl = c
+				// Keep the remaining watchers registered.
+				kept = append(kept, ws[wi+1:]...)
+				break
+			}
+			s.enqueue(c.lits[0], c)
+		}
+		s.watches[widx(p)] = kept
+		if confl != nil {
+			s.qhead = len(s.trail)
+			return confl
+		}
+	}
+	return nil
+}
+
+// decisionLevel is the current depth of the decision stack.
+func (s *Solver) decisionLevel() int { return len(s.lim) }
+
+// newDecisionLevel pushes a decision boundary.
+func (s *Solver) newDecisionLevel() { s.lim = append(s.lim, len(s.trail)) }
+
+// cancelUntil undoes all assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.lim[lvl]; i-- {
+		v := abs(s.trail[i])
+		s.assign[v] = 0
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:s.lim[lvl]]
+	s.qhead = len(s.trail)
+	s.lim = s.lim[:lvl]
+}
+
+// analyze performs first-UIP conflict analysis: it returns the learned
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]int, int) {
+	learned := []int{0} // slot 0 becomes the asserting literal
+	counter := 0
+	p := 0 // 0 = start from the full conflict clause
+	idx := len(s.trail) - 1
+
+	for {
+		start := 0
+		if p != 0 {
+			start = 1 // lits[0] of a reason clause is the propagated literal
+		}
+		for _, q := range confl.lits[start:] {
+			v := abs(q)
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Walk the trail back to the next marked literal of the
+		// current level.
+		for !s.seen[abs(s.trail[idx])] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[abs(p)] = false
+		counter--
+		if counter <= 0 {
+			break
+		}
+		confl = s.reason[abs(p)]
+	}
+	learned[0] = -p
+	for _, q := range learned[1:] {
+		s.seen[abs(q)] = false
+	}
+
+	// Backjump level: the highest level among the non-asserting
+	// literals (0 if the clause is unit). Keep that literal at
+	// lits[1] so the watches are correct after backjumping.
+	bt := 0
+	if len(learned) > 1 {
+		maxI := 1
+		for i := 2; i < len(learned); i++ {
+			if s.level[abs(learned[i])] > s.level[abs(learned[maxI])] {
+				maxI = i
+			}
+		}
+		learned[1], learned[maxI] = learned[maxI], learned[1]
+		bt = s.level[abs(learned[1])]
+	}
+	return learned, bt
+}
+
+// analyzeFinal walks the implication graph from a conflict that sits
+// at or below the assumption levels and collects the assumptions that
+// contributed — the refutation core. seed is the set of literals to
+// start from (a conflict clause, or a single failed assumption).
+func (s *Solver) analyzeFinal(seed []int) []int {
+	if s.decisionLevel() == 0 {
+		return nil
+	}
+	var core []int
+	for _, q := range seed {
+		if s.level[abs(q)] > 0 {
+			s.seen[abs(q)] = true
+		}
+	}
+	for i := len(s.trail) - 1; i >= s.lim[0]; i-- {
+		v := abs(s.trail[i])
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			// A decision above level 0 during final analysis is an
+			// assumption.
+			core = append(core, s.trail[i])
+		} else {
+			for _, q := range r.lits[1:] {
+				if s.level[abs(q)] > 0 {
+					s.seen[abs(q)] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	for _, q := range seed {
+		s.seen[abs(q)] = false
+	}
+	// Trail order is newest-first here; reverse for stable oldest-first
+	// cores (matching assumption order).
+	for i, j := 0, len(core)-1; i < j; i, j = i+1, j-1 {
+		core[i], core[j] = core[j], core[i]
+	}
+	return core
+}
+
+// record installs a learned clause and enqueues its asserting literal.
+func (s *Solver) record(learned []int) {
+	if len(learned) == 1 {
+		// A learned unit is implied by the clause database alone, so
+		// it persists across Solve calls. Enqueue it with a singleton
+		// reason: analyzeFinal must not mistake it for an assumption
+		// when the current backjump floor is an assumption level.
+		s.units = append(s.units, learned[0])
+		s.enqueue(learned[0], &clause{lits: learned, learned: true})
+		return
+	}
+	c := &clause{lits: learned, learned: true}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	s.enqueue(learned[0], c)
+}
+
+// Solve decides satisfiability of the accumulated clauses under the
+// given assumption literals. It is incremental: learned clauses are
+// kept between calls, clauses may be added between calls, and each
+// call re-propagates from the root.
+func (s *Solver) Solve(assumptions ...int) Result {
+	if !s.ok {
+		return Result{Status: Unsat}
+	}
+	s.cancelUntil(0)
+	// Re-enqueue top-level units (idempotent across calls; a unit
+	// contradicting the root assignment is a root conflict).
+	for _, u := range s.units {
+		switch s.value(u) {
+		case 1:
+			continue
+		case -1:
+			s.ok = false
+			return Result{Status: Unsat}
+		}
+		s.enqueue(u, nil)
+	}
+	if s.propagate() != nil {
+		s.ok = false
+		return Result{Status: Unsat}
+	}
+
+	budget := s.MaxConflicts
+	if budget <= 0 {
+		budget = 100_000
+	}
+	rootLevel := 0 // becomes the number of assumption levels pushed
+	conflicts := 0
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			conflicts++
+			if conflicts > budget {
+				s.cancelUntil(0)
+				return Result{Status: Unknown}
+			}
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Result{Status: Unsat}
+			}
+			if s.decisionLevel() <= rootLevel {
+				core := s.analyzeFinal(confl.lits)
+				s.cancelUntil(0)
+				return Result{Status: Unsat, Core: core}
+			}
+			learned, bt := s.analyze(confl)
+			if bt < rootLevel {
+				bt = rootLevel
+			}
+			s.cancelUntil(bt)
+			s.record(learned)
+			continue
+		}
+
+		// Assumption decisions first, in order.
+		if s.decisionLevel() < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			s.grow(abs(p))
+			switch s.value(p) {
+			case 1:
+				// Already implied; dummy level keeps the indexing.
+				s.newDecisionLevel()
+				rootLevel = s.decisionLevel()
+				continue
+			case -1:
+				// This assumption is refuted by the earlier ones.
+				core := s.analyzeFinal([]int{p})
+				core = append(core, p)
+				s.cancelUntil(0)
+				return Result{Status: Unsat, Core: core}
+			}
+			s.newDecisionLevel()
+			rootLevel = s.decisionLevel()
+			s.enqueue(p, nil)
+			continue
+		}
+
+		// Deterministic branching: lowest-index unassigned variable,
+		// false first.
+		branch := 0
+		for v := 1; v <= s.nVars; v++ {
+			if s.assign[v] == 0 {
+				branch = v
+				break
+			}
+		}
+		if branch == 0 {
+			// Complete assignment: extract the model.
+			model := make([]bool, s.nVars+1)
+			for v := 1; v <= s.nVars; v++ {
+				model[v] = s.assign[v] == 1
+			}
+			s.cancelUntil(0)
+			return Result{Status: Sat, Model: model}
+		}
+		s.newDecisionLevel()
+		s.enqueue(-branch, nil)
+	}
+}

@@ -1,0 +1,359 @@
+package sat
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New()
+	if r := s.Solve(); r.Status != Sat {
+		t.Fatalf("empty formula = %v, want sat", r.Status)
+	}
+}
+
+func TestUnitAndImplication(t *testing.T) {
+	s := New()
+	s.AddClause(1)      // x1
+	s.AddClause(-1, 2)  // x1 -> x2
+	s.AddClause(-2, -3) // x2 -> !x3
+	r := s.Solve()
+	if r.Status != Sat {
+		t.Fatalf("status = %v, want sat", r.Status)
+	}
+	if !r.Value(1) || !r.Value(2) || r.Value(3) {
+		t.Errorf("model = %v, want x1 x2 !x3", r.Model)
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	s.AddClause(1)
+	s.AddClause(-1)
+	if r := s.Solve(); r.Status != Unsat {
+		t.Fatalf("x & !x = %v, want unsat", r.Status)
+	}
+	// A root-unsat solver stays unsat.
+	if r := s.Solve(7); r.Status != Unsat {
+		t.Fatal("solver must stay unsat after a root conflict")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.AddClause()
+	if r := s.Solve(); r.Status != Unsat {
+		t.Fatal("empty clause must be unsat")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New()
+	s.AddClause(1, -1)
+	s.AddClause(-2)
+	r := s.Solve()
+	if r.Status != Sat || r.Value(2) {
+		t.Fatalf("tautology mishandled: %v %v", r.Status, r.Model)
+	}
+}
+
+func TestFalseFirstPolarity(t *testing.T) {
+	// Unconstrained variables must come out false: the deterministic
+	// witness contract depends on it.
+	s := New()
+	s.AddClause(1, 2, 3)
+	r := s.Solve()
+	if r.Status != Sat {
+		t.Fatal(r.Status)
+	}
+	// Lowest-index branching tries x1=false, x2=false, then the clause
+	// forces x3.
+	if r.Value(1) || r.Value(2) || !r.Value(3) {
+		t.Errorf("model = %v, want !x1 !x2 x3", r.Model)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	s.AddClause(-1, 2) // x1 -> x2
+	s.AddClause(-2, 3) // x2 -> x3
+	r := s.Solve(1)
+	if r.Status != Sat || !r.Value(3) {
+		t.Fatalf("assume x1: %v %v, want sat with x3", r.Status, r.Model)
+	}
+	r = s.Solve(1, -3)
+	if r.Status != Unsat {
+		t.Fatalf("assume x1 & !x3 = %v, want unsat", r.Status)
+	}
+	if len(r.Core) == 0 {
+		t.Fatal("unsat under assumptions must produce a core")
+	}
+	for _, l := range r.Core {
+		if l != 1 && l != -3 {
+			t.Errorf("core literal %d is not an assumption", l)
+		}
+	}
+	// The solver remains usable after an assumption failure.
+	if r := s.Solve(-1); r.Status != Sat {
+		t.Fatalf("assume !x1 after failure = %v, want sat", r.Status)
+	}
+}
+
+func TestCoreExcludesIrrelevantAssumptions(t *testing.T) {
+	s := New()
+	s.AddClause(-1, 2)
+	s.AddClause(-3, 4)
+	// x5 is irrelevant to the conflict between (x1 -> x2) and !x2.
+	r := s.Solve(5, 1, -2)
+	if r.Status != Unsat {
+		t.Fatalf("status = %v, want unsat", r.Status)
+	}
+	for _, l := range r.Core {
+		if l == 5 {
+			t.Errorf("core %v includes the irrelevant assumption x5", r.Core)
+		}
+	}
+}
+
+func TestIncrementalAddBetweenSolves(t *testing.T) {
+	s := New()
+	s.AddClause(1, 2)
+	r := s.Solve()
+	if r.Status != Sat || r.Value(1) || !r.Value(2) {
+		t.Fatalf("round 1: %v %v", r.Status, r.Model)
+	}
+	// This clause is falsified by the level-0 state of a fresh solver
+	// only if watches were chosen badly; it must flip the model.
+	s.AddClause(-2, 1)
+	r = s.Solve()
+	if r.Status != Sat || !(r.Value(1) || !r.Value(2)) {
+		t.Fatalf("round 2: %v %v", r.Status, r.Model)
+	}
+	checkModel(t, [][]int{{1, 2}, {-2, 1}}, r.Model)
+}
+
+func TestAddClauseAgainstPermanentAssignment(t *testing.T) {
+	s := New()
+	s.AddClause(1)
+	s.AddClause(2)
+	if r := s.Solve(); r.Status != Sat {
+		t.Fatal(r.Status)
+	}
+	// Both -1 and -2 are permanently false: the new clause is unit on
+	// x3 even though x3 sits last.
+	s.AddClause(-1, -2, 3)
+	r := s.Solve()
+	if r.Status != Sat || !r.Value(3) {
+		t.Fatalf("x3 not forced: %v %v", r.Status, r.Model)
+	}
+	// And a clause with every literal permanently false is a root
+	// conflict.
+	s.AddClause(-1, -2)
+	if r := s.Solve(); r.Status != Unsat {
+		t.Fatal("fully falsified clause must make the formula unsat")
+	}
+}
+
+// TestPigeonhole exercises real conflict analysis: n+1 pigeons into n
+// holes is unsat and needs learning to refute quickly.
+func TestPigeonhole(t *testing.T) {
+	const holes = 5
+	s := New()
+	v := func(p, h int) int { return p*holes + h + 1 }
+	for p := 0; p <= holes; p++ {
+		var c []int
+		for h := 0; h < holes; h++ {
+			c = append(c, v(p, h))
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 <= holes; p1++ {
+			for p2 := p1 + 1; p2 <= holes; p2++ {
+				s.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	if r := s.Solve(); r.Status != Unsat {
+		t.Fatalf("pigeonhole(%d) = %v, want unsat", holes, r.Status)
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	const holes = 7
+	s := New()
+	s.MaxConflicts = 3
+	v := func(p, h int) int { return p*holes + h + 1 }
+	for p := 0; p <= holes; p++ {
+		var c []int
+		for h := 0; h < holes; h++ {
+			c = append(c, v(p, h))
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 <= holes; p1++ {
+			for p2 := p1 + 1; p2 <= holes; p2++ {
+				s.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	if r := s.Solve(); r.Status != Unknown {
+		t.Fatalf("budgeted solve = %v, want unknown", r.Status)
+	}
+}
+
+// TestDeterminism: the same clause/solve sequence yields identical
+// models and cores every time.
+func TestDeterminism(t *testing.T) {
+	build := func() (Result, Result) {
+		s := New()
+		rnd := uint64(12345)
+		next := func() uint64 {
+			rnd ^= rnd << 13
+			rnd ^= rnd >> 7
+			rnd ^= rnd << 17
+			return rnd
+		}
+		for i := 0; i < 60; i++ {
+			var c []int
+			for j := 0; j < 3; j++ {
+				v := int(next()%15) + 1
+				if next()%2 == 0 {
+					v = -v
+				}
+				c = append(c, v)
+			}
+			s.AddClause(c...)
+		}
+		r1 := s.Solve()
+		r2 := s.Solve(3, -7)
+		return r1, r2
+	}
+	a1, a2 := build()
+	b1, b2 := build()
+	if !reflect.DeepEqual(a1, b1) || !reflect.DeepEqual(a2, b2) {
+		t.Errorf("non-deterministic results:\n%+v vs %+v\n%+v vs %+v", a1, b1, a2, b2)
+	}
+}
+
+// TestRandom3SATAgainstBruteForce is the deterministic sibling of
+// FuzzSolve: many small random instances, each cross-checked.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rnd := uint64(99)
+	next := func() uint64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd
+	}
+	for trial := 0; trial < 300; trial++ {
+		nVars := int(next()%12) + 1
+		nClauses := int(next() % 50)
+		var cnf [][]int
+		s := New()
+		s.grow(nVars) // fix the variable universe for model checking
+		for i := 0; i < nClauses; i++ {
+			width := int(next()%4) + 1
+			var c []int
+			for j := 0; j < width; j++ {
+				v := int(next()%uint64(nVars)) + 1
+				if next()%2 == 0 {
+					v = -v
+				}
+				c = append(c, v)
+			}
+			cnf = append(cnf, c)
+			s.AddClause(c...)
+		}
+		got := s.Solve()
+		want := bruteForceSat(nVars, cnf)
+		if (got.Status == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v cnf=%v", trial, got.Status, want, cnf)
+		}
+		if got.Status == Sat {
+			checkModel(t, cnf, got.Model)
+		}
+	}
+}
+
+// bruteForceSat enumerates all assignments (clauses as bitmasks).
+func bruteForceSat(nVars int, cnf [][]int) bool {
+	type mask struct{ pos, neg uint32 }
+	masks := make([]mask, len(cnf))
+	for i, c := range cnf {
+		for _, l := range c {
+			if l > 0 {
+				masks[i].pos |= 1 << (l - 1)
+			} else {
+				masks[i].neg |= 1 << (-l - 1)
+			}
+		}
+	}
+	total := uint32(1) << nVars
+	for m := uint32(0); m < total; m++ {
+		ok := true
+		for _, cm := range masks {
+			if m&cm.pos == 0 && ^m&cm.neg == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func checkModel(t *testing.T, cnf [][]int, model []bool) {
+	t.Helper()
+	for _, c := range cnf {
+		sat := false
+		for _, l := range c {
+			v := abs(l)
+			if v < len(model) && model[v] == (l > 0) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			t.Fatalf("model %v violates clause %v", model, c)
+		}
+	}
+}
+
+func BenchmarkSolvePigeonhole(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const holes = 6
+		s := New()
+		v := func(p, h int) int { return p*holes + h + 1 }
+		for p := 0; p <= holes; p++ {
+			var c []int
+			for h := 0; h < holes; h++ {
+				c = append(c, v(p, h))
+			}
+			s.AddClause(c...)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 <= holes; p1++ {
+				for p2 := p1 + 1; p2 <= holes; p2++ {
+					s.AddClause(-v(p1, h), -v(p2, h))
+				}
+			}
+		}
+		if r := s.Solve(); r.Status != Unsat {
+			b.Fatal(r.Status)
+		}
+	}
+}
+
+func ExampleSolver_Solve() {
+	s := New()
+	s.AddClause(-1, 2) // x1 -> x2
+	s.AddClause(-2, 3) // x2 -> x3
+	r := s.Solve(1, -3)
+	fmt.Println(r.Status, r.Core)
+	// Output: unsat [1 -3]
+}

@@ -115,6 +115,8 @@ type condEdge struct {
 	a, b string // channel / resistor terminals
 	st   condState
 	mos  bool
+	gate string // MOS gate net ("" for resistors)
+	pmos bool   // MOS polarity (meaningless for resistors)
 }
 
 // conductors derives the edge list plus the set of rail-to-rail
@@ -148,7 +150,8 @@ func (a *Analysis) conductors(f *netlist.Flat) (edges []condEdge, bridges []cond
 		}
 	}
 	for _, m := range f.MOS {
-		add(condEdge{name: m.Name, a: m.D, b: m.S, st: state(m), mos: true})
+		add(condEdge{name: m.Name, a: m.D, b: m.S, st: state(m), mos: true,
+			gate: m.G, pmos: isPMOSModel(m.Model)})
 	}
 	for _, r := range f.Ress {
 		add(condEdge{name: r.Name, a: r.A, b: r.B, st: alwaysOn})

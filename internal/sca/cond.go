@@ -1,0 +1,705 @@
+package sca
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtcmos/internal/sat"
+)
+
+// This file is the path-condition prover behind mtlint -prove: it
+// converts every enumerated DC path into a conjunction of gate
+// literals over a CNF model of the whole deck's pull networks and asks
+// internal/sat to prove or refute it.
+//
+// Encoding (DESIGN.md §10):
+//
+//   - every signal-rail net (a time-varying or mid-level source: the
+//     deck's primary inputs) and every net used as a MOS gate gets one
+//     boolean variable; supply-rail gates are constants;
+//   - a MOS device conducts iff its gate literal holds (+v for NMOS,
+//     -v for PMOS); resistors always conduct; devices whose gate sits
+//     on a supply rail are the always-on/always-off constants the
+//     graph rules already use;
+//   - for every logic output o and every enumerated pull path p with
+//     condition lits l1..lk, one drive clause ties the output value to
+//     its network: (!l1 | ... | !lk | o | dis_o) for pull-up paths and
+//     (!l1 | ... | !lk | !o | dis_o) for pull-down paths. Outputs that
+//     feed gates in other components share the same variable, so
+//     cross-CCC correlations are modeled, not assumed independent: an
+//     inverter's output can never equal its input in any model;
+//   - dis_o is the per-output contention escape: a short path running
+//     *through* o drives it from both rails at once, so the drive
+//     clauses for outputs on the queried path are released (dis_o left
+//     free) while every other output is pinned consistent (!dis_o
+//     assumed). Outputs whose dis is forced — an unconditional
+//     contention, already an MT018 on its own — are dropped from the
+//     consistency set so one bad node cannot poison every other query
+//     in the deck. Undriven outputs are unconstrained: the encoding
+//     deliberately adopts charge-retention semantics, where a floating
+//     node may hold either value.
+//
+// Queries are made with assumptions over this one shared clause
+// database (plus activation-literal clauses, which are inert unless
+// assumed), so learned clauses amortize across the deck's paths while
+// every deck keeps its own solver — results are deterministic however
+// many decks lint in parallel.
+
+// NetValue is one net's boolean value in a witness or model.
+type NetValue struct {
+	Net   string `json:"net"`
+	Value bool   `json:"value"`
+}
+
+// String renders "net=1" / "net=0".
+func (nv NetValue) String() string {
+	if nv.Value {
+		return nv.Net + "=1"
+	}
+	return nv.Net + "=0"
+}
+
+// Witness is an assignment of nets to logic values, sorted by net
+// name. For satisfiable findings the input witness covers exactly the
+// deck's signal rails — the stimulus vector that triggers the finding.
+type Witness []NetValue
+
+// String renders the witness as "a=0 b=1 ...".
+func (w Witness) String() string {
+	parts := make([]string, len(w))
+	for i, nv := range w {
+		parts[i] = nv.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Get looks up one net's value.
+func (w Witness) Get(net string) (bool, bool) {
+	for _, nv := range w {
+		if nv.Net == net {
+			return nv.Value, true
+		}
+	}
+	return false, false
+}
+
+// ProvenShort is one rail-to-rail DC path the solver proved
+// satisfiable: a conducting high-to-low path under at least one input
+// vector.
+type ProvenShort struct {
+	Component int      // component ID, or -1 for a rail-to-rail bridge device
+	From, To  string   // high rail and low rail
+	Devices   []string // representative path, in conduction order
+	Paths     int      // parallel paths sharing this exact condition (>= 1)
+	Cond      []string // the path condition as "net=v" terms (empty: unconditional)
+
+	// Always reports that the path conducts under *every* input
+	// vector (the solver refuted its negation): an MT018-class short.
+	// Satisfiable-but-not-always paths are the MT023 class.
+	Always bool
+
+	// Witness is a primary-input vector under which the path conducts;
+	// Model extends it with every solved gate/output net, for replay.
+	Witness Witness
+	Model   Witness
+}
+
+// ProvenFloating is an MT019 finding the solver confirmed: an input
+// vector exists under which the output is driven by neither rail.
+type ProvenFloating struct {
+	FloatingOutput
+	// Witness is an input vector leaving the node undriven (nil when
+	// the solver returned Unknown and the finding is kept
+	// conservatively).
+	Witness Witness
+	Model   Witness
+}
+
+// InfeasibleFloating is an MT019 finding the solver refuted: in every
+// input state at least one of the output's pull paths conducts, so the
+// "floating node" scenario cannot occur and the warning is suppressed.
+type InfeasibleFloating struct {
+	FloatingOutput
+	// Core lists the pull paths (rendered as device chains) that
+	// cannot all be off at once — the refutation core.
+	Core []string
+}
+
+// ProofStats summarizes the solver work of one Prove call.
+type ProofStats struct {
+	Vars      int `json:"vars"`      // SAT variables allocated
+	Clauses   int `json:"clauses"`   // problem clauses (excl. learned)
+	Queries   int `json:"queries"`   // Solve calls
+	Unknown   int `json:"unknown"`   // queries that exhausted the conflict budget
+	Truncated int `json:"truncated"` // enumerations that hit a path cap
+}
+
+// Proof is the result of the path-condition pass over one deck.
+type Proof struct {
+	// Shorts holds every satisfiable rail-to-rail path, grouped by
+	// condition (parallel branches collapse into one entry with a path
+	// count), sorted for stable output. Always=true entries are the
+	// MT018 class, the rest MT023.
+	Shorts []ProvenShort
+
+	// Floating and Suppressed partition the analysis' MT019 findings:
+	// confirmed-feasible (with witness) and proven-infeasible.
+	Floating   []ProvenFloating
+	Suppressed []InfeasibleFloating
+
+	Stats ProofStats
+}
+
+// condPath is one enumerated conducting path with its condition.
+type condPath struct {
+	devices []string
+	nets    []string // intermediate (non-rail) nets along the path
+	end     string   // terminal rail the enumeration stopped on
+	lits    []int    // deduped gate literals; empty = always conducts
+}
+
+// prover carries the shared encoding state of one Prove call.
+type prover struct {
+	a   *Analysis
+	cfg Config
+	s   *sat.Solver
+
+	varOf map[string]int // net -> variable
+	nets  []string       // variable -> net (1-based; "" for aux vars)
+
+	disOf map[string]int // output net -> contention-disable variable
+
+	// consistent holds the "!dis_o" assumption for every output whose
+	// drive clauses can be enforced at all (settle drops the forced
+	// ones); consistOf maps the output back to its entry.
+	consistent []int
+	consistOf  map[string]int
+
+	stats ProofStats
+}
+
+// Prove runs the path-condition engine over the analyzed deck: it
+// encodes every pull network once, then (a) classifies each candidate
+// rail-to-rail path as infeasible / conditional (MT023) / always-on
+// (MT018), with a concrete witness vector for the satisfiable ones,
+// and (b) re-examines each MT019 floating-output finding, keeping it
+// (with a floating-state witness) only if the undriven state is
+// actually reachable.
+//
+// Results are deterministic: variable order, path enumeration order
+// and the solver's branching are all fixed, so repeated calls — on any
+// GOMAXPROCS, from any worker of a parallel lint — produce identical
+// proofs.
+func (a *Analysis) Prove() *Proof {
+	p := &Proof{}
+	if a.flat == nil {
+		return p
+	}
+	pr := newProver(a)
+	pr.encodeCones()
+	pr.settleConsistent()
+	p.Shorts = pr.proveShorts()
+	p.Floating, p.Suppressed = pr.proveFloating()
+	pr.stats.Vars = pr.s.NumVars()
+	p.Stats = pr.stats
+	return p
+}
+
+func newProver(a *Analysis) *prover {
+	pr := &prover{
+		a:         a,
+		cfg:       a.cfg.withDefaults(),
+		s:         sat.New(),
+		varOf:     map[string]int{},
+		disOf:     map[string]int{},
+		consistOf: map[string]int{},
+		nets:      []string{""},
+	}
+
+	// Variable universe, in sorted-net order so the solver's
+	// lowest-index branching walks nets lexicographically: every
+	// signal rail (primary input), every non-rail MOS gate net, every
+	// logic output.
+	want := map[string]bool{}
+	for n, k := range a.rails {
+		if k == RailSignal {
+			want[n] = true
+		}
+	}
+	addGate := func(e condEdge) {
+		if e.mos && a.rails[e.gate] != RailHigh && a.rails[e.gate] != RailLow {
+			want[e.gate] = true
+		}
+	}
+	for _, e := range a.edges {
+		addGate(e)
+	}
+	for _, e := range a.bridges {
+		addGate(e)
+	}
+	for _, c := range a.Components {
+		for _, o := range c.Outputs {
+			want[o] = true
+		}
+	}
+	for _, n := range sortedKeys(want) {
+		v := pr.s.NewVar()
+		pr.varOf[n] = v
+		pr.nets = append(pr.nets, n)
+	}
+
+	// Contention-disable variables, one per output, after the nets.
+	var outputs []string
+	for _, c := range a.Components {
+		outputs = append(outputs, c.Outputs...)
+	}
+	sort.Strings(outputs)
+	for _, o := range outputs {
+		d := pr.s.NewVar()
+		pr.disOf[o] = d
+		pr.nets = append(pr.nets, "")
+	}
+	return pr
+}
+
+// devLit returns the device's conduction condition: ok=false when the
+// device can never conduct (always-off), lit==0 when it always
+// conducts.
+func (pr *prover) devLit(e condEdge) (lit int, ok bool) {
+	switch e.st {
+	case alwaysOff:
+		return 0, false
+	case alwaysOn:
+		return 0, true
+	}
+	if !e.mos {
+		return 0, true
+	}
+	v := pr.varOf[e.gate]
+	if v == 0 {
+		// A switchable device's gate is always in the variable
+		// universe by construction; be safe anyway.
+		return 0, true
+	}
+	if e.pmos {
+		return -v, true
+	}
+	return v, true
+}
+
+// addLit appends a literal to a path condition, deduping; ok=false
+// when the condition became contradictory (the path needs v and !v at
+// once — e.g. the PMOS and NMOS halves of an inverter — and can never
+// conduct).
+func addLit(lits []int, l int) ([]int, bool) {
+	if l == 0 {
+		return lits, true
+	}
+	for _, m := range lits {
+		if m == l {
+			return lits, true
+		}
+		if m == -l {
+			return nil, false
+		}
+	}
+	return append(lits, l), true
+}
+
+// enumerate walks simple conducting paths from start inside component
+// c until a rail of the wanted kind, collecting each path's condition.
+// Contradictory paths are dropped outright; paths longer than maxDepth
+// devices or beyond the limit are dropped and counted as truncation.
+func (pr *prover) enumerate(c *Component, start string, want RailKind, maxDepth, limit int) []condPath {
+	adj := pr.a.adj[c.ID]
+	var out []condPath
+	truncated := false
+
+	type frame struct {
+		devices []string
+		nets    []string
+		lits    []int
+	}
+	visited := map[string]bool{start: true}
+	var dfs func(net string, fr frame)
+	dfs = func(net string, fr frame) {
+		for _, ar := range adj[net] {
+			if len(out) >= limit {
+				truncated = true
+				return
+			}
+			if len(fr.devices) >= maxDepth {
+				truncated = true
+				break
+			}
+			lit, ok := pr.devLit(ar.edge)
+			if !ok {
+				continue
+			}
+			lits, ok := addLit(fr.lits, lit)
+			if !ok {
+				continue
+			}
+			next := frame{
+				devices: append(append([]string{}, fr.devices...), ar.edge.name),
+				nets:    fr.nets,
+				lits:    lits,
+			}
+			switch k := pr.a.rails[ar.other]; {
+			case k == want:
+				out = append(out, condPath{
+					devices: next.devices, nets: next.nets, end: ar.other, lits: next.lits,
+				})
+			case k != RailNone:
+				// Never conduct through another rail.
+			case !visited[ar.other]:
+				visited[ar.other] = true
+				next.nets = append(append([]string{}, fr.nets...), ar.other)
+				dfs(ar.other, next)
+				visited[ar.other] = false
+			}
+		}
+	}
+	dfs(start, frame{})
+	if truncated {
+		pr.stats.Truncated++
+	}
+	return out
+}
+
+// encodeCones emits the drive clauses tying every logic output to its
+// pull networks.
+func (pr *prover) encodeCones() {
+	for _, c := range pr.a.Components {
+		for _, o := range c.Outputs {
+			vo := pr.varOf[o]
+			do := pr.disOf[o]
+			for _, p := range pr.pullPaths(c, o, RailHigh) {
+				cl := append(negate(p.lits), vo, do)
+				pr.s.AddClause(cl...)
+				pr.stats.Clauses++
+			}
+			for _, p := range pr.pullPaths(c, o, RailLow) {
+				cl := append(negate(p.lits), -vo, do)
+				pr.s.AddClause(cl...)
+				pr.stats.Clauses++
+			}
+		}
+	}
+}
+
+// settleConsistent computes the largest set of outputs whose drive
+// clauses can be enforced simultaneously: it assumes !dis for every
+// output and, while the solver refutes the set, drops the dis
+// literals named in the refutation core. Outputs dropped here are
+// unconditionally contended — always-on shorts the static pass
+// already reports — and excluding them keeps one bad node from making
+// every other query in the deck vacuously unsat.
+func (pr *prover) settleConsistent() {
+	outs := sortedKeys(pr.disOf)
+	dropped := map[int]bool{}
+	for {
+		var assume []int
+		for _, o := range outs {
+			if d := pr.disOf[o]; !dropped[d] {
+				assume = append(assume, -d)
+			}
+		}
+		if len(assume) == 0 {
+			break
+		}
+		pr.stats.Queries++
+		r := pr.s.Solve(assume...)
+		if r.Status == sat.Sat {
+			break
+		}
+		if r.Status == sat.Unknown {
+			pr.stats.Unknown++
+		}
+		progress := false
+		for _, l := range r.Core {
+			if l < 0 && !dropped[-l] {
+				dropped[-l] = true
+				progress = true
+			}
+		}
+		if !progress {
+			// Unknown, or a core with no dis literal (cannot happen:
+			// the clause set alone is satisfied by all-dis-true). Drop
+			// everything rather than loop forever.
+			for _, o := range outs {
+				dropped[pr.disOf[o]] = true
+			}
+		}
+	}
+	for _, o := range outs {
+		if d := pr.disOf[o]; !dropped[d] {
+			pr.consistOf[o] = len(pr.consistent)
+			pr.consistent = append(pr.consistent, -d)
+		}
+	}
+}
+
+// consistExcept returns the consistency assumptions, releasing the
+// given outputs (nets on a queried short path, which are legitimately
+// contended in the scenario under test).
+func (pr *prover) consistExcept(release map[string]bool) []int {
+	if len(release) == 0 {
+		return pr.consistent
+	}
+	out := make([]int, 0, len(pr.consistent))
+	for o, i := range pr.consistOf {
+		if !release[o] {
+			out = append(out, pr.consistent[i])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// pullPaths enumerates output o's conducting paths to the given rail
+// kind.
+func (pr *prover) pullPaths(c *Component, o string, kind RailKind) []condPath {
+	return pr.enumerate(c, o, kind, pr.cfg.MaxStackDepth, pr.cfg.MaxPathsPerOutput)
+}
+
+func negate(lits []int) []int {
+	out := make([]int, 0, len(lits)+2)
+	for _, l := range lits {
+		out = append(out, -l)
+	}
+	return out
+}
+
+// shortGroup collects parallel candidate paths sharing one condition.
+type shortGroup struct {
+	comp     int
+	from, to string
+	first    condPath
+	count    int
+}
+
+// proveShorts enumerates candidate rail-to-rail paths, groups parallel
+// branches by condition, and solves each group.
+func (pr *prover) proveShorts() []ProvenShort {
+	groups := map[string]*shortGroup{}
+	var order []string
+	add := func(comp int, from, to string, p condPath) {
+		sig := fmt.Sprintf("%d %s>%s %v", comp, from, to, sortedLits(p.lits))
+		g, ok := groups[sig]
+		if !ok {
+			g = &shortGroup{comp: comp, from: from, to: to, first: p}
+			groups[sig] = g
+			order = append(order, sig)
+		}
+		g.count++
+	}
+
+	// Rail-to-rail bridge devices (they belong to no component).
+	for _, e := range pr.a.bridges {
+		lit, ok := pr.devLit(e)
+		if !ok {
+			continue
+		}
+		ka, kb := pr.a.rails[e.a], pr.a.rails[e.b]
+		p := condPath{devices: []string{e.name}}
+		p.lits, _ = addLit(nil, lit)
+		switch {
+		case ka == RailHigh && kb == RailLow:
+			add(-1, e.a, e.b, p)
+		case ka == RailLow && kb == RailHigh:
+			add(-1, e.b, e.a, p)
+		}
+	}
+
+	// Per-component high-to-low paths: a short traverses a pull-up and
+	// a pull-down chain, so its depth budget is twice the stack limit.
+	for _, c := range pr.a.Components {
+		for _, r := range c.Rails {
+			if pr.a.rails[r] != RailHigh {
+				continue
+			}
+			for _, p := range pr.enumerate(c, r, RailLow, 2*pr.cfg.MaxStackDepth, pr.cfg.MaxShortPaths) {
+				add(c.ID, r, p.end, p)
+			}
+		}
+	}
+
+	var out []ProvenShort
+	for _, sig := range order {
+		g := groups[sig]
+		if sh, ok := pr.solveShort(g); ok {
+			out = append(out, sh)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		x, y := out[i], out[j]
+		if x.Always != y.Always {
+			return x.Always // MT018-class first
+		}
+		if x.From != y.From {
+			return x.From < y.From
+		}
+		if x.To != y.To {
+			return x.To < y.To
+		}
+		return x.Devices[0] < y.Devices[0]
+	})
+	return out
+}
+
+// solveShort classifies one candidate short group: infeasible (ok
+// false), conditional, or always-on.
+func (pr *prover) solveShort(g *shortGroup) (ProvenShort, bool) {
+	p := g.first
+
+	// Assumptions: the path condition, then consistency for every
+	// output not on the path — outputs the short runs through are
+	// contended by construction and their drive constraints stay
+	// released.
+	onPath := map[string]bool{}
+	for _, n := range p.nets {
+		onPath[n] = true
+	}
+	consist := pr.consistExcept(onPath)
+	assume := append(append([]int{}, p.lits...), consist...)
+
+	pr.stats.Queries++
+	r := pr.s.Solve(assume...)
+	switch r.Status {
+	case sat.Unknown:
+		pr.stats.Unknown++
+		return ProvenShort{}, false // no proof either way: stay quiet
+	case sat.Unsat:
+		return ProvenShort{}, false // proven infeasible
+	}
+
+	sh := ProvenShort{
+		Component: g.comp,
+		From:      g.from,
+		To:        g.to,
+		Devices:   p.devices,
+		Paths:     g.count,
+		Cond:      pr.condStrings(p.lits),
+		Witness:   pr.inputWitness(&r),
+		Model:     pr.modelWitness(&r),
+	}
+
+	// Always-on iff the negated condition is unsatisfiable in a
+	// consistent circuit state. An empty condition is a tautology.
+	if len(p.lits) == 0 {
+		sh.Always = true
+		return sh, true
+	}
+	act := pr.s.NewVar()
+	pr.nets = append(pr.nets, "")
+	pr.s.AddClause(append(negate(p.lits), -act)...)
+	pr.stats.Queries++
+	neg := pr.s.Solve(append([]int{act}, consist...)...)
+	switch neg.Status {
+	case sat.Unsat:
+		sh.Always = true
+	case sat.Unknown:
+		pr.stats.Unknown++
+	}
+	return sh, true
+}
+
+// proveFloating re-examines the analysis' floating-output findings:
+// the finding survives only if some input vector leaves the node
+// undriven (all of its pull paths off at once).
+func (pr *prover) proveFloating() (kept []ProvenFloating, gone []InfeasibleFloating) {
+	for _, fo := range pr.a.Floating {
+		c := pr.a.Components[fo.Component]
+		paths := append(pr.pullPaths(c, fo.Net, RailHigh), pr.pullPaths(c, fo.Net, RailLow)...)
+
+		// One "off" assumption per path: off_p -> some device on p is
+		// off. A path with an empty condition always conducts, so its
+		// off clause degenerates to (!off_p) and assuming off_p is the
+		// immediate refutation. No paths at all means the node is
+		// trivially undriven and any consistent state is a witness.
+		offVars := make([]int, len(paths))
+		for i, p := range paths {
+			v := pr.s.NewVar()
+			pr.nets = append(pr.nets, "")
+			offVars[i] = v
+			pr.s.AddClause(append(negate(p.lits), -v)...)
+		}
+		assume := append(append([]int{}, offVars...), pr.consistent...)
+		pr.stats.Queries++
+		r := pr.s.Solve(assume...)
+		switch r.Status {
+		case sat.Sat:
+			kept = append(kept, ProvenFloating{
+				FloatingOutput: fo,
+				Witness:        pr.inputWitness(&r),
+				Model:          pr.modelWitness(&r),
+			})
+		case sat.Unsat:
+			inf := InfeasibleFloating{FloatingOutput: fo}
+			for _, l := range r.Core {
+				for i, v := range offVars {
+					if l == v {
+						inf.Core = append(inf.Core, strings.Join(paths[i].devices, "+"))
+					}
+				}
+			}
+			sort.Strings(inf.Core)
+			gone = append(gone, inf)
+		default:
+			pr.stats.Unknown++
+			// Keep the warning, without a witness: no proof either way.
+			kept = append(kept, ProvenFloating{FloatingOutput: fo})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Net < kept[j].Net })
+	sort.Slice(gone, func(i, j int) bool { return gone[i].Net < gone[j].Net })
+	return kept, gone
+}
+
+// inputWitness extracts the primary-input (signal-rail) assignment.
+func (pr *prover) inputWitness(r *sat.Result) Witness {
+	var w Witness
+	for n, k := range pr.a.rails {
+		if k == RailSignal {
+			w = append(w, NetValue{Net: n, Value: r.Value(pr.varOf[n])})
+		}
+	}
+	sort.Slice(w, func(i, j int) bool { return w[i].Net < w[j].Net })
+	return w
+}
+
+// modelWitness extracts every net-variable value (inputs and internal
+// gate/output nets alike), for replay.
+func (pr *prover) modelWitness(r *sat.Result) Witness {
+	w := make(Witness, 0, len(pr.varOf))
+	for v := 1; v < len(pr.nets); v++ {
+		if pr.nets[v] != "" {
+			w = append(w, NetValue{Net: pr.nets[v], Value: r.Value(v)})
+		}
+	}
+	sort.Slice(w, func(i, j int) bool { return w[i].Net < w[j].Net })
+	return w
+}
+
+// condStrings renders a condition's literals as sorted "net=v" terms.
+func (pr *prover) condStrings(lits []int) []string {
+	out := make([]string, 0, len(lits))
+	for _, l := range lits {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		out = append(out, NetValue{Net: pr.nets[v], Value: l > 0}.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedLits canonicalizes a condition for grouping.
+func sortedLits(lits []int) []int {
+	out := append([]int{}, lits...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,331 @@
+package sca
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sneakAlwaysDeck carries the classic unconditional sneak path next to
+// a healthy inverter: mleak1+mleak2 conduct in every state.
+const sneakAlwaysDeck = `sneak path
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mp out in vdd vdd pmos W=2.8u L=0.7u
+Mn out in 0 0 nmos W=1.4u L=0.7u
+Mleak1 vdd vdd x 0 nmos W=1.4u L=0.7u
+Mleak2 x vdd 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+
+// sneakCondDeck is a vector-dependent rail short: the pull-up and
+// pull-down gates are independent inputs, so s=0 t=1 fights the rails
+// — but no single state is statically tied on, so the static pass is
+// silent.
+const sneakCondDeck = `conditional sneak
+Vdd vdd 0 DC 1.2
+Vs s 0 PWL(0 0 1n 0 1.1n 1.2)
+Vt t 0 PWL(0 0 1n 0 1.1n 1.2)
+Mpu x s vdd vdd pmos W=2.8u L=0.7u
+Mpd x t 0 0 nmos W=1.4u L=0.7u
+Cl x 0 10f
+.end
+`
+
+func TestProveAlwaysOnShort(t *testing.T) {
+	a := Analyze(parseFlat(t, sneakAlwaysDeck), Config{})
+	p := a.Prove()
+	if len(p.Shorts) != 1 {
+		t.Fatalf("proven shorts = %+v, want exactly one", p.Shorts)
+	}
+	sh := p.Shorts[0]
+	if !sh.Always {
+		t.Errorf("unconditional sneak path not classified Always: %+v", sh)
+	}
+	if len(sh.Cond) != 0 {
+		t.Errorf("unconditional path has condition %v", sh.Cond)
+	}
+	if !reflect.DeepEqual(sh.Devices, []string{"mleak1", "mleak2"}) {
+		t.Errorf("devices = %v", sh.Devices)
+	}
+	if err := a.Replay(sh.Model).CheckShort(sh); err != nil {
+		t.Errorf("witness replay: %v", err)
+	}
+	// The healthy inverter must not contribute a short: its pull-up
+	// and pull-down conditions are contradictory.
+	for _, s := range p.Shorts {
+		for _, d := range s.Devices {
+			if d == "mp" || d == "mn" {
+				t.Errorf("inverter device %s appears in a proven short", d)
+			}
+		}
+	}
+}
+
+func TestProveConditionalShort(t *testing.T) {
+	a := Analyze(parseFlat(t, sneakCondDeck), Config{})
+	if len(a.Shorts) != 0 {
+		t.Fatalf("static pass already reports %+v; deck is supposed to be statically silent", a.Shorts)
+	}
+	p := a.Prove()
+	if len(p.Shorts) != 1 {
+		t.Fatalf("proven shorts = %+v, want exactly one", p.Shorts)
+	}
+	sh := p.Shorts[0]
+	if sh.Always {
+		t.Errorf("conditional short misclassified as always-on")
+	}
+	if !reflect.DeepEqual(sh.Cond, []string{"s=0", "t=1"}) {
+		t.Errorf("condition = %v, want [s=0 t=1]", sh.Cond)
+	}
+	if !reflect.DeepEqual(sh.Witness, Witness{{Net: "s", Value: false}, {Net: "t", Value: true}}) {
+		t.Errorf("witness = %v", sh.Witness)
+	}
+	r := a.Replay(sh.Model)
+	if err := r.CheckShort(sh); err != nil {
+		t.Errorf("witness replay: %v", err)
+	}
+	if err := r.CheckModel(); err != nil {
+		t.Errorf("model consistency: %v", err)
+	}
+	if r.State("x") != StateContend {
+		t.Errorf("shorted node state = %v, want contend", r.State("x"))
+	}
+}
+
+func TestProveCleanInverterQuiet(t *testing.T) {
+	a := Analyze(parseFlat(t, mtcmosInverterDeck), Config{})
+	p := a.Prove()
+	if len(p.Shorts)+len(p.Floating)+len(p.Suppressed) != 0 {
+		t.Errorf("clean deck has proof findings: %+v", p)
+	}
+	if p.Stats.Queries == 0 || p.Stats.Vars == 0 {
+		t.Errorf("prover did no work on a non-empty deck: %+v", p.Stats)
+	}
+}
+
+// TestProveCrossCCCInfeasibleShort seeds a candidate short whose
+// condition needs a and not-a at once — but only across a component
+// boundary, through the inverter ab = !a. An independence assumption
+// would flag it; the shared-variable encoding refutes it.
+func TestProveCrossCCCInfeasibleShort(t *testing.T) {
+	deck := `cross-ccc infeasible
+Vdd vdd 0 DC 1.2
+Va a 0 PWL(0 0 1n 0 1.1n 1.2)
+Vc c 0 PWL(0 0 1n 0 1.1n 1.2)
+Mpi ab a vdd vdd pmos W=2.8u L=0.7u
+Mni ab a 0 0 nmos W=1.4u L=0.7u
+Mpu out c vdd vdd pmos W=2.8u L=0.7u
+Mn1 out a x 0 nmos W=1.4u L=0.7u
+Mn2 x ab 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+	a := Analyze(parseFlat(t, deck), Config{})
+	p := a.Prove()
+	if len(p.Shorts) != 0 {
+		t.Errorf("infeasible cross-CCC short reported anyway: %+v", p.Shorts)
+	}
+}
+
+// infeasibleFloatingDecks are MT019-shaped decks whose floating state
+// is unreachable: the static pass flags the node, the prover must
+// suppress it. This is the regression table behind the -prove
+// suppression contract.
+var infeasibleFloatingDecks = []struct {
+	name string
+	deck string
+	net  string
+	core []string // refutation core as device chains
+}{
+	{
+		name: "complementary-via-inverter",
+		deck: `pulldowns gated a and !a
+Vdd vdd 0 DC 1.2
+Va a 0 PWL(0 0 1n 0 1.1n 1.2)
+Mpi ab a vdd vdd pmos W=2.8u L=0.7u
+Mni ab a 0 0 nmos W=1.4u L=0.7u
+Mn1 out a 0 0 nmos W=1.4u L=0.7u
+Mn2 out ab 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`,
+		net:  "out",
+		core: []string{"mn1", "mn2"},
+	},
+	{
+		name: "same-gate-complementary-pair",
+		deck: `nmos and pmos pulldowns share one gate
+Vdd vdd 0 DC 1.2
+Va a 0 PWL(0 0 1n 0 1.1n 1.2)
+Mn1 out a 0 0 nmos W=1.4u L=0.7u
+Mp1 out a 0 0 pmos W=2.8u L=0.7u
+Cl out 0 10f
+.end
+`,
+		net:  "out",
+		core: []string{"mn1", "mp1"},
+	},
+	{
+		// a OR NAND(a,b) is a tautology: the two pulldowns cover every
+		// input state, through a two-level cone.
+		name: "covered-by-nand",
+		deck: `pulldowns gated a and nand(a,b)
+Vdd vdd 0 DC 1.2
+Va a 0 PWL(0 0 1n 0 1.1n 1.2)
+Vb b 0 PWL(0 0 1n 0 1.1n 1.2)
+Mpa nab a vdd vdd pmos W=2.8u L=0.7u
+Mpb nab b vdd vdd pmos W=2.8u L=0.7u
+Mna nab a nx 0 nmos W=1.4u L=0.7u
+Mnb nx b 0 0 nmos W=1.4u L=0.7u
+Mn1 out a 0 0 nmos W=1.4u L=0.7u
+Mn2 out nab 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`,
+		net:  "out",
+		core: []string{"mn1", "mn2"},
+	},
+}
+
+func TestProveInfeasibleFloatingSuppressed(t *testing.T) {
+	for _, tc := range infeasibleFloatingDecks {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Analyze(parseFlat(t, tc.deck), Config{})
+			if len(a.Floating) != 1 || a.Floating[0].Net != tc.net {
+				t.Fatalf("static floating findings = %+v, want exactly %q", a.Floating, tc.net)
+			}
+			p := a.Prove()
+			if len(p.Floating) != 0 {
+				t.Errorf("floating finding survived: %+v", p.Floating)
+			}
+			if len(p.Suppressed) != 1 {
+				t.Fatalf("suppressed = %+v, want exactly one", p.Suppressed)
+			}
+			s := p.Suppressed[0]
+			if s.Net != tc.net {
+				t.Errorf("suppressed net = %q", s.Net)
+			}
+			if !reflect.DeepEqual(s.Core, tc.core) {
+				t.Errorf("refutation core = %v, want %v", s.Core, tc.core)
+			}
+		})
+	}
+}
+
+func TestProveFeasibleFloatingKeptWithWitness(t *testing.T) {
+	deck := `genuinely floating when in=0
+Vdd vdd 0 DC 1.2
+Vin in 0 PWL(0 0 1n 0 1.1n 1.2)
+Mpd out in 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+	a := Analyze(parseFlat(t, deck), Config{})
+	p := a.Prove()
+	if len(p.Suppressed) != 0 {
+		t.Errorf("feasible floating finding suppressed: %+v", p.Suppressed)
+	}
+	if len(p.Floating) != 1 {
+		t.Fatalf("proven floating = %+v, want exactly one", p.Floating)
+	}
+	pf := p.Floating[0]
+	if v, ok := pf.Witness.Get("in"); !ok || v {
+		t.Errorf("witness = %v, want in=0", pf.Witness)
+	}
+	if err := a.Replay(pf.Model).CheckFloating(pf); err != nil {
+		t.Errorf("witness replay: %v", err)
+	}
+}
+
+// TestProveContendedOutputDoesNotPoisonDeck puts an unconditionally
+// contended output next to an unrelated suppressible MT019: the
+// settle step must drop the contended node's consistency assumption
+// so the suppression proof still lands.
+func TestProveContendedOutputDoesNotPoisonDeck(t *testing.T) {
+	deck := `contended y plus suppressible out
+Vdd vdd 0 DC 1.2
+Va a 0 PWL(0 0 1n 0 1.1n 1.2)
+Mup y vdd vdd 0 nmos W=1.4u L=0.7u
+Mdn y vdd 0 0 nmos W=1.4u L=0.7u
+Cy y 0 10f
+Mn1 out a 0 0 nmos W=1.4u L=0.7u
+Mp1 out a 0 0 pmos W=2.8u L=0.7u
+Cl out 0 10f
+.end
+`
+	a := Analyze(parseFlat(t, deck), Config{})
+	p := a.Prove()
+	var always int
+	for _, sh := range p.Shorts {
+		if sh.Always {
+			always++
+			if err := a.Replay(sh.Model).CheckShort(sh); err != nil {
+				t.Errorf("witness replay: %v", err)
+			}
+		}
+	}
+	if always != 1 {
+		t.Errorf("always-on shorts = %d, want 1 (through y): %+v", always, p.Shorts)
+	}
+	if len(p.Suppressed) != 1 || p.Suppressed[0].Net != "out" {
+		t.Errorf("suppression poisoned by contended output: suppressed=%+v floating=%+v",
+			p.Suppressed, p.Floating)
+	}
+}
+
+// TestProveParallelPathsGrouped checks that parallel branches with
+// the same condition collapse into one finding with a path count.
+func TestProveParallelPathsGrouped(t *testing.T) {
+	deck := `two parallel unconditional sneaks
+Vdd vdd 0 DC 1.2
+Va a 0 PWL(0 0 1n 0 1.1n 1.2)
+Mleaka vdd vdd xa 0 nmos W=1.4u L=0.7u
+Mleakb xa vdd 0 0 nmos W=1.4u L=0.7u
+Mleakc vdd vdd xa 0 nmos W=1.4u L=0.7u
+Mload out a 0 0 nmos W=1.4u L=0.7u
+Cl out 0 10f
+.end
+`
+	a := Analyze(parseFlat(t, deck), Config{})
+	p := a.Prove()
+	if len(p.Shorts) != 1 {
+		t.Fatalf("proven shorts = %+v, want one grouped finding", p.Shorts)
+	}
+	if p.Shorts[0].Paths != 2 {
+		t.Errorf("paths = %d, want 2 (mleaka+mleakb and mleakc+mleakb)", p.Shorts[0].Paths)
+	}
+}
+
+func TestProveDeterministic(t *testing.T) {
+	for _, deck := range []string{sneakAlwaysDeck, sneakCondDeck, mtcmosInverterDeck} {
+		p1 := Analyze(parseFlat(t, deck), Config{}).Prove()
+		p2 := Analyze(parseFlat(t, deck), Config{}).Prove()
+		if !reflect.DeepEqual(p1, p2) {
+			t.Errorf("Prove not deterministic for deck %q:\n%+v\n%+v",
+				strings.SplitN(deck, "\n", 2)[0], p1, p2)
+		}
+	}
+}
+
+func TestProveEmptyAnalysis(t *testing.T) {
+	a := Analyze(nil, Config{})
+	p := a.Prove()
+	if len(p.Shorts)+len(p.Floating)+len(p.Suppressed) != 0 {
+		t.Errorf("empty analysis produced findings: %+v", p)
+	}
+}
+
+func TestWitnessHelpers(t *testing.T) {
+	w := Witness{{Net: "a", Value: false}, {Net: "b", Value: true}}
+	if got := w.String(); got != "a=0 b=1" {
+		t.Errorf("String() = %q", got)
+	}
+	if v, ok := w.Get("b"); !ok || !v {
+		t.Errorf("Get(b) = %v,%v", v, ok)
+	}
+	if _, ok := w.Get("zzz"); ok {
+		t.Errorf("Get(zzz) found a value")
+	}
+}

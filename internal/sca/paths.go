@@ -21,6 +21,7 @@ type arcMap map[string][]arc
 // paths deeper than the series-stack limit.
 func (a *Analysis) enumeratePaths(f *netlist.Flat, cfg Config) {
 	edges, bridges := a.conductors(f)
+	a.edges, a.bridges = edges, bridges
 
 	// A single always-on device strapping a high rail to a low rail is
 	// the degenerate short.
@@ -68,6 +69,7 @@ func (a *Analysis) enumeratePaths(f *netlist.Flat, cfg Config) {
 			sort.Slice(arcs, func(i, j int) bool { return arcs[i].edge.name < arcs[j].edge.name })
 		}
 	}
+	a.adj = adj
 
 	// virtualRail marks nets one always-on device away from a rail
 	// (virtual-ground rails behind an ON sleep transistor, and the

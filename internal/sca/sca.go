@@ -39,11 +39,27 @@ type Config struct {
 	// pass-gate chain / deep stack (default 8: the library's deepest
 	// legitimate stack is 4, plus headroom for a gated rail hop).
 	MaxStackDepth int
+
+	// MaxPathsPerOutput caps the pull-up / pull-down paths the prover
+	// enumerates per logic output per direction (default 64). Beyond
+	// the cap the path-condition encoding is incomplete and the prover
+	// records the output as only partially modeled.
+	MaxPathsPerOutput int
+
+	// MaxShortPaths caps the candidate rail-to-rail paths enumerated
+	// per component for the conditional-short check (default 256).
+	MaxShortPaths int
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxStackDepth <= 0 {
 		c.MaxStackDepth = 8
+	}
+	if c.MaxPathsPerOutput <= 0 {
+		c.MaxPathsPerOutput = 64
+	}
+	if c.MaxShortPaths <= 0 {
+		c.MaxShortPaths = 256
 	}
 	return c
 }
@@ -141,6 +157,15 @@ type Analysis struct {
 	rails  map[string]RailKind
 	compOf map[string]int // net -> component ID
 	stats  Stats
+
+	// Retained for the prover (Prove): the flattened deck, the
+	// effective config, and the conduction graph the path checks ran
+	// over.
+	flat    *netlist.Flat
+	cfg     Config
+	edges   []condEdge
+	bridges []condEdge
+	adj     []arcMap // per-component conduction adjacency
 }
 
 // Analyze partitions the flat netlist into channel-connected
@@ -148,10 +173,11 @@ type Analysis struct {
 // an empty analysis.
 func Analyze(f *netlist.Flat, cfg Config) *Analysis {
 	cfg = cfg.withDefaults()
-	a := &Analysis{rails: map[string]RailKind{}, compOf: map[string]int{}}
+	a := &Analysis{rails: map[string]RailKind{}, compOf: map[string]int{}, cfg: cfg}
 	if f == nil {
 		return a
 	}
+	a.flat = f
 	a.rails = classifyRails(f)
 	a.partition(f)
 	a.enumeratePaths(f, cfg)

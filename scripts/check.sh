@@ -18,6 +18,16 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+# Pinned in CI (see .github/workflows/ci.yml); locally it runs when the
+# binary is on PATH and is skipped otherwise, since this script must
+# work offline.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping (CI runs it)"
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -35,5 +45,12 @@ go test -race -timeout "$CHECK_TIMEOUT" -count=1 \
     -run 'TestMap|TestWorkers|TestCompiledConcurrentRuns|TestEngineConcurrentRuns|TestConcurrentInjection|TestWorkerCountIndependence|TestFig7WorkerCountInvariant|TestFig14WorkerCountInvariant|TestWorstVectorSearch|TestSimWLSweep|TestExpWorkersFlag|TestFacadeBatchAndSweep|TestRestartIndependentSeeds' \
     ./internal/sched/ ./internal/core/ ./internal/spice/ ./internal/faultinject/ \
     ./internal/sizing/ ./internal/experiments/ ./internal/vectors/ ./internal/cli/ .
+
+echo "== prove gate (-race) =="
+# The path-condition prover over the example decks on the parallel
+# executor: witnesses, MT023, and MT019 suppression must hold under
+# the race detector, and warnings are errors so a regression that
+# un-suppresses a proven-driven node fails the gate.
+go run -race ./cmd/mtlint -prove -verbose -werror -j 8 examples/decks/*.sp
 
 echo "all checks passed"
