@@ -1,0 +1,31 @@
+Decoded-select branches on a shared virtual-ground rail
+* Two data branches enabled by complementary selects behind one
+* high-Vt sleep device: branch A's NAND pulls down only while sel
+* is low, branch B's only while sel is high, so the two branches
+* provably never discharge in the same cycle. mtlint -prove's
+* exclusion refinement (DESIGN.md §11) proves oa x ob (and ns x oa)
+* mutually exclusive, tightening the naive discharge sum 10 to the
+* refined bound 6. The sleep device (W/L = 10) sits under MT024's
+* oversize threshold over that refined bound.
+.subckt nand2 a b out vdd vgnd
+  Mpa out a vdd vdd pmos W=2.8u L=0.7u
+  Mpb out b vdd vdd pmos W=2.8u L=0.7u
+  Mna out a mid 0 nmos W=2.8u L=0.7u
+  Mnb mid b vgnd 0 nmos W=2.8u L=0.7u
+.ends
+Vdd vdd 0 DC 1.2
+Vsel sel 0 PWL(0 0 1n 0 1.05n 1.2)
+Va a 0 DC 1.2
+Vb b 0 DC 1.2
+Vslp sleepen 0 DC 1.2
+* shared select inverter, on the same gated rail
+Mpn ns sel vdd vdd pmos W=2.8u L=0.7u
+Mnn ns sel vg 0 nmos W=1.4u L=0.7u
+* branch A: enabled while sel is low (via ns)
+Xa a ns oa vdd vg nand2
+* branch B: enabled while sel is high
+Xb b sel ob vdd vg nand2
+Msleep vg sleepen 0 0 nmos_hvt W=7u L=0.7u
+Coa oa 0 20f
+Cob ob 0 20f
+.end

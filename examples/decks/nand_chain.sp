@@ -2,7 +2,10 @@ Two-stage NAND chain on a shared virtual-ground rail
 * A gated two-gate block: both pulldown stacks share one virtual
 * ground behind a single high-Vt sleep device. Exercises the CCC
 * partition (each gate output is its own channel-connected component)
-* and the series-stack depth accounting of mtlint -graph.
+* and the series-stack depth accounting of mtlint -graph. The sleep
+* device is sized at 3.5x the SAT-refined exclusion bound (the two
+* stages provably never discharge together), under MT024's oversize
+* threshold.
 .subckt nand2 a b out vdd vgnd
   Mpa out a vdd vdd pmos W=2.8u L=0.7u
   Mpb out b vdd vdd pmos W=2.8u L=0.7u
@@ -15,6 +18,6 @@ Vb b 0 DC 1.2
 Vslp sleepen 0 DC 1.2
 Xn1 a b n1 vdd vg nand2
 Xn2 n1 b out vdd vg nand2
-Msleep vg sleepen 0 0 nmos_hvt W=14u L=0.7u
+Msleep vg sleepen 0 0 nmos_hvt W=9.8u L=0.7u
 Cl out 0 30f
 .end

@@ -194,9 +194,24 @@ func (c *Circuit) Check() error {
 	return err
 }
 
+// CycleError reports a combinational cycle in the gate graph. Gates
+// lists, sorted by name, every gate stuck on the cycle (the cycle's
+// members plus anything downstream of them that could not be ordered).
+// Callers that need to distinguish a cycle from other structural
+// failures unwrap it with errors.As.
+type CycleError struct {
+	Circuit string   // circuit name
+	Gates   []string // gates on or downstream of the cycle, sorted
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("circuit %s: combinational cycle through gates %v", e.Circuit, e.Gates)
+}
+
 // Topo returns the gates in topological order (inputs first). It fails
-// on combinational cycles. Safe for concurrent use once construction is
-// finished: parallel sweeps may race to fill the cache on first use.
+// with a *CycleError on combinational cycles. Safe for concurrent use
+// once construction is finished: parallel sweeps may race to fill the
+// cache on first use.
 func (c *Circuit) Topo() ([]*Gate, error) {
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
@@ -237,7 +252,7 @@ func (c *Circuit) Topo() ([]*Gate, error) {
 			}
 		}
 		sort.Strings(stuck)
-		return nil, fmt.Errorf("circuit %s: combinational cycle through gates %v", c.Name, stuck)
+		return nil, &CycleError{Circuit: c.Name, Gates: stuck}
 	}
 	c.topo = order
 	return order, nil

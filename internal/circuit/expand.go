@@ -201,6 +201,12 @@ func (c *Circuit) Netlist(stim Stimulus) (*netlist.Netlist, error) {
 // lowercased to match the dialect's case-insensitivity.
 func netName(n string) string { return netlist.CanonNode(sanitize(n)) }
 
+// NetlistNode is the exported form of the circuit-net to netlist-node
+// mapping: the node name a net receives when the circuit is expanded
+// with Netlist. Static analyses over the expanded deck (internal/sca's
+// exclusion refinement) use it to translate gate outputs to deck nets.
+func NetlistNode(name string) string { return netName(name) }
+
 func sanitize(s string) string {
 	var b strings.Builder
 	for _, r := range s {

@@ -292,3 +292,40 @@ func (m *Multiplier) Result(vals map[string]bool) uint64 {
 	}
 	return p
 }
+
+// SelectTree builds an N-bit two-way decoded datapath: a shared select
+// inverter "ns" decodes input "sel" into complementary branch enables,
+// branch A gates "ga<i>" = a<i> AND NOT sel, branch B gates
+// "gb<i>" = b<i> AND sel, and per-bit merges "m<i>" = ga<i> OR gb<i>
+// (the classic AND-OR 2:1 mux). At most one branch is enabled in any
+// cycle, so a ga gate and a gb gate can never discharge across the
+// same input edge — the canonical mutually-exclusive structure the
+// SAT-backed exclusion refinement (internal/sca, DESIGN.md §11) can
+// prove, where the purely topological level bound must charge both
+// branches to the same arrival window.
+func SelectTree(tech *mosfet.Tech, bits int, load float64) *circuit.Circuit {
+	if bits < 1 {
+		panic("circuits: SelectTree needs bits >= 1")
+	}
+	c := circuit.New(fmt.Sprintf("seltree-%d", bits), tech)
+	c.Input("sel")
+	c.MustGate(circuit.Inv, "gns", "ns", 1, "sel")
+	for i := 0; i < bits; i++ {
+		a := fmt.Sprintf("a%d", i)
+		b := fmt.Sprintf("b%d", i)
+		c.Input(a)
+		c.Input(b)
+		ga := fmt.Sprintf("ga%d", i)
+		gb := fmt.Sprintf("gb%d", i)
+		m := fmt.Sprintf("m%d", i)
+		c.MustGate(circuit.And2, "g"+ga, ga, 1, a, "ns")
+		c.MustGate(circuit.And2, "g"+gb, gb, 1, b, "sel")
+		c.MustGate(circuit.Or2, "g"+m, m, 1, ga, gb)
+		c.MarkOutput(m)
+		c.SetLoad(m, load)
+	}
+	if err := c.Check(); err != nil {
+		panic("circuits: SelectTree: " + err.Error())
+	}
+	return c
+}

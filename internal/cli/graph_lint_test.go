@@ -202,3 +202,35 @@ func TestSizeAllIncludesStaticLevel(t *testing.T) {
 		t.Errorf("default -estimate all should print the static-level row:\n%s", buf.String())
 	}
 }
+
+func TestSizeRefinedEstimator(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Size([]string{"-circuit", "select", "-bits", "6", "-estimate", "refined"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "refined:") {
+		t.Fatalf("missing refined estimate:\n%s", out)
+	}
+	if !strings.Contains(out, "exclusions proven") {
+		t.Errorf("refined row should report proven exclusions:\n%s", out)
+	}
+	// On the select tree the refinement strictly tightens: the refined
+	// W/L (96 at 6 bits) must differ from the static bound (122).
+	if !strings.Contains(out, "96.0") || !strings.Contains(out, "122.0") {
+		t.Errorf("expected refined 96.0 vs static 122.0 on the 6-bit select tree:\n%s", out)
+	}
+}
+
+func TestLintRulesListingIncludesRefinement(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lint([]string{"-rules"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, code := range []string{"MT024", "MT025"} {
+		if !strings.Contains(out, code) {
+			t.Errorf("rule listing missing %s:\n%s", code, out)
+		}
+	}
+}

@@ -22,7 +22,7 @@ func SizeContext(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mtsize", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		circ    = fs.String("circuit", "tree", "benchmark circuit: tree | adder | mult")
+		circ    = fs.String("circuit", "tree", "benchmark circuit: tree | adder | mult | select")
 		bits    = fs.Int("bits", 0, "operand width for adder/mult (defaults 3 / 8)")
 		target  = fs.Float64("target", 5, "delay degradation budget in percent")
 		bounce  = fs.Float64("bounce", 0.05, "bounce budget for the peak-current method (volts)")
@@ -30,7 +30,7 @@ func SizeContext(ctx context.Context, args []string, w io.Writer) error {
 		seed    = fs.Int64("seed", 1, "random vector seed")
 		powerF  = fs.Bool("power", true, "print the power/leakage summary at the chosen size")
 		nolint  = fs.Bool("nolint", false, "skip the pre-sizing lint pass (mtlint rules)")
-		estF    = fs.String("estimate", "all", "estimators to run: all | sum | peak | delay | static-level")
+		estF    = fs.String("estimate", "all", "estimators to run: all | sum | peak | delay | static-level | refined")
 		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole search (0 = unlimited; overruns exit 4)")
 		maxStep = fs.Int("max-steps", 0, "cap switch-level events per simulation; 0 = unlimited")
 		jobs    = fs.Int("j", 0, "parallel workers for per-transition sweeps (0 = one per CPU, 1 = serial); results are identical for any value")
@@ -42,9 +42,9 @@ func SizeContext(ctx context.Context, args []string, w io.Writer) error {
 	defer cancel()
 	est := *estF
 	switch est {
-	case "all", "sum", "peak", "delay", "static-level":
+	case "all", "sum", "peak", "delay", "static-level", "refined":
 	default:
-		return fmt.Errorf("unknown estimate %q (all | sum | peak | delay | static-level)", est)
+		return fmt.Errorf("unknown estimate %q (all | sum | peak | delay | static-level | refined)", est)
 	}
 	want := func(kind string) bool { return est == "all" || est == kind }
 
@@ -75,6 +75,23 @@ func SizeContext(ctx context.Context, args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%-22s W/L = %8.1f   (widest level %d of %d; no simulation)\n",
 			"static-level:", st.WL, st.Level, len(st.Levels))
+	}
+
+	if want("refined") {
+		st, err := mtcmos.SizeForStaticLevel(c, mtcmos.WithRefinement(mtcmos.ExclusionConfig{Workers: *jobs}))
+		if err != nil {
+			return fmt.Errorf("refined: %w", err)
+		}
+		ex := st.Exclusions
+		fmt.Fprintf(w, "%-22s W/L = %8.1f   (static %.1f; %d exclusions proven, %d pairs queried)\n",
+			"refined:", st.Refined, st.WL, ex.Proven, ex.Queried)
+		if ex.Fallback != "" {
+			fmt.Fprintf(w, "  note: refinement fell back to the static bound: %s\n", ex.Fallback)
+		}
+		if ex.TruncatedPairs > 0 || ex.Unknown > 0 {
+			fmt.Fprintf(w, "  note: proof budget truncated (%d pairs dropped, %d queries inconclusive); bound stays sound\n",
+				ex.TruncatedPairs, ex.Unknown)
+		}
 	}
 
 	var pk *mtcmos.PeakSizing
@@ -175,7 +192,34 @@ func build(kind string, bits, nvec int, seed int64) (*mtcmos.Circuit, mtcmos.Siz
 			})
 		}
 		return m.Circuit, mtcmos.SizingConfig{Outputs: m.ProductNets}, trs, nil
+	case "select":
+		tech := mtcmos.Tech07()
+		if bits == 0 {
+			bits = 8
+		}
+		c := mtcmos.SelectTree(&tech, bits, 20e-15)
+		vec := func(sel bool, a, b uint64) map[string]bool {
+			in := map[string]bool{"sel": sel}
+			for i := 0; i < bits; i++ {
+				in[fmt.Sprintf("a%d", i)] = a>>uint(i)&1 == 1
+				in[fmt.Sprintf("b%d", i)] = b>>uint(i)&1 == 1
+			}
+			return in
+		}
+		mask := uint64(1)<<uint(bits) - 1
+		trs := []mtcmos.Transition{
+			{Old: vec(false, 0, 0), New: vec(true, mask, mask), Label: "switch branch"},
+			{Old: vec(false, mask, mask), New: vec(false, 0, mask), Label: "A falls"},
+		}
+		for i := 0; i < nvec; i++ {
+			trs = append(trs, mtcmos.Transition{
+				Old:   vec(rng.Intn(2) == 1, rng.Uint64()&mask, rng.Uint64()&mask),
+				New:   vec(rng.Intn(2) == 1, rng.Uint64()&mask, rng.Uint64()&mask),
+				Label: fmt.Sprintf("rand%d", i),
+			})
+		}
+		return c, mtcmos.SizingConfig{}, trs, nil
 	default:
-		return nil, mtcmos.SizingConfig{}, nil, fmt.Errorf("unknown circuit %q (tree|adder|mult)", kind)
+		return nil, mtcmos.SizingConfig{}, nil, fmt.Errorf("unknown circuit %q (tree|adder|mult|select)", kind)
 	}
 }

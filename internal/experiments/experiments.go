@@ -119,6 +119,7 @@ func Registry() []Experiment {
 		{"screen", "vector-space narrowing: static screens vs the switch-level tool", Screen, "Sec. 5/7"},
 		{"lint", "static-analysis audit of the benchmark circuits and their expanded decks", LintAudit, "tooling"},
 		{"sca", "static level bound vs sum-of-widths vs simulated discharge width; CCC partition", SCA, "Sec. 2"},
+		{"refine", "SAT-proven mutual-exclusion refinement of the static level bound", Refine, "Sec. 2"},
 	}
 }
 
@@ -233,4 +234,13 @@ func spiceDelay(cfg Config, c *circuit.Circuit, stim circuit.Stimulus, tstop flo
 		return 0, res, fmt.Errorf("experiments: no output toggled in reference engine")
 	}
 	return worst, res, nil
+}
+
+// paperSelect builds the N-bit decoded-select datapath used by the
+// mutual-exclusion refinement experiment: its two branches are enabled
+// by complementary selects, so cross-branch discharges are provably
+// exclusive (DESIGN.md §11).
+func paperSelect(bits int) *circuit.Circuit {
+	tech := mosfet.Tech07()
+	return circuits.SelectTree(&tech, bits, 20e-15)
 }

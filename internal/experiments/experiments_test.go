@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -332,5 +334,50 @@ func TestFig14WorkerCountInvariant(t *testing.T) {
 	}
 	if outputKey(o1) != outputKey(o8) {
 		t.Errorf("fig14 diverged between -j 1 and -j 8:\n%s\nvs\n%s", outputKey(o1), outputKey(o8))
+	}
+}
+
+func TestRefineLadderAndTightening(t *testing.T) {
+	out, err := Refine(Config{Fast: true, MultiplierBits: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 2 {
+		t.Fatalf("refine produced %d tables, want 2", len(out.Tables))
+	}
+	// The experiment itself enforces the ladder, replay validation, and
+	// the two-benchmark tightening criterion; here we just confirm the
+	// select tree row actually shows a strict refinement.
+	var selRow []string
+	for _, row := range out.Tables[0].Rows {
+		if len(row) > 0 && row[0] == "8-bit select tree" {
+			selRow = row
+		}
+	}
+	if selRow == nil {
+		t.Fatalf("no select-tree row in %v", out.Tables[0].Rows)
+	}
+	if got := selRow[len(selRow)-1]; got != "1.27x" {
+		t.Errorf("select tree refinement ratio changed: %q (row %v)", got, selRow)
+	}
+}
+
+func TestRefineWorkerCountInvariant(t *testing.T) {
+	render := func(workers int) string {
+		out, err := Refine(Config{Fast: true, MultiplierBits: 4, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tb := range out.Tables {
+			fmt.Fprintf(&b, "%s\n", tb.Title)
+			for _, row := range tb.Rows {
+				fmt.Fprintf(&b, "%s\n", strings.Join(row, "\t"))
+			}
+		}
+		return b.String()
+	}
+	if a, b := render(1), render(8); a != b {
+		t.Errorf("refine output differs between -j 1 and -j 8:\n%s\n---\n%s", a, b)
 	}
 }

@@ -31,6 +31,8 @@ var graphRegistry = []*rule{
 	ruleCCCSummary,
 	ruleSleepAboveLevelBound,
 	ruleVectorDependentShort,
+	ruleSleepAboveRefinedBound,
+	ruleProofTruncation,
 }
 
 // shortKey identifies the rail pair a short connects inside one
@@ -290,6 +292,80 @@ var ruleCCCSummary = &rule{
 		}
 		s.emit("", "deck partitions into %d channel-connected components (largest: %d devices over %d nets)",
 			st.Components, st.LargestDevices, st.LargestNets)
+	},
+}
+
+// mt024Oversize is MT024's firing threshold: the sleep device must be
+// at least this many times the refined bound. Sized well above 1 so
+// the rule flags only clear overdesign, not defensible margin.
+const mt024Oversize = 4.0
+
+// firstN joins up to n evidence strings.
+func firstN(ss []string, n int) string {
+	if len(ss) > n {
+		ss = append(ss[:n:n], "...")
+	}
+	return strings.Join(ss, ", ")
+}
+
+var ruleSleepAboveRefinedBound = &rule{
+	code:  "MT024",
+	sev:   Warn,
+	title: "sleep device sized far above the SAT-refined exclusion bound (-prove)",
+	check: func(t *Target, s *sink) {
+		if !t.opts.Prove {
+			return
+		}
+		// Gate-level circuit: refine per sleep domain. The rule fires
+		// only when the exclusion proofs actually tightened the bound
+		// (refined < static) — otherwise MT022 already covers the
+		// headroom story — and the device exceeds the refined bound by
+		// mt024Oversize.
+		if c := t.Circuit; c != nil {
+			if r, err := sca.RefineLevels(c, sca.ExclConfig{}); err == nil && r.Stats.Fallback == "" {
+				for di, d := range c.Domains() {
+					if d.SleepWL <= 0 {
+						continue
+					}
+					refined, level := r.DomainBound(di)
+					static, _ := r.Levels.MaxLevelWidth(c, di)
+					if refined <= 0 || refined >= static || d.SleepWL < mt024Oversize*refined {
+						continue
+					}
+					s.emit(d.Name, "sleep domain %d W/L %.4g is %.1fx the refined exclusion bound %.4g (widest refined level %d; unrefined bound %.4g): proven mutually exclusive discharges (%s) show the device is oversized",
+						di, d.SleepWL, d.SleepWL/refined, refined, level, static, firstN(r.PairsFor(di, 3), 3))
+				}
+			}
+		}
+		// Raw deck: refine each sleep device's own discharge domain.
+		a := t.Graph()
+		if a == nil {
+			return
+		}
+		for _, dr := range a.RefineDeck(sca.ExclConfig{}) {
+			if dr.Refined <= 0 || dr.Refined >= dr.Sum || dr.WL < mt024Oversize*dr.Refined {
+				continue
+			}
+			s.emit(dr.Device, "sleep device %s (W/L %.4g on rail %s) is %.1fx the refined discharge bound %.4g (naive sum %.4g): proven mutually exclusive discharges (%s) show the device is oversized",
+				dr.Device, dr.WL, dr.Rail, dr.WL/dr.Refined, dr.Refined, dr.Sum, firstN(dr.Pairs, 3))
+		}
+	},
+}
+
+var ruleProofTruncation = &rule{
+	code:  "MT025",
+	sev:   Info,
+	title: "path-condition proof truncated by enumeration caps (-prove)",
+	check: func(t *Target, s *sink) {
+		if !t.opts.Prove || t.Graph() == nil {
+			return
+		}
+		pf := t.Proof()
+		if pf == nil || pf.Stats.Truncated == 0 {
+			return
+		}
+		s.emit("", "path enumeration hit its caps %d times during the proof: paths beyond the budget were not considered, so proven findings stand but the proof may be incomplete",
+			pf.Stats.Truncated)
 	},
 }
 

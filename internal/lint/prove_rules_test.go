@@ -1,11 +1,13 @@
 package lint
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"mtcmos/internal/mosfet"
 	"mtcmos/internal/netlist"
+	"mtcmos/internal/sca"
 )
 
 // proveLint runs the full rule set with the path-condition prover on.
@@ -208,5 +210,115 @@ C2 out2 0 10f
 	d := hits[0]
 	if d.Paths != 2 || !strings.Contains(d.Message, "out1, out2") {
 		t.Errorf("dedupe missing output list: %+v", d)
+	}
+}
+
+// oversizedMutexDeck is the decoded-select structure with the sleep
+// device sized at 10x the refined exclusion bound (W/L 60 vs refined
+// 6): MT024 material.
+const oversizedMutexDeck = `oversized decoded select
+.subckt nand2 a b out vdd vgnd
+  Mpa out a vdd vdd pmos W=2.8u L=0.7u
+  Mpb out b vdd vdd pmos W=2.8u L=0.7u
+  Mna out a mid 0 nmos W=2.8u L=0.7u
+  Mnb mid b vgnd 0 nmos W=2.8u L=0.7u
+.ends
+Vdd vdd 0 DC 1.2
+Vsel sel 0 PWL(0 0 1n 0 1.05n 1.2)
+Va a 0 DC 1.2
+Vb b 0 DC 1.2
+Vslp sleepen 0 DC 1.2
+Mpn ns sel vdd vdd pmos W=2.8u L=0.7u
+Mnn ns sel vg 0 nmos W=1.4u L=0.7u
+Xa a ns oa vdd vg nand2
+Xb b sel ob vdd vg nand2
+Msleep vg sleepen 0 0 nmos_hvt W=42u L=0.7u
+Coa oa 0 20f
+Cob ob 0 20f
+.end
+`
+
+func TestMT024FlagsOversizedSleepDevice(t *testing.T) {
+	diags := proveLint(t, oversizedMutexDeck, false)
+	hits := findCode(diags, "MT024")
+	if len(hits) != 1 {
+		t.Fatalf("MT024 findings = %v, want exactly one", hits)
+	}
+	d := hits[0]
+	if d.Severity != Warn {
+		t.Errorf("MT024 severity = %v, want Warn", d.Severity)
+	}
+	if d.Subject != "msleep" {
+		t.Errorf("MT024 subject = %q, want msleep", d.Subject)
+	}
+	for _, frag := range []string{"refined discharge bound 6", "oa × ob", "oversized"} {
+		if !strings.Contains(d.Message, frag) {
+			t.Errorf("MT024 message %q lacks %q", d.Message, frag)
+		}
+	}
+}
+
+func TestMT024SilentWithoutProve(t *testing.T) {
+	nl, err := netlist.ParseString(oversizedMutexDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := mosfet.Tech07()
+	diags := RunWith(nl, nil, &tech, Options{Graph: true})
+	if hits := findCode(diags, "MT024"); len(hits) != 0 {
+		t.Errorf("MT024 fired without -prove: %v", hits)
+	}
+}
+
+func TestMT024SilentWhenModestlySized(t *testing.T) {
+	// Same structure with the sleep device at 2x the refined bound:
+	// under the oversize threshold, no finding.
+	deck := strings.Replace(oversizedMutexDeck, "W=42u", "W=8.4u", 1)
+	diags := proveLint(t, deck, false)
+	if hits := findCode(diags, "MT024"); len(hits) != 0 {
+		t.Errorf("MT024 fired on a modestly sized sleep device: %v", hits)
+	}
+}
+
+func TestMT025SurfacesProofTruncation(t *testing.T) {
+	// A wide parallel pull network blows past tight path caps; the
+	// truncation must surface as an info note under -prove.
+	var b strings.Builder
+	b.WriteString("wide parallel pulldown\nVdd vdd 0 DC 1.2\n")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "Vi%d in%d 0 PWL(0 0 1n 0 1.1n 1.2)\n", i, i)
+		fmt.Fprintf(&b, "Mn%d out in%d 0 0 nmos W=1.4u L=0.7u\n", i, i)
+		fmt.Fprintf(&b, "Mp%d out in%d vdd vdd pmos W=2.8u L=0.7u\n", i, i)
+	}
+	b.WriteString("Cl out 0 10f\n.end\n")
+	nl, err := netlist.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := nl.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := mosfet.Tech07()
+	tgt := &Target{Netlist: nl, Flat: flat, Tech: &tech, opts: Options{Prove: true}}
+	tgt.graph = sca.Analyze(flat, sca.Config{MaxPathsPerOutput: 2})
+	tgt.graphDone = true
+	diags := ruleProofTruncation.Check(tgt)
+	hits := findCode(diags, "MT025")
+	if len(hits) != 1 {
+		t.Fatalf("MT025 findings = %v, want exactly one", hits)
+	}
+	if hits[0].Severity != Info {
+		t.Errorf("MT025 severity = %v, want Info", hits[0].Severity)
+	}
+	if !strings.Contains(hits[0].Message, "hit its caps") {
+		t.Errorf("MT025 message %q", hits[0].Message)
+	}
+}
+
+func TestMT025SilentWithoutTruncation(t *testing.T) {
+	diags := proveLint(t, sneakDeck, false)
+	if hits := findCode(diags, "MT025"); len(hits) != 0 {
+		t.Errorf("MT025 fired on an untruncated proof: %v", hits)
 	}
 }

@@ -151,12 +151,112 @@ type Proof struct {
 	Stats ProofStats
 }
 
-// condPath is one enumerated conducting path with its condition.
-type condPath struct {
+// symLit is a symbolic conduction literal: the named net must carry
+// the given value for a device on the path to conduct (val=true for an
+// NMOS gate, false for a PMOS gate). Symbolic literals are shared by
+// the single-frame prover below and the two-frame exclusion encoder
+// (cones.go), each of which maps them onto its own SAT variables.
+type symLit struct {
+	net string
+	val bool
+}
+
+// symPath is one enumerated conducting path with its symbolic
+// condition.
+type symPath struct {
 	devices []string
 	nets    []string // intermediate (non-rail) nets along the path
 	end     string   // terminal rail the enumeration stopped on
-	lits    []int    // deduped gate literals; empty = always conducts
+	lits    []symLit // deduped gate literals; empty = always conducts
+}
+
+// devSym returns a device's symbolic conduction condition as a
+// condState: alwaysOff devices never conduct, alwaysOn (and resistors)
+// always do, and switchable MOS devices conduct iff their gate net
+// equals the returned literal's value.
+func (a *Analysis) devSym(e condEdge) (lit symLit, st condState) {
+	switch {
+	case e.st == alwaysOff:
+		return symLit{}, alwaysOff
+	case e.st == alwaysOn, !e.mos:
+		return symLit{}, alwaysOn
+	}
+	return symLit{net: e.gate, val: !e.pmos}, switchable
+}
+
+// addSymLit appends a literal to a path condition, deduping; ok=false
+// when the condition became contradictory (the path needs net=1 and
+// net=0 at once — e.g. the PMOS and NMOS halves of an inverter — and
+// can never conduct).
+func addSymLit(lits []symLit, l symLit) ([]symLit, bool) {
+	for _, m := range lits {
+		if m == l {
+			return lits, true
+		}
+		if m.net == l.net {
+			return nil, false
+		}
+	}
+	return append(lits, l), true
+}
+
+// enumerateSym walks simple conducting paths from start inside
+// component c until a rail of the wanted kind, collecting each path's
+// symbolic condition. Contradictory paths are dropped outright; paths
+// longer than maxDepth devices or beyond the limit are dropped and
+// reported as truncation.
+func (a *Analysis) enumerateSym(c *Component, start string, want RailKind, maxDepth, limit int) (out []symPath, truncated bool) {
+	adj := a.adj[c.ID]
+
+	type frame struct {
+		devices []string
+		nets    []string
+		lits    []symLit
+	}
+	visited := map[string]bool{start: true}
+	var dfs func(net string, fr frame)
+	dfs = func(net string, fr frame) {
+		for _, ar := range adj[net] {
+			if len(out) >= limit {
+				truncated = true
+				return
+			}
+			if len(fr.devices) >= maxDepth {
+				truncated = true
+				break
+			}
+			lit, st := a.devSym(ar.edge)
+			if st == alwaysOff {
+				continue
+			}
+			lits, ok := fr.lits, true
+			if st == switchable {
+				if lits, ok = addSymLit(fr.lits, lit); !ok {
+					continue
+				}
+			}
+			next := frame{
+				devices: append(append([]string{}, fr.devices...), ar.edge.name),
+				nets:    fr.nets,
+				lits:    lits,
+			}
+			switch k := a.rails[ar.other]; {
+			case k == want:
+				out = append(out, symPath{
+					devices: next.devices, nets: next.nets, end: ar.other, lits: next.lits,
+				})
+			case k != RailNone:
+				// Never conduct through another rail.
+			case !visited[ar.other]:
+				visited[ar.other] = true
+				next.nets = append(append([]string{}, fr.nets...), ar.other)
+				dfs(ar.other, next)
+				visited[ar.other] = false
+			}
+		}
+	}
+	dfs(start, frame{})
+	return out, truncated
 }
 
 // prover carries the shared encoding state of one Prove call.
@@ -263,107 +363,31 @@ func newProver(a *Analysis) *prover {
 	return pr
 }
 
-// devLit returns the device's conduction condition: ok=false when the
-// device can never conduct (always-off), lit==0 when it always
-// conducts.
-func (pr *prover) devLit(e condEdge) (lit int, ok bool) {
-	switch e.st {
-	case alwaysOff:
-		return 0, false
-	case alwaysOn:
-		return 0, true
-	}
-	if !e.mos {
-		return 0, true
-	}
-	v := pr.varOf[e.gate]
-	if v == 0 {
-		// A switchable device's gate is always in the variable
-		// universe by construction; be safe anyway.
-		return 0, true
-	}
-	if e.pmos {
-		return -v, true
-	}
-	return v, true
-}
-
-// addLit appends a literal to a path condition, deduping; ok=false
-// when the condition became contradictory (the path needs v and !v at
-// once — e.g. the PMOS and NMOS halves of an inverter — and can never
-// conduct).
-func addLit(lits []int, l int) ([]int, bool) {
-	if l == 0 {
-		return lits, true
-	}
-	for _, m := range lits {
-		if m == l {
-			return lits, true
-		}
-		if m == -l {
-			return nil, false
-		}
-	}
-	return append(lits, l), true
-}
-
-// enumerate walks simple conducting paths from start inside component
-// c until a rail of the wanted kind, collecting each path's condition.
-// Contradictory paths are dropped outright; paths longer than maxDepth
-// devices or beyond the limit are dropped and counted as truncation.
-func (pr *prover) enumerate(c *Component, start string, want RailKind, maxDepth, limit int) []condPath {
-	adj := pr.a.adj[c.ID]
-	var out []condPath
-	truncated := false
-
-	type frame struct {
-		devices []string
-		nets    []string
-		lits    []int
-	}
-	visited := map[string]bool{start: true}
-	var dfs func(net string, fr frame)
-	dfs = func(net string, fr frame) {
-		for _, ar := range adj[net] {
-			if len(out) >= limit {
-				truncated = true
-				return
-			}
-			if len(fr.devices) >= maxDepth {
-				truncated = true
-				break
-			}
-			lit, ok := pr.devLit(ar.edge)
-			if !ok {
-				continue
-			}
-			lits, ok := addLit(fr.lits, lit)
-			if !ok {
-				continue
-			}
-			next := frame{
-				devices: append(append([]string{}, fr.devices...), ar.edge.name),
-				nets:    fr.nets,
-				lits:    lits,
-			}
-			switch k := pr.a.rails[ar.other]; {
-			case k == want:
-				out = append(out, condPath{
-					devices: next.devices, nets: next.nets, end: ar.other, lits: next.lits,
-				})
-			case k != RailNone:
-				// Never conduct through another rail.
-			case !visited[ar.other]:
-				visited[ar.other] = true
-				next.nets = append(append([]string{}, fr.nets...), ar.other)
-				dfs(ar.other, next)
-				visited[ar.other] = false
-			}
-		}
-	}
-	dfs(start, frame{})
+// enumerate wraps enumerateSym, counting truncation into the proof
+// stats.
+func (pr *prover) enumerate(c *Component, start string, want RailKind, maxDepth, limit int) []symPath {
+	out, truncated := pr.a.enumerateSym(c, start, want, maxDepth, limit)
 	if truncated {
 		pr.stats.Truncated++
+	}
+	return out
+}
+
+// intLits maps a symbolic condition onto this prover's SAT variables:
+// net=1 becomes +v, net=0 becomes -v. A net outside the variable
+// universe (cannot happen by construction) is treated as always
+// satisfied, matching the symbolic enumeration's always-on handling.
+func (pr *prover) intLits(lits []symLit) []int {
+	out := make([]int, 0, len(lits))
+	for _, l := range lits {
+		v := pr.varOf[l.net]
+		if v == 0 {
+			continue
+		}
+		if !l.val {
+			v = -v
+		}
+		out = append(out, v)
 	}
 	return out
 }
@@ -376,12 +400,12 @@ func (pr *prover) encodeCones() {
 			vo := pr.varOf[o]
 			do := pr.disOf[o]
 			for _, p := range pr.pullPaths(c, o, RailHigh) {
-				cl := append(negate(p.lits), vo, do)
+				cl := append(negate(pr.intLits(p.lits)), vo, do)
 				pr.s.AddClause(cl...)
 				pr.stats.Clauses++
 			}
 			for _, p := range pr.pullPaths(c, o, RailLow) {
-				cl := append(negate(p.lits), -vo, do)
+				cl := append(negate(pr.intLits(p.lits)), -vo, do)
 				pr.s.AddClause(cl...)
 				pr.stats.Clauses++
 			}
@@ -460,7 +484,7 @@ func (pr *prover) consistExcept(release map[string]bool) []int {
 
 // pullPaths enumerates output o's conducting paths to the given rail
 // kind.
-func (pr *prover) pullPaths(c *Component, o string, kind RailKind) []condPath {
+func (pr *prover) pullPaths(c *Component, o string, kind RailKind) []symPath {
 	return pr.enumerate(c, o, kind, pr.cfg.MaxStackDepth, pr.cfg.MaxPathsPerOutput)
 }
 
@@ -476,7 +500,7 @@ func negate(lits []int) []int {
 type shortGroup struct {
 	comp     int
 	from, to string
-	first    condPath
+	first    symPath
 	count    int
 }
 
@@ -485,8 +509,8 @@ type shortGroup struct {
 func (pr *prover) proveShorts() []ProvenShort {
 	groups := map[string]*shortGroup{}
 	var order []string
-	add := func(comp int, from, to string, p condPath) {
-		sig := fmt.Sprintf("%d %s>%s %v", comp, from, to, sortedLits(p.lits))
+	add := func(comp int, from, to string, p symPath) {
+		sig := fmt.Sprintf("%d %s>%s %v", comp, from, to, sortedSymLits(p.lits))
 		g, ok := groups[sig]
 		if !ok {
 			g = &shortGroup{comp: comp, from: from, to: to, first: p}
@@ -498,13 +522,15 @@ func (pr *prover) proveShorts() []ProvenShort {
 
 	// Rail-to-rail bridge devices (they belong to no component).
 	for _, e := range pr.a.bridges {
-		lit, ok := pr.devLit(e)
-		if !ok {
+		lit, st := pr.a.devSym(e)
+		if st == alwaysOff {
 			continue
 		}
 		ka, kb := pr.a.rails[e.a], pr.a.rails[e.b]
-		p := condPath{devices: []string{e.name}}
-		p.lits, _ = addLit(nil, lit)
+		p := symPath{devices: []string{e.name}}
+		if st == switchable {
+			p.lits = []symLit{lit}
+		}
 		switch {
 		case ka == RailHigh && kb == RailLow:
 			add(-1, e.a, e.b, p)
@@ -563,7 +589,8 @@ func (pr *prover) solveShort(g *shortGroup) (ProvenShort, bool) {
 		onPath[n] = true
 	}
 	consist := pr.consistExcept(onPath)
-	assume := append(append([]int{}, p.lits...), consist...)
+	lits := pr.intLits(p.lits)
+	assume := append(append([]int{}, lits...), consist...)
 
 	pr.stats.Queries++
 	r := pr.s.Solve(assume...)
@@ -594,7 +621,7 @@ func (pr *prover) solveShort(g *shortGroup) (ProvenShort, bool) {
 	}
 	act := pr.s.NewVar()
 	pr.nets = append(pr.nets, "")
-	pr.s.AddClause(append(negate(p.lits), -act)...)
+	pr.s.AddClause(append(negate(lits), -act)...)
 	pr.stats.Queries++
 	neg := pr.s.Solve(append([]int{act}, consist...)...)
 	switch neg.Status {
@@ -624,7 +651,7 @@ func (pr *prover) proveFloating() (kept []ProvenFloating, gone []InfeasibleFloat
 			v := pr.s.NewVar()
 			pr.nets = append(pr.nets, "")
 			offVars[i] = v
-			pr.s.AddClause(append(negate(p.lits), -v)...)
+			pr.s.AddClause(append(negate(pr.intLits(p.lits)), -v)...)
 		}
 		assume := append(append([]int{}, offVars...), pr.consistent...)
 		pr.stats.Queries++
@@ -684,22 +711,21 @@ func (pr *prover) modelWitness(r *sat.Result) Witness {
 }
 
 // condStrings renders a condition's literals as sorted "net=v" terms.
-func (pr *prover) condStrings(lits []int) []string {
+func (pr *prover) condStrings(lits []symLit) []string {
 	out := make([]string, 0, len(lits))
 	for _, l := range lits {
-		v := l
-		if v < 0 {
-			v = -v
-		}
-		out = append(out, NetValue{Net: pr.nets[v], Value: l > 0}.String())
+		out = append(out, NetValue{Net: l.net, Value: l.val}.String())
 	}
 	sort.Strings(out)
 	return out
 }
 
-// sortedLits canonicalizes a condition for grouping.
-func sortedLits(lits []int) []int {
-	out := append([]int{}, lits...)
-	sort.Ints(out)
+// sortedSymLits canonicalizes a symbolic condition for grouping.
+func sortedSymLits(lits []symLit) []string {
+	out := make([]string, 0, len(lits))
+	for _, l := range lits {
+		out = append(out, NetValue{Net: l.net, Value: l.val}.String())
+	}
+	sort.Strings(out)
 	return out
 }

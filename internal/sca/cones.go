@@ -1,0 +1,311 @@
+package sca
+
+import (
+	"sort"
+
+	"mtcmos/internal/sat"
+)
+
+// Logic-cone extraction and the two-frame SAT encoding behind the
+// mutual-exclusion refinement (excl.go, DESIGN.md §11).
+//
+// A gate output's *logic cone* is the transitive fan-in that decides
+// its steady-state value: starting from the output's own pull paths
+// (the symbolic enumeration shared with cond.go), every gate net
+// appearing in a path condition is either a primary input (signal
+// rail) or another logic output, whose own pull paths recurse. The
+// cone is the unit of encoding: an exclusion query over gates g and h
+// only instantiates the union of their cones, not the whole deck.
+//
+// "Output X falls in this cycle" is encoded over two frames — two
+// copies of the cone's drive clauses sharing nothing but the query
+// assumptions — as X@0=1 ∧ X@1=0: frame 0 is the settled state before
+// the input edge, frame 1 the settled state after it. Inputs are free
+// in both frames (any vector pair), so two outputs are mutually
+// exclusive iff "g falls ∧ h falls" is unsatisfiable over one shared
+// vector pair. Dropping clauses (cone restriction, path-cap
+// truncation) only adds models, so an Unsat answer on the restricted
+// encoding is sound for the full one.
+
+// outPaths caches one output's enumerated pull paths.
+type outPaths struct {
+	up, down []symPath
+}
+
+// coneCache lazily enumerates and caches per-output pull paths over
+// one analysis, and answers cone-closure queries. It is not safe for
+// concurrent use: parallel exclusion chunks each build their own.
+type coneCache struct {
+	a        *Analysis
+	cfg      Config
+	isOutput map[string]bool
+	paths    map[string]*outPaths
+	// truncated counts outputs whose path enumeration hit a cap (the
+	// encoding is then incomplete for that output — conservatively
+	// weaker, never unsound).
+	truncated map[string]bool
+}
+
+func newConeCache(a *Analysis) *coneCache {
+	cc := &coneCache{
+		a:         a,
+		cfg:       a.cfg.withDefaults(),
+		isOutput:  map[string]bool{},
+		paths:     map[string]*outPaths{},
+		truncated: map[string]bool{},
+	}
+	for _, c := range a.Components {
+		for _, o := range c.Outputs {
+			cc.isOutput[o] = true
+		}
+	}
+	return cc
+}
+
+// pathsOf enumerates (once) the pull paths of one output.
+func (cc *coneCache) pathsOf(o string) *outPaths {
+	if p, ok := cc.paths[o]; ok {
+		return p
+	}
+	p := &outPaths{}
+	ci := cc.a.ComponentOf(o)
+	if ci >= 0 {
+		c := cc.a.Components[ci]
+		var t1, t2 bool
+		p.up, t1 = cc.a.enumerateSym(c, o, RailHigh, cc.cfg.MaxStackDepth, cc.cfg.MaxPathsPerOutput)
+		p.down, t2 = cc.a.enumerateSym(c, o, RailLow, cc.cfg.MaxStackDepth, cc.cfg.MaxPathsPerOutput)
+		if t1 || t2 {
+			cc.truncated[o] = true
+		}
+	}
+	cc.paths[o] = p
+	return p
+}
+
+// coneScope is the closed variable/clause universe of a set of root
+// outputs: every output in the union of their cones, and every net
+// needing a SAT variable per frame (the outputs plus the signal-rail
+// inputs their conditions mention).
+type coneScope struct {
+	outputs []string // sorted outputs to encode drive clauses for
+	nets    []string // sorted variable universe (superset of outputs)
+}
+
+// cone computes the backward closure of the roots.
+func (cc *coneCache) cone(roots []string) coneScope {
+	seenOut := map[string]bool{}
+	seenNet := map[string]bool{}
+	var work []string
+	for _, r := range roots {
+		if cc.isOutput[r] && !seenOut[r] {
+			seenOut[r] = true
+			seenNet[r] = true
+			work = append(work, r)
+		}
+	}
+	for len(work) > 0 {
+		o := work[len(work)-1]
+		work = work[:len(work)-1]
+		p := cc.pathsOf(o)
+		for _, paths := range [][]symPath{p.up, p.down} {
+			for _, sp := range paths {
+				for _, l := range sp.lits {
+					seenNet[l.net] = true
+					if cc.isOutput[l.net] && !seenOut[l.net] {
+						seenOut[l.net] = true
+						work = append(work, l.net)
+					}
+				}
+			}
+		}
+	}
+	return coneScope{outputs: sortedKeys(seenOut), nets: sortedKeys(seenNet)}
+}
+
+// frameVar identifies what a SAT variable stands for, for model
+// extraction (net == "" for dis/aux variables).
+type frameVar struct {
+	frame int
+	net   string
+}
+
+// frameProver encodes a cone scope twice — frame 0 (before the edge)
+// and frame 1 (after) — in one solver and answers fall/exclusion
+// queries. Each prover is self-contained and deterministic: variable
+// order is frame-major then sorted-net, so identical scopes produce
+// identical proofs on any worker.
+type frameProver struct {
+	s     *sat.Solver
+	cc    *coneCache
+	scope coneScope
+
+	varOf [2]map[string]int
+	disOf [2]map[string]int
+	vars  []frameVar // 1-based variable -> meaning
+
+	consistent []int // "!dis" assumptions that survived settling
+
+	queries, unknown, clauses int
+}
+
+// newFrameProver builds the two-frame encoding of the roots' cone
+// union. maxConflicts bounds every Solve call (0 = solver default).
+func newFrameProver(cc *coneCache, roots []string, maxConflicts int) *frameProver {
+	fp := &frameProver{
+		s:     sat.New(),
+		cc:    cc,
+		scope: cc.cone(roots),
+		vars:  []frameVar{{}},
+	}
+	fp.s.MaxConflicts = maxConflicts
+	for f := 0; f < 2; f++ {
+		fp.varOf[f] = map[string]int{}
+		for _, n := range fp.scope.nets {
+			fp.varOf[f][n] = fp.s.NewVar()
+			fp.vars = append(fp.vars, frameVar{frame: f, net: n})
+		}
+	}
+	for f := 0; f < 2; f++ {
+		fp.disOf[f] = map[string]int{}
+		for _, o := range fp.scope.outputs {
+			fp.disOf[f][o] = fp.s.NewVar()
+			fp.vars = append(fp.vars, frameVar{frame: f})
+		}
+	}
+	for f := 0; f < 2; f++ {
+		for _, o := range fp.scope.outputs {
+			vo, do := fp.varOf[f][o], fp.disOf[f][o]
+			p := cc.pathsOf(o)
+			for _, sp := range p.up {
+				fp.s.AddClause(append(fp.negLits(f, sp.lits), vo, do)...)
+				fp.clauses++
+			}
+			for _, sp := range p.down {
+				fp.s.AddClause(append(fp.negLits(f, sp.lits), -vo, do)...)
+				fp.clauses++
+			}
+		}
+	}
+	fp.settle()
+	return fp
+}
+
+// lit maps one symbolic literal into a frame.
+func (fp *frameProver) lit(f int, l symLit) int {
+	v := fp.varOf[f][l.net]
+	if !l.val {
+		v = -v
+	}
+	return v
+}
+
+// negLits negates a symbolic condition into a frame (the clause form
+// "some device on the path is off").
+func (fp *frameProver) negLits(f int, lits []symLit) []int {
+	out := make([]int, 0, len(lits)+2)
+	for _, l := range lits {
+		out = append(out, -fp.lit(f, l))
+	}
+	return out
+}
+
+// settle computes the largest consistency set over both frames, same
+// core-driven loop as the single-frame prover: assume every output
+// un-contended, drop the dis variables named in refutation cores.
+func (fp *frameProver) settle() {
+	dropped := map[int]bool{}
+	all := func() []int {
+		var assume []int
+		for f := 0; f < 2; f++ {
+			for _, o := range fp.scope.outputs {
+				if d := fp.disOf[f][o]; !dropped[d] {
+					assume = append(assume, -d)
+				}
+			}
+		}
+		return assume
+	}
+	for {
+		assume := all()
+		if len(assume) == 0 {
+			break
+		}
+		fp.queries++
+		r := fp.s.Solve(assume...)
+		if r.Status == sat.Sat {
+			break
+		}
+		if r.Status == sat.Unknown {
+			fp.unknown++
+		}
+		progress := false
+		for _, l := range r.Core {
+			if l < 0 && !dropped[-l] {
+				dropped[-l] = true
+				progress = true
+			}
+		}
+		if !progress {
+			for f := 0; f < 2; f++ {
+				for _, o := range fp.scope.outputs {
+					dropped[fp.disOf[f][o]] = true
+				}
+			}
+		}
+	}
+	fp.consistent = all()
+}
+
+// fallLits is the "output o falls across the edge" assumption pair:
+// high in frame 0, low in frame 1.
+func (fp *frameProver) fallLits(o string) []int {
+	return []int{fp.varOf[0][o], -fp.varOf[1][o]}
+}
+
+// canFall asks whether output o can fall at all across one input
+// edge.
+func (fp *frameProver) canFall(o string) sat.Result {
+	fp.queries++
+	r := fp.s.Solve(append(fp.fallLits(o), fp.consistent...)...)
+	if r.Status == sat.Unknown {
+		fp.unknown++
+	}
+	return r
+}
+
+// exclusive asks whether outputs g and h can both fall across the
+// same input edge: Unsat proves them mutually exclusive.
+func (fp *frameProver) exclusive(g, h string) sat.Result {
+	fp.queries++
+	assume := append(fp.fallLits(g), fp.fallLits(h)...)
+	r := fp.s.Solve(append(assume, fp.consistent...)...)
+	if r.Status == sat.Unknown {
+		fp.unknown++
+	}
+	return r
+}
+
+// frameModel extracts one frame's net assignment from a Sat result,
+// for switch-level replay and for the vector-pair prefilter.
+func (fp *frameProver) frameModel(r *sat.Result, frame int) Witness {
+	var w Witness
+	for v := 1; v < len(fp.vars); v++ {
+		if fv := fp.vars[v]; fv.net != "" && fv.frame == frame {
+			w = append(w, NetValue{Net: fv.net, Value: r.Value(v)})
+		}
+	}
+	sort.Slice(w, func(i, j int) bool { return w[i].Net < w[j].Net })
+	return w
+}
+
+// truncatedOutputs reports how many encoded outputs had their path
+// enumeration capped (incomplete drive clauses).
+func (fp *frameProver) truncatedOutputs() int {
+	n := 0
+	for _, o := range fp.scope.outputs {
+		if fp.cc.truncated[o] {
+			n++
+		}
+	}
+	return n
+}

@@ -25,8 +25,14 @@ type Levels struct {
 	Gates [][]int
 }
 
-// Levelize computes the levelization; it fails on combinational
-// cycles (the same condition Circuit.Topo rejects).
+// CycleError is the typed error Levelize (via Circuit.Topo) returns on
+// a combinational cycle; its Gates field names the gates stuck on the
+// cycle. Callers distinguish it with errors.As.
+type CycleError = circuit.CycleError
+
+// Levelize computes the levelization; it fails with a *CycleError
+// naming the cycle's gates when the circuit has a combinational loop
+// (the same condition Circuit.Topo rejects).
 func Levelize(c *circuit.Circuit) (*Levels, error) {
 	order, err := c.Topo()
 	if err != nil {

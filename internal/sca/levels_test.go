@@ -1,7 +1,9 @@
 package sca
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"mtcmos/internal/circuit"
@@ -79,5 +81,87 @@ func TestWidthByLevelDomainRestriction(t *testing.T) {
 	all, _ := l.MaxLevelWidth(c, -1)
 	if d0 != 2 || d1 != 4 || all != 4 {
 		t.Errorf("domain bounds d0=%g d1=%g all=%g, want 2, 4, 4", d0, d1, all)
+	}
+}
+
+// TestLevelizeCycleError drives Levelize into combinational loops of
+// several shapes and asserts the typed *CycleError names exactly the
+// stuck gates.
+func TestLevelizeCycleError(t *testing.T) {
+	tech := mosfet.Tech07()
+	cases := []struct {
+		name  string
+		build func() *circuit.Circuit
+		want  []string // expected CycleError.Gates
+	}{
+		{
+			name: "two-inverter latch",
+			build: func() *circuit.Circuit {
+				c := circuit.New("latch", &tech)
+				c.MustGate(circuit.Inv, "fwd", "q", 1, "qb")
+				c.MustGate(circuit.Inv, "bwd", "qb", 1, "q")
+				return c
+			},
+			want: []string{"bwd", "fwd"},
+		},
+		{
+			name: "self-loop through a nand",
+			build: func() *circuit.Circuit {
+				c := circuit.New("selfloop", &tech)
+				c.Input("en")
+				c.MustGate(circuit.Nand2, "osc", "x", 1, "en", "x")
+				return c
+			},
+			want: []string{"osc"},
+		},
+		{
+			name: "cycle drags its fanout along",
+			build: func() *circuit.Circuit {
+				c := circuit.New("dragged", &tech)
+				c.MustGate(circuit.Inv, "fwd", "q", 1, "qb")
+				c.MustGate(circuit.Inv, "bwd", "qb", 1, "q")
+				c.MustGate(circuit.Inv, "tap", "out", 1, "q")
+				return c
+			},
+			// tap is not on the loop but can never be ordered either.
+			want: []string{"bwd", "fwd", "tap"},
+		},
+		{
+			name: "cycle beside an acyclic region",
+			build: func() *circuit.Circuit {
+				c := circuit.New("mixed", &tech)
+				c.Input("in")
+				c.MustGate(circuit.Inv, "ok1", "a", 1, "in")
+				c.MustGate(circuit.Inv, "ok2", "b", 1, "a")
+				c.MustGate(circuit.Nor2, "r1", "s", 1, "in", "t")
+				c.MustGate(circuit.Nor2, "r2", "t", 1, "a", "s")
+				return c
+			},
+			want: []string{"r1", "r2"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Levelize(tc.build())
+			if err == nil {
+				t.Fatal("Levelize accepted a cyclic circuit")
+			}
+			var ce *CycleError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v (%T) is not a *CycleError", err, err)
+			}
+			if !reflect.DeepEqual(ce.Gates, tc.want) {
+				t.Errorf("cycle gates = %v, want %v", ce.Gates, tc.want)
+			}
+			if ce.Error() == "" || !strings.Contains(ce.Error(), "combinational cycle") {
+				t.Errorf("unhelpful message %q", ce.Error())
+			}
+		})
+	}
+
+	// Acyclic circuits still levelize.
+	c := circuits.InverterChain(&tech, 3, 10e-15)
+	if _, err := Levelize(c); err != nil {
+		t.Fatalf("acyclic chain: %v", err)
 	}
 }

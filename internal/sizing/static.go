@@ -9,12 +9,42 @@ import (
 	"mtcmos/internal/sca"
 )
 
-// StaticLevelResult reports the static level-bound estimate.
+// StaticLevelResult reports the static level-bound estimate, and —
+// when requested with Refine — its SAT-backed mutual-exclusion
+// refinement.
 type StaticLevelResult struct {
 	WL          float64   // the bound itself, usable as a sleep W/L
 	Level       int       // 1-based level where the maximum occurs
 	Levels      []float64 // per-level Σ W/L (index 0 = level 1)
 	SumOfWidths float64   // the naive bound, for comparison
+
+	// Refined fields are populated only under the Refine option:
+	// per-level widths with proven-exclusive gates contributing max
+	// instead of sum (Refined ≤ WL always), the level of the refined
+	// maximum, and the proof statistics.
+	Refined       float64
+	RefinedLevel  int
+	RefinedLevels []float64
+	Exclusions    *sca.ExclusionStats
+}
+
+// StaticLevelOption configures StaticLevel.
+type StaticLevelOption func(*staticLevelOpts)
+
+type staticLevelOpts struct {
+	refine bool
+	excl   sca.ExclConfig
+}
+
+// Refine asks StaticLevel to additionally run the SAT-backed
+// mutual-exclusion refinement (sca.RefineLevels) and fill the Refined*
+// fields. cfg tunes the proof budgets; a zero value takes the
+// defaults.
+func Refine(cfg sca.ExclConfig) StaticLevelOption {
+	return func(o *staticLevelOpts) {
+		o.refine = true
+		o.excl = cfg
+	}
 }
 
 // StaticLevel bounds the simultaneous-discharge width from topology
@@ -28,8 +58,15 @@ type StaticLevelResult struct {
 //
 //	simulated discharge width ≤ StaticLevel ≤ SumOfWidths
 //
-// (SimultaneousWidth measures the left-hand side.)
-func StaticLevel(c *circuit.Circuit) (*StaticLevelResult, error) {
+// (SimultaneousWidth measures the left-hand side.) With the Refine
+// option the chain gains one more rung on the left:
+//
+//	simulated discharge width ≤ Refined ≤ StaticLevel ≤ SumOfWidths
+func StaticLevel(c *circuit.Circuit, opts ...StaticLevelOption) (*StaticLevelResult, error) {
+	var o staticLevelOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	l, err := sca.Levelize(c)
 	if err != nil {
 		return nil, fmt.Errorf("sizing: %w", err)
@@ -41,6 +78,15 @@ func StaticLevel(c *circuit.Circuit) (*StaticLevelResult, error) {
 	res.WL, res.Level = l.MaxLevelWidth(c, -1)
 	if res.WL <= 0 {
 		return nil, fmt.Errorf("sizing: circuit has no NMOS pulldown width to bound")
+	}
+	if o.refine {
+		r, err := sca.RefineLevels(c, o.excl)
+		if err != nil {
+			return nil, fmt.Errorf("sizing: refine: %w", err)
+		}
+		res.Refined, res.RefinedLevel = r.WL, r.Level
+		res.RefinedLevels = r.Refined
+		res.Exclusions = &r.Stats
 	}
 	return res, nil
 }

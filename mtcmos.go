@@ -155,6 +155,14 @@ func CarrySaveMultiplier(tech *Tech, n int, load float64) *Multiplier {
 	return circuits.CarrySaveMultiplier(tech, n, load)
 }
 
+// SelectTree builds the N-bit two-way decoded datapath whose branches
+// are enabled by complementary selects — the canonical structure whose
+// cross-branch discharges the mutual-exclusion refinement
+// (RefineLevels) can prove exclusive.
+func SelectTree(tech *Tech, bits int, load float64) *Circuit {
+	return circuits.SelectTree(tech, bits, load)
+}
+
 // --- Switch-level simulation (the paper's tool) ---
 
 // SwitchOptions configures the variable-breakpoint switch-level
@@ -458,6 +466,36 @@ func Levelize(c *Circuit) (*CircuitLevels, error) { return sca.Levelize(c) }
 // the measured simultaneous-discharge width and the sum-of-widths.
 func StaticLevelBound(c *Circuit) (float64, error) { return sca.StaticLevelBound(c) }
 
+// ExclusionConfig tunes the SAT-backed mutual-exclusion refinement
+// (pair and conflict budgets, prefilter vectors, worker fan-out).
+type ExclusionConfig = sca.ExclConfig
+
+// ExclusionStats summarizes one refinement run: pairs considered,
+// refuted by simulation, proven by SAT, replay validations, and every
+// budget truncation (truncated work always degrades toward the
+// unrefined bound, never below soundness).
+type ExclusionStats = sca.ExclusionStats
+
+// ExclusivePair is one proven mutual exclusion between two gates.
+type ExclusivePair = sca.ExclusivePair
+
+// LevelRefinement is the full result of RefineLevels: per-level static
+// and refined widths, the proven exclusions, and the proof statistics.
+type LevelRefinement = sca.Refinement
+
+// RefineLevels proves mutual exclusions between window-sharing gates
+// with a two-frame SAT encoding over the circuit's expanded transistor
+// deck and recomputes the per-level widths with exclusive gates
+// contributing max instead of sum.
+func RefineLevels(c *Circuit, cfg ExclusionConfig) (*LevelRefinement, error) {
+	return sca.RefineLevels(c, cfg)
+}
+
+// RefinedLevelBound is the refined counterpart of StaticLevelBound:
+//
+//	simulated width ≤ RefinedLevelBound ≤ StaticLevelBound ≤ SumOfWidths
+func RefinedLevelBound(c *Circuit) (float64, error) { return sca.RefinedLevelBound(c) }
+
 // --- Sizing ---
 
 // Transition is an input-vector pair evaluated during sizing.
@@ -500,9 +538,19 @@ func SizeForPeakCurrent(c *Circuit, cfg SizingConfig, trs []Transition, maxBounc
 // widths, the bound, and the sum-of-widths it improves on).
 type StaticSizing = sizing.StaticLevelResult
 
+// StaticSizingOption configures SizeForStaticLevel; see WithRefinement.
+type StaticSizingOption = sizing.StaticLevelOption
+
+// WithRefinement asks SizeForStaticLevel to additionally run the
+// SAT-backed mutual-exclusion refinement and fill the result's
+// Refined* fields.
+func WithRefinement(cfg ExclusionConfig) StaticSizingOption { return sizing.Refine(cfg) }
+
 // SizeForStaticLevel computes the static level-bound sleep size from
 // topology alone — no vectors, no simulation.
-func SizeForStaticLevel(c *Circuit) (*StaticSizing, error) { return sizing.StaticLevel(c) }
+func SizeForStaticLevel(c *Circuit, opts ...StaticSizingOption) (*StaticSizing, error) {
+	return sizing.StaticLevel(c, opts...)
+}
 
 // SimultaneousWidth measures, with the switch-level simulator, the
 // worst instantaneous simultaneous-discharge width (Σ W/L) over the

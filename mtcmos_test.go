@@ -1,6 +1,7 @@
 package mtcmos_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -121,8 +122,8 @@ func TestFacadePowerAndVectors(t *testing.T) {
 
 func TestFacadeExperimentsRegistry(t *testing.T) {
 	exps := mtcmos.Experiments()
-	if len(exps) != 19 {
-		t.Fatalf("registry size = %d, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("registry size = %d, want 20", len(exps))
 	}
 	out, err := mtcmos.RunExperiment("widths", mtcmos.ExperimentConfig{Fast: true, MultiplierBits: 4})
 	if err != nil {
@@ -291,5 +292,66 @@ Cl x 0 10f
 	}
 	if !found {
 		t.Errorf("LintWith(Prove) missing the MT023 witness: %v", diags)
+	}
+}
+
+// TestFacadeRefinedBound exercises the mutual-exclusion refinement
+// through the public API, asserting the full bound ladder
+// simulated ≤ refined ≤ static ≤ sum on the select tree.
+func TestFacadeRefinedBound(t *testing.T) {
+	tech := mtcmos.Tech07()
+	c := mtcmos.SelectTree(&tech, 6, 20e-15)
+
+	refined, err := mtcmos.RefinedLevelBound(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := mtcmos.StaticLevelBound(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := mtcmos.SumOfWidths(c)
+	vec := func(sel bool, on bool) map[string]bool {
+		in := map[string]bool{"sel": sel}
+		for i := 0; i < 6; i++ {
+			in[fmt.Sprintf("a%d", i)] = on
+			in[fmt.Sprintf("b%d", i)] = on
+		}
+		return in
+	}
+	// The refined bound covers settled discharge events (DESIGN.md
+	// §11): data falls within a stable branch, and a branch flip with
+	// rising data. A mixed edge (select flip + data fall together) can
+	// glitch past the refined bound — that hazard case is what the
+	// unrefined static bound still covers.
+	sim, err := mtcmos.SimultaneousWidth(c, mtcmos.SizingConfig{}, []mtcmos.Transition{
+		{Old: vec(false, true), New: vec(false, false), Label: "A falls"},
+		{Old: vec(true, true), New: vec(true, false), Label: "B falls"},
+		{Old: vec(false, false), New: vec(true, true), Label: "branch flip, data rises"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sim <= refined && refined <= static && static <= sum) {
+		t.Fatalf("bound ladder violated: sim %.1f, refined %.1f, static %.1f, sum %.1f", sim, refined, static, sum)
+	}
+	if refined >= static {
+		t.Errorf("refinement did not tighten: refined %.1f, static %.1f", refined, static)
+	}
+
+	r, err := mtcmos.RefineLevels(c, mtcmos.ExclusionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Proven == 0 || len(r.Pairs) == 0 {
+		t.Errorf("no exclusions proven: %+v", r.Stats)
+	}
+
+	st, err := mtcmos.SizeForStaticLevel(c, mtcmos.WithRefinement(mtcmos.ExclusionConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Refined != refined || st.Exclusions == nil {
+		t.Errorf("SizeForStaticLevel refinement mismatch: %.1f vs %.1f", st.Refined, refined)
 	}
 }

@@ -3,6 +3,8 @@
 # several GOMAXPROCS values (the worker pool defaults to one worker per
 # CPU, so `-cpu N` IS the pool size) plus the compiled-engine reuse
 # micro-benchmarks, and writes the results to BENCH_parallel.json.
+# It also times the exclusion-refinement experiment (mtexp -e refine)
+# and writes its bound ladder plus wall time to BENCH_refine.json.
 #
 #   BENCH_CPUS  comma list for go test -cpu   (default 1,2,4,8)
 #   BENCH_TIME  go test -benchtime            (default 1x; use e.g. 5x
@@ -97,3 +99,35 @@ END {
 }' > "$OUT"
 
 echo "wrote $OUT"
+
+ROUT="BENCH_refine.json"
+refine_start=$(date +%s%N)
+refine_out=$(go run ./cmd/mtexp -e refine | tee /dev/stderr)
+refine_ms=$(( ($(date +%s%N) - refine_start) / 1000000 ))
+
+# The bound-ladder rows end in a "N.NNx" refinement ratio; circuit
+# names may contain spaces, so the seven numeric cells are taken from
+# the right.
+printf '%s\n' "$refine_out" | awk -v ms="$refine_ms" '
+/^Bound ladder/ { ladder = 1; next }
+ladder && NF == 0 { ladder = 0 }
+ladder && NF >= 8 && $NF ~ /^[0-9.]+x$/ {
+    name = $1
+    for (i = 2; i <= NF - 7; i++) name = name " " $i
+    n++
+    row[n] = sprintf("    {\"circuit\": \"%s\", \"gates\": %s, \"simulated\": %s, \"refined\": %s, \"static_level\": %s, \"sum_of_widths\": %s, \"proven_exclusions\": %s, \"refinement\": \"%s\"}", \
+        name, $(NF-6), $(NF-5), $(NF-4), $(NF-3), $(NF-2), $(NF-1), $NF)
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"experiment\": \"refine\",\n"
+    printf "  \"wall_ms\": %d,\n", ms
+    printf "  \"note\": \"bound ladder per circuit: simulated <= refined <= static_level <= sum_of_widths (W/L units)\",\n"
+    printf "  \"circuits\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", row[i], (i < n ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+}' > "$ROUT"
+
+echo "wrote $ROUT"

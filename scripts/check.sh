@@ -28,6 +28,16 @@ else
     echo "staticcheck not installed; skipping (CI runs it)"
 fi
 
+echo "== govulncheck =="
+# Pinned in CI (see .github/workflows/ci.yml); locally it runs when the
+# binary is on PATH and is skipped otherwise — the vulnerability
+# database lookup needs the network and this script must work offline.
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+else
+    echo "govulncheck not installed; skipping (CI runs it)"
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -42,9 +52,10 @@ echo "== parallel-sweep gate (-race) =="
 # engines: identical results at any worker count, concurrent runs on
 # shared engines, atomic fault counters.
 go test -race -timeout "$CHECK_TIMEOUT" -count=1 \
-    -run 'TestMap|TestWorkers|TestCompiledConcurrentRuns|TestEngineConcurrentRuns|TestConcurrentInjection|TestWorkerCountIndependence|TestFig7WorkerCountInvariant|TestFig14WorkerCountInvariant|TestWorstVectorSearch|TestSimWLSweep|TestExpWorkersFlag|TestFacadeBatchAndSweep|TestRestartIndependentSeeds' \
+    -run 'TestMap|TestWorkers|TestCompiledConcurrentRuns|TestEngineConcurrentRuns|TestConcurrentInjection|TestWorkerCountIndependence|TestFig7WorkerCountInvariant|TestFig14WorkerCountInvariant|TestWorstVectorSearch|TestSimWLSweep|TestExpWorkersFlag|TestFacadeBatchAndSweep|TestRestartIndependentSeeds|TestRefineLevelsWorkerInvariance|TestRefineWorkerCountInvariant' \
     ./internal/sched/ ./internal/core/ ./internal/spice/ ./internal/faultinject/ \
-    ./internal/sizing/ ./internal/experiments/ ./internal/vectors/ ./internal/cli/ .
+    ./internal/sizing/ ./internal/experiments/ ./internal/vectors/ ./internal/cli/ \
+    ./internal/sca/ .
 
 echo "== prove gate (-race) =="
 # The path-condition prover over the example decks on the parallel
