@@ -8,10 +8,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"time"
 
 	"mtcmos"
+	"mtcmos/internal/shard"
 )
 
 // Exp implements the mtexp command: it regenerates the paper's tables
@@ -37,9 +39,19 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) error {
 		timings = fs.Bool("time", false, "print per-experiment wall time")
 		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited; overruns exit 4)")
 		jobs    = fs.Int("j", 0, "parallel sweep workers (0 = one per CPU, 1 = serial); results are identical for any value")
+		shards  = fs.Int("shards", 0, "split big vector grids over N shards on worker subprocesses (0 = in-process); output is identical for any value")
+		resume  = fs.String("resume", "", "checkpoint sharded grids to this journal and resume from it if it exists (implies sharded execution)")
+		worker  = fs.Bool("worker", false, "run as a shard worker subprocess (internal; speaks the shard protocol on stdin/stdout)")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *worker {
+		// Spawned by a coordinating mtexp: serve shard assignments on
+		// stdin/stdout until told to quit. Typed failures inside the
+		// worker travel back on the wire; the exit code (via ExitCode)
+		// covers deaths without a result frame.
+		return shard.ServeWorker(ctx, os.Stdin, w)
 	}
 	ctx, cancel := budgetCtx(ctx, *timeout)
 	defer cancel()
@@ -61,6 +73,17 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) error {
 		Ctx:            ctx,
 		Workers:        *jobs,
 	}
+	var runner *shard.Runner
+	if *shards > 0 || *resume != "" {
+		runner = &shard.Runner{Opts: shard.Options{
+			Shards:  *shards,
+			Procs:   *jobs,
+			Spawn:   shard.SelfSpawner("-worker"),
+			Journal: *resume,
+			Seed:    *seed,
+		}}
+		cfg.Shard = runner
+	}
 
 	var ids []string
 	if *exp == "all" {
@@ -69,6 +92,11 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) error {
 		}
 	} else {
 		ids = strings.Split(*exp, ",")
+	}
+	if *resume != "" && len(ids) != 1 {
+		// A journal pins one grid's identity; a second experiment
+		// would be refused as a mismatched resume.
+		return fmt.Errorf("%w: -resume checkpoints a single sharded experiment; run it with one -e id", errUsage)
 	}
 
 	var firstErr error
@@ -105,6 +133,12 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) error {
 		}
 		if *timings {
 			fmt.Fprintf(w, "(%s in %s)\n", out.ID, time.Since(start).Round(time.Millisecond))
+			if runner != nil {
+				if st := runner.LastStats(); st.Shards > 0 {
+					fmt.Fprintf(w, "(shards: %d total, %d resumed, %d spawned, %d retries, %d worker deaths, %d quarantined)\n",
+						st.Shards, st.Resumed, st.Spawned, st.Retries, st.Deaths, len(st.Quarantined))
+				}
+			}
 		}
 		fmt.Fprintln(w)
 	}

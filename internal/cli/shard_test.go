@@ -1,0 +1,127 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mtcmos/internal/faultinject"
+	"mtcmos/internal/shard"
+)
+
+// TestMain lets shard.SelfSpawner re-execute this test binary as a
+// worker subprocess (the "-worker" argv the real CLIs use is ignored;
+// the WorkerEnv marker is what routes the spawned copy here).
+func TestMain(m *testing.M) {
+	if os.Getenv(shard.WorkerEnv) == "1" {
+		if err := shard.ServeWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestSimShardedSweepByteIdentical: -shards must be a pure robustness/
+// placement knob — the printed sweep table cannot change.
+func TestSimShardedSweepByteIdentical(t *testing.T) {
+	run := func(extra ...string) string {
+		var buf bytes.Buffer
+		args := append([]string{"-circuit", "tree", "-wl", "0,2,4,8,12,20"}, extra...)
+		if err := Sim(args, &buf); err != nil {
+			t.Fatalf("mtsim %v: %v", args, err)
+		}
+		return buf.String()
+	}
+	serial := run("-j", "1")
+	if got := run("-shards", "3", "-j", "2"); got != serial {
+		t.Errorf("-shards 3 output diverged from serial:\n%s\nvs\n%s", got, serial)
+	}
+	if got := run("-shards", "6", "-j", "1"); got != serial {
+		t.Errorf("-shards 6 output diverged from serial:\n%s\nvs\n%s", got, serial)
+	}
+}
+
+// TestSimShardedSweepCrashChaos: worker subprocesses are killed by the
+// fault harness mid-sweep; the table must still come out identical.
+func TestSimShardedSweepCrashChaos(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Sim([]string{"-circuit", "tree", "-wl", "0,2,4,8,12,20", "-j", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	serial := buf.String()
+	t.Setenv(faultinject.WorkerFaultEnv, "crash;on=2")
+	buf.Reset()
+	if err := Sim([]string{"-circuit", "tree", "-wl", "0,2,4,8,12,20", "-shards", "6", "-j", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serial {
+		t.Errorf("chaos sweep diverged from serial:\n%s\nvs\n%s", buf.String(), serial)
+	}
+}
+
+// TestSimResumeWorkflow: a journaled sweep can be re-run against its
+// journal — the second run resumes instead of recomputing, and prints
+// the same table.
+func TestSimResumeWorkflow(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+	args := []string{"-circuit", "tree", "-wl", "0,2,4,8", "-shards", "4", "-j", "2", "-resume", journal}
+	var first bytes.Buffer
+	if err := Sim(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+	var second bytes.Buffer
+	if err := Sim(args, &second); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("resumed output diverged:\n%s\nvs\n%s", second.String(), first.String())
+	}
+}
+
+// TestExpShardedFig14ByteIdentical: the same guarantee end to end
+// through mtexp's rendered experiment output.
+func TestExpShardedFig14ByteIdentical(t *testing.T) {
+	run := func(extra ...string) string {
+		var buf bytes.Buffer
+		args := append([]string{"-e", "fig14", "-fast", "-adder", "2"}, extra...)
+		if err := Exp(args, &buf); err != nil {
+			t.Fatalf("mtexp %v: %v", args, err)
+		}
+		return buf.String()
+	}
+	serial := run("-j", "1")
+	if got := run("-shards", "4", "-j", "2"); got != serial {
+		t.Errorf("sharded mtexp output diverged from serial:\n%s\nvs\n%s", got, serial)
+	}
+}
+
+// TestExpShardStatsUnderTime: the shard ledger surfaces only behind
+// -time, keeping default output byte-identical.
+func TestExpShardStatsUnderTime(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp([]string{"-e", "fig14", "-fast", "-adder", "2", "-shards", "4", "-time"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shards: 4 total") {
+		t.Errorf("missing shard stats under -time:\n%s", buf.String())
+	}
+}
+
+// TestExpResumeSingleExperimentOnly: -resume with more than one
+// experiment is a usage error (exit 2), since a journal pins one grid.
+func TestExpResumeSingleExperimentOnly(t *testing.T) {
+	var buf bytes.Buffer
+	err := Exp([]string{"-e", "fig14,speedup", "-resume", filepath.Join(t.TempDir(), "j")}, &buf)
+	if err == nil || ExitCode(err) != ExitUsage {
+		t.Fatalf("err = %v (exit %d), want usage error", err, ExitCode(err))
+	}
+}

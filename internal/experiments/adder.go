@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -132,51 +133,38 @@ func Fig14(cfg Config) (*Output, error) {
 	cfg = cfg.withDefaults()
 	out := &Output{ID: "fig14", Title: "Fig. 14: % degradation per vector, 3-bit adder, W/L=10"}
 	const wl = 10.0
-	ad := paperAdder(cfg.AdderBits)
-	outs := outputNames(ad.Circuit)
 	space := adderSpace(cfg.AdderBits)
-	s2 := fmt.Sprintf("s%d", cfg.AdderBits-1)
 
-	// Measure every ordered pair on one compiled engine, fanned out over
-	// the executor; results come back in pair order, so the collected
-	// candidate list — and everything downstream — is identical for any
-	// worker count.
-	cp, err := core.Compile(ad.Circuit)
-	if err != nil {
-		return nil, err
-	}
+	// Measure every ordered pair via the grid executor (the registered
+	// experiments.fig14 task): in-process by default, on the
+	// fault-tolerant multi-process shard executor when cfg.Shard is
+	// set. Items come back in pair order either way, so the collected
+	// candidate list — and everything downstream — is identical for
+	// any worker count, shard count, and across resume boundaries.
 	type cand struct {
 		oa, ob, na, nb uint64
 		deg            float64
-		ok             bool
 	}
-	half := uint64(1) << uint(cfg.AdderBits)
 	size := space.Size()
-	all, err := sched.Map(cfg.Ctx, cfg.Workers, int(size*size), func(i int) (cand, error) {
-		o, w := uint64(i)/size, uint64(i)%size
-		oa, ob := o%half, o/half
-		na, nb := w%half, w/half
-		ov, _ := ad.Evaluate(ad.Inputs(oa, ob, false))
-		nv, _ := ad.Evaluate(ad.Inputs(na, nb, false))
-		if ov[s2] == nv[s2] {
-			return cand{}, nil
-		}
-		stim := adderStim(ad, oa, ob, na, nb)
-		deg, ok, err := degVBS(cfg, cp, stim, wl, outs)
-		if err != nil {
-			return cand{}, err
-		}
-		return cand{oa, ob, na, nb, deg, ok}, nil
-	})
+	items, stats, err := cfg.runGrid("experiments.fig14",
+		fig14Params{Bits: cfg.AdderBits, WL: wl, Workers: cfg.gridWorkers()}, int(size*size))
 	if err != nil {
 		return nil, err
 	}
 	var cands []cand
-	for _, c := range all {
-		if c.ok {
-			cands = append(cands, c)
+	for _, raw := range items {
+		if raw == nil {
+			continue // quarantined shard: vectors skipped, noted below
+		}
+		var it fig14Item
+		if err := json.Unmarshal(raw, &it); err != nil {
+			return nil, err
+		}
+		if it.Ok {
+			cands = append(cands, cand{it.Oa, it.Ob, it.Na, it.Nb, it.Deg})
 		}
 	}
+	out.noteQuarantine(stats, "vector pairs")
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].deg > cands[j].deg })
 
 	s := report.NewSeries(fmt.Sprintf("%% degradation due to MTCMOS (W/L=%g), %d S2-toggling vectors, sorted", wl, len(cands)),
@@ -255,22 +243,16 @@ func Speedup(cfg Config) (*Output, error) {
 	space := adderSpace(cfg.AdderBits)
 	half := uint64(1) << uint(cfg.AdderBits)
 
-	// The exhaustive sweep runs on the executor against one compiled
-	// engine; the wall-clock total is what a user of the tool sees at
-	// the configured worker count.
-	cp, err := core.Compile(ad.Circuit)
-	if err != nil {
-		return nil, err
-	}
+	// The exhaustive sweep runs through the grid executor (the
+	// registered experiments.speedup task) — in-process by default,
+	// sharded over worker subprocesses when cfg.Shard is set; the
+	// wall-clock total is what a user of the tool sees at the
+	// configured worker count, including any spawn/retry overhead.
 	size := space.Size()
 	n := int(size * size)
 	start := time.Now()
-	_, err = sched.Map(cfg.Ctx, cfg.Workers, n, func(i int) (struct{}, error) {
-		o, w := uint64(i)/size, uint64(i)%size
-		stim := adderStim(ad, o%half, o/half, w%half, w/half)
-		_, err := cp.Run(stim, cfg.simOpts(core.Options{}))
-		return struct{}{}, err
-	})
+	_, stats, err := cfg.runGrid("experiments.speedup",
+		sweepParams{Bits: cfg.AdderBits, WL: ad.SleepWL, Workers: cfg.gridWorkers()}, n)
 	if err != nil {
 		return nil, err
 	}
@@ -278,9 +260,13 @@ func Speedup(cfg Config) (*Output, error) {
 
 	tb := report.NewTable("Runtime for the exhaustive adder sweep",
 		"tool", "vectors", "total", "per-vector", "speedup")
-	tb.AddRow(fmt.Sprintf("switch-level (measured, %d workers)", sched.Workers(cfg.Workers)),
-		fmt.Sprint(n), vbsTotal.String(),
+	label := fmt.Sprintf("switch-level (measured, %d workers)", sched.Workers(cfg.Workers))
+	if cfg.Shard.Multiprocess() {
+		label = fmt.Sprintf("switch-level (measured, %d worker processes)", stats.Procs)
+	}
+	tb.AddRow(label, fmt.Sprint(n), vbsTotal.String(),
 		(vbsTotal / time.Duration(n)).String(), "1x")
+	out.noteQuarantine(stats, "vectors")
 
 	if !cfg.Fast {
 		k := cfg.SpiceVectors

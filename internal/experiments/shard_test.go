@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"mtcmos/internal/faultinject"
+	"mtcmos/internal/shard"
+)
+
+// TestMain lets shard.SelfSpawner re-execute this test binary as a
+// worker subprocess: the spawned copy serves the shard protocol (the
+// experiments grid tasks are registered by this package's init)
+// instead of running the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv(shard.WorkerEnv) == "1" {
+		if err := shard.ServeWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// chaosRunner builds a multi-process runner tuned for fast tests.
+func chaosRunner(shards, procs, maxAttempts int) *shard.Runner {
+	return &shard.Runner{Opts: shard.Options{
+		Spawn: shard.SelfSpawner(), Shards: shards, Procs: procs,
+		MaxAttempts: maxAttempts,
+		BackoffBase: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond,
+	}}
+}
+
+// TestFig14ShardedChaosByteIdentical is the headline robustness claim:
+// fig14 sharded over worker subprocesses — while the fault harness
+// kills every worker on its 2nd shard — must render the exact same
+// output as the serial in-process run, with the damage visible only
+// in the runner's stats.
+func TestFig14ShardedChaosByteIdentical(t *testing.T) {
+	base := fastCfg()
+	base.AdderBits = 2
+	base.Workers = 1
+	want, err := Fig14(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv(faultinject.WorkerFaultEnv, "crash;on=2")
+	runner := chaosRunner(6, 2, 8)
+	cfg := base
+	cfg.Shard = runner
+	got, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputKey(got) != outputKey(want) {
+		t.Errorf("sharded chaos run diverged from serial baseline:\n%s\nvs\n%s",
+			outputKey(got), outputKey(want))
+	}
+	if len(got.Notes) != len(want.Notes) {
+		t.Errorf("notes diverged (unexpected degradation?): %v vs %v", got.Notes, want.Notes)
+	}
+	st := runner.LastStats()
+	if st.Deaths == 0 || st.Retries == 0 || st.Spawned == 0 {
+		t.Errorf("stats = %+v, want evidence of worker deaths, retries, and spawns", st)
+	}
+	if len(st.Quarantined) != 0 {
+		t.Errorf("unexpected quarantine: %+v", st.Quarantined)
+	}
+}
+
+// TestFig14PoisonShardDegrades: a shard that kills every worker that
+// touches it must quarantine — the experiment still succeeds, with
+// the skipped vectors surfaced as a degradation note.
+func TestFig14PoisonShardDegrades(t *testing.T) {
+	t.Setenv(faultinject.WorkerFaultEnv, "crash;shard=1")
+	cfg := fastCfg()
+	cfg.AdderBits = 2
+	cfg.Workers = 1
+	cfg.Shard = chaosRunner(4, 2, 2)
+	out, err := Fig14(cfg)
+	if err != nil {
+		t.Fatalf("poison shard must degrade, not fail: %v", err)
+	}
+	st := cfg.Shard.LastStats()
+	if len(st.Quarantined) != 1 || st.Quarantined[0].Shard != 1 {
+		t.Fatalf("quarantined = %+v, want exactly shard 1", st.Quarantined)
+	}
+	found := false
+	for _, n := range out.Notes {
+		if strings.Contains(n, "degraded") && strings.Contains(n, "quarantined") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("degradation not noted: %v", out.Notes)
+	}
+}
+
+// TestSpeedupShardedRuns: the timed exhaustive sweep also routes
+// through the shard executor and survives subprocess execution.
+func TestSpeedupSharded(t *testing.T) {
+	cfg := fastCfg()
+	cfg.AdderBits = 2
+	cfg.Workers = 1
+	cfg.Shard = chaosRunner(4, 2, 3)
+	out, err := Speedup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 1 || len(out.Tables[0].Rows) != 1 {
+		t.Fatalf("unexpected table shape: %+v", out.Tables)
+	}
+	if !strings.Contains(out.Tables[0].Rows[0][0], "worker processes") {
+		t.Errorf("sharded speedup row = %q, want worker-process label", out.Tables[0].Rows[0][0])
+	}
+	if cfg.Shard.LastStats().Spawned == 0 {
+		t.Error("speedup sweep did not spawn workers")
+	}
+}

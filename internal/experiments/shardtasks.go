@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"mtcmos/internal/core"
+	"mtcmos/internal/sched"
+	"mtcmos/internal/shard"
+)
+
+// The big vector grids are registered as shard tasks so they can run
+// on the fault-tolerant multi-process executor: any binary importing
+// this package can both coordinate a sharded grid and serve it as a
+// worker (mtexp -worker). Each task rebuilds its circuit and compiles
+// its engine from the params alone — a pure function of
+// (params, index), which is what keeps sharded output byte-identical
+// to in-process output at any shard/worker combination and across
+// resume boundaries.
+
+// fig14Params configures the experiments.fig14 grid task.
+type fig14Params struct {
+	Bits    int     `json:"bits"`
+	WL      float64 `json:"wl"`
+	Workers int     `json:"workers"`
+}
+
+// fig14Item is one ordered operand-pair measurement: the candidate
+// record Fig14 collects, in wire form. Ok is false when the pair does
+// not toggle S2 or has no measurable baseline delay.
+type fig14Item struct {
+	Oa  uint64  `json:"oa"`
+	Ob  uint64  `json:"ob"`
+	Na  uint64  `json:"na"`
+	Nb  uint64  `json:"nb"`
+	Deg float64 `json:"deg"`
+	Ok  bool    `json:"ok"`
+}
+
+// sweepParams configures the experiments.speedup grid task.
+type sweepParams struct {
+	Bits    int     `json:"bits"`
+	WL      float64 `json:"wl"`
+	Workers int     `json:"workers"`
+}
+
+func init() {
+	shard.Register("experiments.fig14", fig14Task)
+	shard.Register("experiments.speedup", speedupTask)
+}
+
+// fig14Task measures one index-contiguous slice of the Fig. 14 grid:
+// per-vector % degradation at the given sleep size over every ordered
+// operand pair, S2-toggling pairs only. The inner fan-out uses the
+// in-process executor, so an unsharded run (one shard, Workers=N)
+// keeps its old parallelism.
+func fig14Task(ctx context.Context, params json.RawMessage, start, count int) ([]json.RawMessage, error) {
+	var p fig14Params
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, err
+	}
+	cfg := Config{AdderBits: p.Bits, Ctx: ctx, Workers: p.Workers}.withDefaults()
+	ad := paperAdder(cfg.AdderBits)
+	outs := outputNames(ad.Circuit)
+	s2 := fmt.Sprintf("s%d", cfg.AdderBits-1)
+	cp, err := core.Compile(ad.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	size := adderSpace(cfg.AdderBits).Size()
+	half := uint64(1) << uint(cfg.AdderBits)
+	return sched.Map(ctx, p.Workers, count, func(k int) (json.RawMessage, error) {
+		i := uint64(start + k)
+		o, w := i/size, i%size
+		oa, ob := o%half, o/half
+		na, nb := w%half, w/half
+		it := fig14Item{Oa: oa, Ob: ob, Na: na, Nb: nb}
+		ov, _ := ad.Evaluate(ad.Inputs(oa, ob, false))
+		nv, _ := ad.Evaluate(ad.Inputs(na, nb, false))
+		if ov[s2] != nv[s2] {
+			deg, ok, err := degVBS(cfg, cp, adderStim(ad, oa, ob, na, nb), p.WL, outs)
+			if err != nil {
+				return nil, err
+			}
+			it.Deg, it.Ok = deg, ok
+		}
+		return json.Marshal(it)
+	})
+}
+
+// speedupTask runs one slice of the exhaustive section 6.2 sweep; the
+// items carry no data (the experiment measures wall clock), but every
+// transient must simulate.
+func speedupTask(ctx context.Context, params json.RawMessage, start, count int) ([]json.RawMessage, error) {
+	var p sweepParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, err
+	}
+	ad := paperAdder(p.Bits)
+	ad.SleepWL = p.WL
+	cp, err := core.Compile(ad.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	size := adderSpace(p.Bits).Size()
+	half := uint64(1) << uint(p.Bits)
+	return sched.Map(ctx, p.Workers, count, func(k int) (json.RawMessage, error) {
+		i := uint64(start + k)
+		o, w := i/size, i%size
+		stim := adderStim(ad, o%half, o/half, w%half, w/half)
+		if _, err := cp.Run(stim, core.Options{Ctx: ctx}); err != nil {
+			return nil, err
+		}
+		return json.RawMessage("1"), nil
+	})
+}
+
+// gridWorkers picks the inner (per-task) fan-out width: under a
+// multi-process runner the subprocess pool is the parallelism, so
+// each worker computes its shard serially; otherwise the task keeps
+// the configured in-process width.
+func (c Config) gridWorkers() int {
+	if c.Shard.Multiprocess() {
+		return 1
+	}
+	return c.Workers
+}
+
+// runGrid executes a registered grid task: through the configured
+// shard runner when one is set, otherwise in-process as a single
+// shard (the same code path, minus subprocesses — which is what makes
+// sharded-vs-plain byte-identity trivial to maintain).
+func (c Config) runGrid(task string, params any, n int) ([]json.RawMessage, shard.Stats, error) {
+	var res *shard.Result
+	var err error
+	if c.Shard != nil {
+		res, err = c.Shard.Run(c.Ctx, task, params, n)
+	} else {
+		res, err = shard.Run(c.Ctx, task, params, n, shard.Options{Shards: 1, Procs: 1})
+	}
+	if res == nil {
+		return nil, shard.Stats{}, err
+	}
+	return res.Items, res.Stats, err
+}
+
+// noteQuarantine records a sharded run's degradation, if any: the
+// note appears only when shards were actually quarantined, so healthy
+// runs stay byte-identical to unsharded ones.
+func (o *Output) noteQuarantine(st shard.Stats, what string) {
+	if len(st.Quarantined) == 0 {
+		return
+	}
+	skipped := 0
+	for _, q := range st.Quarantined {
+		skipped += q.Count
+	}
+	o.note("degraded: %d of %d shards quarantined, %d %s skipped (first: %v)",
+		len(st.Quarantined), st.Shards, skipped, what, st.Quarantined[0].Err)
+}

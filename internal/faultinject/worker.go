@@ -1,0 +1,139 @@
+// Process-level fault injection for the shard executor
+// (internal/shard): where the Injector disturbs device evaluations
+// inside one engine, a WorkerFault disturbs a whole worker subprocess
+// — it crashes (SIGKILL to itself, indistinguishable from an external
+// kill), hangs (heartbeats stop, the coordinator's watchdog must
+// fire), or writes garbage over the framed protocol stream. The shard
+// worker loop (shard.ServeWorker) consults the spec carried in the
+// WorkerFaultEnv environment variable, so a test arms the harness
+// with t.Setenv and every worker the coordinator spawns inherits it.
+//
+// Triggers are deterministic, which is what makes the chaos tests
+// reproducible: a fault fires either when the process serves its N-th
+// shard (On — every fresh worker dies at the same point of its life,
+// so the grid makes bounded progress per worker generation and every
+// retry lands on a younger, healthier process), or whenever a
+// specific shard id is served (Shard — the same shard kills every
+// worker that touches it, which is exactly the poison-shard scenario
+// quarantine exists for).
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WorkerFaultEnv names the environment variable the shard worker loop
+// reads its fault spec from.
+const WorkerFaultEnv = "MTSHARD_FAULT"
+
+// WorkerFaultMode selects what a triggered worker fault does.
+type WorkerFaultMode int
+
+const (
+	// WorkerCrash SIGKILLs the worker's own process mid-shard: no
+	// result frame, no exit status the coordinator can classify.
+	WorkerCrash WorkerFaultMode = iota
+	// WorkerHang blocks the worker forever with heartbeats stopped;
+	// only the coordinator's heartbeat watchdog can reclaim the shard.
+	WorkerHang
+	// WorkerGarbage writes unframed junk bytes over the protocol
+	// stream and exits nonzero, poisoning the coordinator's decoder.
+	WorkerGarbage
+)
+
+func (m WorkerFaultMode) String() string {
+	switch m {
+	case WorkerCrash:
+		return "crash"
+	case WorkerHang:
+		return "hang"
+	case WorkerGarbage:
+		return "garbage"
+	default:
+		return "unknown"
+	}
+}
+
+// WorkerFault is one deterministic process-level fault spec.
+type WorkerFault struct {
+	Mode WorkerFaultMode
+	// On fires the fault when the process serves its On-th shard
+	// (1-based; 0 disables the trigger).
+	On int
+	// Shard fires the fault whenever the given shard id is served
+	// (-1 disables the trigger). A shard-targeted crash turns that
+	// shard poisonous: every worker that picks it up dies.
+	Shard int
+}
+
+// NoWorkerFault is the inert spec: it never fires.
+var NoWorkerFault = WorkerFault{Shard: -1}
+
+// Fire reports whether the fault triggers for the shard about to be
+// served: shardID is the grid-wide shard index, served the 1-based
+// count of shards this process has been asked to run.
+func (f WorkerFault) Fire(shardID, served int) bool {
+	if f.On > 0 && served == f.On {
+		return true
+	}
+	return f.Shard >= 0 && shardID == f.Shard
+}
+
+// Env renders the spec in the form ParseWorkerFault reads
+// ("crash;on=3", "hang;shard=2").
+func (f WorkerFault) Env() string {
+	s := f.Mode.String()
+	if f.On > 0 {
+		s += fmt.Sprintf(";on=%d", f.On)
+	}
+	if f.Shard >= 0 {
+		s += fmt.Sprintf(";shard=%d", f.Shard)
+	}
+	return s
+}
+
+// ParseWorkerFault parses a spec string: a mode (crash | hang |
+// garbage) followed by ;key=value triggers (on=N, shard=ID). The
+// empty string is the inert NoWorkerFault spec, not an error.
+func ParseWorkerFault(s string) (WorkerFault, error) {
+	f := NoWorkerFault
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return f, nil
+	}
+	parts := strings.Split(s, ";")
+	switch parts[0] {
+	case "crash":
+		f.Mode = WorkerCrash
+	case "hang":
+		f.Mode = WorkerHang
+	case "garbage":
+		f.Mode = WorkerGarbage
+	default:
+		return f, fmt.Errorf("faultinject: unknown worker fault mode %q", parts[0])
+	}
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return f, fmt.Errorf("faultinject: bad worker fault trigger %q", kv)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return f, fmt.Errorf("faultinject: bad worker fault trigger %q: %v", kv, err)
+		}
+		switch key {
+		case "on":
+			f.On = n
+		case "shard":
+			f.Shard = n
+		default:
+			return f, fmt.Errorf("faultinject: unknown worker fault trigger %q", key)
+		}
+	}
+	if f.On <= 0 && f.Shard < 0 {
+		return f, fmt.Errorf("faultinject: worker fault %q has no trigger (need on= or shard=)", s)
+	}
+	return f, nil
+}

@@ -1,0 +1,60 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+func TestWorkerFaultRoundTrip(t *testing.T) {
+	cases := []WorkerFault{
+		{Mode: WorkerCrash, On: 3, Shard: -1},
+		{Mode: WorkerHang, On: 0, Shard: 2},
+		{Mode: WorkerGarbage, On: 1, Shard: 5},
+	}
+	for _, f := range cases {
+		got, err := ParseWorkerFault(f.Env())
+		if err != nil {
+			t.Fatalf("%q: %v", f.Env(), err)
+		}
+		if got != f {
+			t.Errorf("round trip %q: got %+v, want %+v", f.Env(), got, f)
+		}
+	}
+}
+
+func TestWorkerFaultEmptyIsInert(t *testing.T) {
+	f, err := ParseWorkerFault("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != NoWorkerFault {
+		t.Fatalf("empty spec = %+v, want inert", f)
+	}
+	for shard := 0; shard < 8; shard++ {
+		for served := 1; served < 8; served++ {
+			if f.Fire(shard, served) {
+				t.Fatalf("inert spec fired at shard=%d served=%d", shard, served)
+			}
+		}
+	}
+}
+
+func TestWorkerFaultTriggers(t *testing.T) {
+	// On: fires exactly on the N-th served shard, whatever its id.
+	f := WorkerFault{Mode: WorkerCrash, On: 3, Shard: -1}
+	if f.Fire(0, 2) || !f.Fire(7, 3) || f.Fire(7, 4) {
+		t.Error("on=3 must fire exactly at served==3")
+	}
+	// Shard: fires on every attempt of that shard id.
+	f = WorkerFault{Mode: WorkerHang, Shard: 4}
+	if !f.Fire(4, 1) || !f.Fire(4, 9) || f.Fire(3, 1) {
+		t.Error("shard=4 must fire on every service of shard 4 only")
+	}
+}
+
+func TestWorkerFaultParseErrors(t *testing.T) {
+	for _, s := range []string{"explode", "crash;after=2", "crash;on=x", "crash;on", "crash"} {
+		if _, err := ParseWorkerFault(s); err == nil {
+			t.Errorf("spec %q must not parse", s)
+		}
+	}
+}

@@ -14,6 +14,10 @@
 //   - Context cancellation is classified through the simerr taxonomy:
 //     undispatched items fail with simerr.ErrCancelled, or
 //     simerr.ErrBudget when context.Cause carries a budget overrun.
+//   - A panic inside an item is recovered into a typed
+//     simerr.ErrInternal result for that item instead of tearing the
+//     whole process down; the lowest-index error contract is
+//     unchanged.
 //
 // workers <= 0 means one worker per available CPU
 // (runtime.GOMAXPROCS(0), so `go test -cpu` modulates the pool);
@@ -24,6 +28,7 @@ package sched
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -111,9 +116,18 @@ func run(ctx context.Context, workers, n int, fn func(i int) error, firstErr boo
 	}
 	step := func(i int) {
 		if err := ctx.Err(); err != nil {
-			record(i, cancelErr(ctx))
+			record(i, CtxErr(ctx))
 			return
 		}
+		// A panicking item must not take down the pool (or, worse, the
+		// whole process when the pool is a shard-worker subprocess): it
+		// becomes a typed per-item internal fault.
+		defer func() {
+			if r := recover(); r != nil {
+				record(i, simerr.New(simerr.ErrInternal, "sched",
+					fmt.Sprintf("item %d panicked: %v", i, r)))
+			}
+		}()
 		if err := fn(i); err != nil {
 			record(i, err)
 		}
@@ -160,10 +174,13 @@ func run(ctx context.Context, workers, n int, fn func(i int) error, firstErr boo
 	return errAt, -1
 }
 
-// cancelErr classifies a fired context through the simerr taxonomy so
+// CtxErr classifies a fired context through the simerr taxonomy so
 // sweeps report budget overruns and cancellations the same way the
-// engines themselves do.
-func cancelErr(ctx context.Context) error {
+// engines themselves do: a classified context.Cause wins, a deadline
+// maps to ErrBudget, anything else to ErrCancelled. The shard
+// executor (internal/shard) shares this classification so a budget
+// overrun reports identically in-process and across subprocesses.
+func CtxErr(ctx context.Context) error {
 	cause := context.Cause(ctx)
 	if cause != nil && simerr.Kind(cause) != nil {
 		return cause

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -104,7 +105,7 @@ func TestMapCancellationClassified(t *testing.T) {
 			close(started)
 		}
 		<-ctx.Done()
-		return 0, cancelErr(ctx)
+		return 0, CtxErr(ctx)
 	})
 	if !errors.Is(err, simerr.ErrCancelled) {
 		t.Fatalf("err = %v, want ErrCancelled", err)
@@ -142,6 +143,49 @@ func TestMapDeadlineBudget(t *testing.T) {
 	_, err := Map(ctx, 2, 4, func(i int) (int, error) { return i, nil })
 	if !errors.Is(err, simerr.ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// TestMapPanicRecovered: a panicking item becomes a typed internal
+// fault for that item; the pool, the other items, and the
+// lowest-index error contract all survive.
+func TestMapPanicRecovered(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := Map(nil, workers, 16, func(i int) (int, error) {
+			if i == 5 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		if !errors.Is(err, simerr.ErrInternal) {
+			t.Fatalf("workers=%d: err = %v, want ErrInternal", workers, err)
+		}
+		if !strings.Contains(err.Error(), "item 5 panicked: boom") {
+			t.Errorf("workers=%d: err message %q missing panic detail", workers, err)
+		}
+		for i := 0; i < 5; i++ {
+			if out[i] != i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], i)
+			}
+		}
+	}
+	// MapAll: only the panicking items fail, everything else completes.
+	out, errs := MapAll(nil, 4, 10, func(i int) (int, error) {
+		if i%3 == 0 {
+			panic(i)
+		}
+		return i * 2, nil
+	})
+	for i := 0; i < 10; i++ {
+		if i%3 == 0 {
+			if !errors.Is(errs[i], simerr.ErrInternal) {
+				t.Errorf("errs[%d] = %v, want ErrInternal", i, errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil || out[i] != i*2 {
+			t.Errorf("item %d = (%d, %v)", i, out[i], errs[i])
+		}
 	}
 }
 

@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// The checkpoint journal is a JSONL file: a header line describing
+// the grid, then one line per completed shard carrying its items.
+// Completions append in completion order (not shard order — merge is
+// by index, so order is irrelevant), each line written and flushed
+// atomically under a mutex. On resume the journal is replayed:
+// matching-grid completions are placed directly into the result and
+// their shards never dispatch, so a crashed or interrupted run pays
+// only for the work it had not yet finished. A truncated final line —
+// the signature of a crash mid-append — is ignored, not an error.
+//
+// The header pins the grid identity (task, params, n) and geometry
+// (shard count): resuming under a different flag combination would
+// silently misalign item indices, so a mismatch is a hard error and
+// the geometry of a resumed run always comes from the journal.
+
+// journalVersion guards the on-disk format.
+const journalVersion = 1
+
+// journalHeader is the first line of a journal.
+type journalHeader struct {
+	V      int             `json:"v"`
+	Task   string          `json:"task"`
+	Params json.RawMessage `json:"params"`
+	N      int             `json:"n"`
+	Shards int             `json:"shards"`
+}
+
+// journalShard is one completed-shard line.
+type journalShard struct {
+	Shard int               `json:"shard"`
+	Start int               `json:"start"`
+	Count int               `json:"count"`
+	Items []json.RawMessage `json:"items"`
+}
+
+// journal appends completions to an open checkpoint file.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJournal opens (or creates) the checkpoint at path for the given
+// grid and returns the journal plus the completions already recorded.
+// An existing journal must describe the same grid; its shard count
+// overrides geometry (so a resumed run cannot change it). shards is
+// the caller's intended shard count, used when creating a fresh file.
+func openJournal(path, task string, params json.RawMessage, n, shards int) (*journal, map[int]journalShard, int, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil && len(bytes.TrimSpace(data)) > 0:
+		hdr, done, err := replayJournal(data)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("shard: journal %s: %w", path, err)
+		}
+		if hdr.Task != task || hdr.N != n || !bytes.Equal(hdr.Params, params) {
+			return nil, nil, 0, fmt.Errorf("shard: journal %s describes a different grid (task %q n=%d); refusing to resume", path, hdr.Task, hdr.N)
+		}
+		j, err := compactJournal(path, hdr, done)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return j, done, hdr.Shards, nil
+	case err == nil || os.IsNotExist(err):
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		j := &journal{f: f}
+		if err := j.append(journalHeader{V: journalVersion, Task: task, Params: params, N: n, Shards: shards}); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		return j, nil, shards, nil
+	default:
+		return nil, nil, 0, err
+	}
+}
+
+// compactJournal rewrites a resumed journal from its replayed state —
+// header plus the completions that survived — and atomically renames
+// it into place, keeping the handle open for further appends. Without
+// this, appending after a crash-truncated tail would glue the new
+// record onto the partial line, corrupting both; compaction makes the
+// tail damage vanish instead of compounding across resumes.
+func compactJournal(path string, hdr journalHeader, done map[int]journalShard) (*journal, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &journal{f: f}
+	fail := func(err error) (*journal, error) {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := j.append(hdr); err != nil {
+		return fail(err)
+	}
+	ids := make([]int, 0, len(done))
+	for id := range done {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := j.append(done[id]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(err)
+	}
+	return j, nil
+}
+
+// replayJournal parses a journal body: header first, then completed
+// shards. A malformed or truncated trailing line is tolerated (crash
+// mid-append); malformed interior lines are not.
+func replayJournal(data []byte) (journalHeader, map[int]journalShard, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), maxFrame)
+	var hdr journalHeader
+	if !sc.Scan() {
+		return hdr, nil, fmt.Errorf("missing header: %v", sc.Err())
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("bad header: %v", err)
+	}
+	if hdr.V != journalVersion {
+		return hdr, nil, fmt.Errorf("unsupported journal version %d", hdr.V)
+	}
+	done := make(map[int]journalShard)
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			return hdr, nil, pendingErr // malformed line was not the last
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var js journalShard
+		if err := json.Unmarshal(line, &js); err != nil || len(js.Items) != js.Count {
+			// Possibly a crash-truncated tail; fatal only if more
+			// complete lines follow.
+			pendingErr = fmt.Errorf("corrupt journal line for shard %d", js.Shard)
+			continue
+		}
+		done[js.Shard] = js
+	}
+	if err := sc.Err(); err != nil {
+		return hdr, nil, err
+	}
+	return hdr, done, nil
+}
+
+// append writes one JSONL record and syncs it so a completion
+// survives the coordinator dying right after.
+func (j *journal) append(v any) error {
+	if j == nil {
+		return nil
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(body, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() {
+	if j != nil {
+		j.f.Close()
+	}
+}

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"mtcmos/internal/simerr"
+)
+
+// The coordinator and its worker subprocesses speak length-prefixed
+// JSON frames over the worker's stdin/stdout: a 4-byte big-endian
+// payload length followed by one JSON-encoded frame. The prefix makes
+// framing self-describing — a worker that writes anything else onto
+// the stream (a stray print, the garbage-output fault) produces an
+// implausible length or an unmarshalable payload, which the reader
+// reports as a protocol error and the coordinator treats as a worker
+// death rather than hanging or mis-parsing.
+//
+// Coordinator -> worker:
+//
+//	{"type":"grid","task":...,"params":...,"n":...}  once per worker
+//	{"type":"shard","shard":id,"start":s,"count":c}  one per assignment
+//	{"type":"quit"}                                  graceful shutdown
+//
+// Worker -> coordinator:
+//
+//	{"type":"hello"}                                 after startup
+//	{"type":"heartbeat","shard":id}                  while computing
+//	{"type":"result","shard":id,"items":[...],"err":{...}}
+//
+// Errors cross the boundary as their simerr wire name plus message,
+// so a budget overrun inside a subprocess reports simerr.ErrBudget at
+// the coordinator, not a generic failure.
+
+// maxFrame bounds a frame payload; anything larger is treated as a
+// corrupted stream. Shard results carry at most a few thousand small
+// JSON items, far below this.
+const maxFrame = 64 << 20
+
+// Frame types.
+const (
+	frameGrid      = "grid"
+	frameShard     = "shard"
+	frameQuit      = "quit"
+	frameHello     = "hello"
+	frameHeartbeat = "heartbeat"
+	frameResult    = "result"
+)
+
+// frame is one protocol message in either direction; unused fields
+// are omitted on the wire.
+type frame struct {
+	Type   string            `json:"type"`
+	Task   string            `json:"task,omitempty"`
+	Params json.RawMessage   `json:"params,omitempty"`
+	N      int               `json:"n,omitempty"`
+	Shard  int               `json:"shard"`
+	Start  int               `json:"start,omitempty"`
+	Count  int               `json:"count,omitempty"`
+	Items  []json.RawMessage `json:"items,omitempty"`
+	Err    *wireError        `json:"err,omitempty"`
+}
+
+// wireError carries a classified failure across the process boundary:
+// the simerr kind's stable wire name plus the message.
+type wireError struct {
+	Kind string `json:"kind,omitempty"`
+	Msg  string `json:"msg"`
+}
+
+// toWire encodes an error for the result frame.
+func toWire(err error) *wireError {
+	if err == nil {
+		return nil
+	}
+	return &wireError{Kind: simerr.KindName(err), Msg: err.Error()}
+}
+
+// fromWire decodes a result-frame error back into a typed error: a
+// known kind reconstitutes as a *simerr.Error of that kind, anything
+// else classifies as an internal fault of the worker.
+func (we *wireError) fromWire() error {
+	if we == nil {
+		return nil
+	}
+	if kind := simerr.KindFromName(we.Kind); kind != nil {
+		return simerr.New(kind, "shard", we.Msg)
+	}
+	return simerr.New(simerr.ErrInternal, "shard", we.Msg)
+}
+
+// frameWriter serializes frame writes from multiple goroutines (the
+// worker's heartbeat ticker runs beside its compute loop) and flushes
+// per frame so the peer sees every message promptly.
+type frameWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{w: bufio.NewWriter(w)}
+}
+
+func (fw *frameWriter) write(f *frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(body); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// readFrame reads one frame; a malformed length or payload is a
+// protocol error (corrupted or garbage stream), distinct from a clean
+// EOF.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("shard: implausible frame length %d (corrupted stream)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return nil, fmt.Errorf("shard: unmarshalable frame (corrupted stream): %v", err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// A Task computes one index-contiguous slice [start, start+count) of
+// a grid and returns exactly count JSON-encoded items, item i of the
+// grid at position i-start. Tasks run both in worker subprocesses and
+// in-process (the degradation path), so they must be pure functions
+// of (params, index): no global state, no time, no randomness beyond
+// what params seeds — that purity is what makes sharded output
+// byte-identical to serial output at any shard/worker combination and
+// across resume boundaries.
+//
+// params is the grid-wide configuration, marshaled once by the
+// coordinator and handed to every call verbatim. Errors should be
+// classified through the simerr taxonomy where possible: the wire
+// carries the kind, so e.g. a budget overrun inside a subprocess
+// reports simerr.ErrBudget at the coordinator.
+type Task func(ctx context.Context, params json.RawMessage, start, count int) ([]json.RawMessage, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Task{}
+)
+
+// Register installs a task under a stable name. Registration happens
+// in package init functions so any binary that can coordinate a grid
+// can also serve it as a worker; duplicate names panic.
+func Register(name string, t Task) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("shard: task %q registered twice", name))
+	}
+	registry[name] = t
+}
+
+// lookup resolves a task name.
+func lookup(name string) (Task, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	t, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown task %q (registered: %v)", name, taskNames())
+	}
+	return t, nil
+}
+
+// taskNames lists registered tasks, sorted; callers hold regMu.
+func taskNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

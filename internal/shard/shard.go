@@ -1,0 +1,697 @@
+// Package shard executes independent-run experiment grids on a pool
+// of worker subprocesses, with the robustness ladder a multi-process
+// executor needs to be trusted with long sweeps: per-worker
+// heartbeats and wall-clock deadlines (a hung worker is SIGKILLed and
+// its shard re-queued), per-shard retry with capped exponential
+// backoff and deterministic jitter, poison-shard quarantine (a shard
+// that keeps killing workers is isolated and surfaced as a typed
+// degradation instead of failing the grid), a JSONL checkpoint
+// journal for crash/^C resume, and graceful degradation to in-process
+// execution when spawning is unavailable.
+//
+// The determinism contract extends internal/sched's across process
+// boundaries: a grid of n items is split into index-contiguous shards
+// computed by registered Task functions, and results merge in index
+// order — so the merged output is byte-identical at any shard count,
+// worker count, injected-fault pattern that retries can absorb, and
+// across resume boundaries. Failures classify through the simerr
+// taxonomy end to end: a budget overrun inside a subprocess reports
+// simerr.ErrBudget at the coordinator (carried by wire name or worker
+// exit code), a cancellation simerr.ErrCancelled, and like sched.Map
+// the grid fails with the error of the lowest-indexed failing shard.
+//
+// See DESIGN.md §12 for the shard state machine, the journal format,
+// and the quarantine policy.
+package shard
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtcmos/internal/sched"
+	"mtcmos/internal/simerr"
+)
+
+// Options tunes one grid execution.
+type Options struct {
+	// Shards is the number of index-contiguous shards to split the
+	// grid into; 0 picks 4x the worker count (or a single shard for
+	// in-process execution). A resumed run always takes the shard
+	// count pinned in its journal.
+	Shards int
+	// Procs bounds the worker-subprocess pool (in-process fallback:
+	// the sched.Map pool); 0 means one per CPU.
+	Procs int
+	// Spawn starts worker subprocesses; nil executes every shard
+	// in-process on sched.Map (the degradation path, and the default
+	// for plain single-process runs).
+	Spawn Spawner
+	// Journal, when non-empty, checkpoints completed shards to this
+	// JSONL file and resumes from it if it already exists.
+	Journal string
+	// MaxAttempts is how many workers a shard may kill before it is
+	// quarantined (default 3).
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the capped exponential retry
+	// backoff (defaults 50ms, 2s); jitter is deterministic in
+	// (Seed, shard, attempt).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// HeartbeatEvery paces worker heartbeats (default 500ms);
+	// HeartbeatTimeout is the coordinator's watchdog — a worker
+	// silent for this long is presumed hung and killed (default
+	// 10x HeartbeatEvery).
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	// ShardDeadline caps one shard attempt's wall clock (0 = none).
+	ShardDeadline time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 2 * time.Second
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = defaultHeartbeat
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 10 * o.HeartbeatEvery
+	}
+	return o
+}
+
+// Quarantine is one isolated poison shard: its identity, index range,
+// and the typed error that got it quarantined. The items it covers
+// are left nil in Result.Items — a degradation the caller reports,
+// not a grid failure.
+type Quarantine struct {
+	Shard, Start, Count int
+	Err                 *simerr.Error
+}
+
+// Stats summarizes one grid execution.
+type Stats struct {
+	Shards    int // total shards in the grid geometry
+	Procs     int // worker pool size used
+	Completed int // shards that delivered items this run or before
+	Resumed   int // shards skipped because the journal had them
+	Retries   int // shard attempts re-queued after a worker death
+	Deaths    int // workers killed or crashed mid-shard
+	Spawned   int // worker subprocesses started
+	// Fallback is set when spawning was unavailable and shards
+	// degraded to in-process execution.
+	Fallback bool
+	// Quarantined lists poison shards, ordered by shard id.
+	Quarantined []Quarantine
+}
+
+// Result is a merged grid: Items[i] is item i's JSON encoding, in
+// index order regardless of execution order; items covered by a
+// quarantined shard are nil.
+type Result struct {
+	Items []json.RawMessage
+	Stats Stats
+}
+
+// Runner bundles Options for callers that thread a configured shard
+// executor through config structs (experiments.Config.Shard), and
+// remembers the last run's stats for reporting.
+type Runner struct {
+	Opts Options
+
+	mu   sync.Mutex
+	last Stats
+}
+
+// Run executes one grid with the runner's options.
+func (r *Runner) Run(ctx context.Context, task string, params any, n int) (*Result, error) {
+	res, err := Run(ctx, task, params, n, r.Opts)
+	if res != nil {
+		r.mu.Lock()
+		r.last = res.Stats
+		r.mu.Unlock()
+	}
+	return res, err
+}
+
+// LastStats returns the stats of the runner's most recent run.
+func (r *Runner) LastStats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}
+
+// Multiprocess reports whether the runner spawns worker subprocesses
+// (callers use it to decide how much parallelism to put inside the
+// task itself).
+func (r *Runner) Multiprocess() bool { return r != nil && r.Opts.Spawn != nil }
+
+// span is one shard's index range.
+type span struct {
+	id, start, count int
+}
+
+// geometry splits [0, n) into k index-contiguous spans, sizes as even
+// as possible with the remainder spread over the leading spans.
+func geometry(n, k int) []span {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	spans := make([]span, 0, k)
+	base, rem := n/k, n%k
+	start := 0
+	for i := 0; i < k; i++ {
+		count := base
+		if i < rem {
+			count++
+		}
+		spans = append(spans, span{id: i, start: start, count: count})
+		start += count
+	}
+	return spans
+}
+
+// Run executes the named registered task over a grid of n items and
+// returns the index-ordered merge. See the package comment for the
+// failure contract; the error, when non-nil, belongs to the
+// lowest-indexed failing shard, classified through simerr.
+func Run(ctx context.Context, taskName string, params any, n int, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	task, err := lookup(taskName)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return nil, fmt.Errorf("shard: unmarshalable params: %w", err)
+	}
+	o := opts.withDefaults()
+
+	nShards := o.Shards
+	if nShards <= 0 {
+		if o.Spawn == nil {
+			nShards = 1
+		} else {
+			nShards = 4 * sched.Workers(o.Procs)
+		}
+	}
+
+	res := &Result{Items: make([]json.RawMessage, n)}
+	st := &res.Stats
+	var jl *journal
+	var done map[int]journalShard
+	if o.Journal != "" {
+		jl, done, nShards, err = openJournal(o.Journal, taskName, raw, n, nShards)
+		if err != nil {
+			return nil, err
+		}
+		defer jl.close()
+	}
+	spans := geometry(n, nShards)
+	st.Shards = len(spans)
+	st.Procs = sched.Workers(o.Procs)
+
+	// Resume: journaled completions merge directly and never dispatch.
+	pending := make([]span, 0, len(spans))
+	for _, sp := range spans {
+		if js, ok := done[sp.id]; ok && js.Start == sp.start && js.Count == sp.count {
+			copy(res.Items[sp.start:sp.start+sp.count], js.Items)
+			st.Resumed++
+			st.Completed++
+			continue
+		}
+		pending = append(pending, sp)
+	}
+	if n == 0 || len(pending) == 0 {
+		return res, nil
+	}
+
+	c := &coord{
+		ctx: ctx, o: o, task: task, taskName: taskName, params: raw,
+		n: n, res: res, jl: jl,
+		attempts: make(map[int]int), errs: make(map[int]error),
+		lowestFailed: -1,
+	}
+	if o.Spawn == nil {
+		err = c.runLocal(pending)
+	} else {
+		err = c.runProcs(pending)
+	}
+	sort.Slice(st.Quarantined, func(i, j int) bool { return st.Quarantined[i].Shard < st.Quarantined[j].Shard })
+	return res, err
+}
+
+// coord is the per-run coordinator state.
+type coord struct {
+	ctx      context.Context
+	o        Options
+	task     Task
+	taskName string
+	params   json.RawMessage
+	n        int
+	res      *Result
+	jl       *journal
+
+	mu           sync.Mutex
+	attempts     map[int]int   // worker deaths per shard
+	errs         map[int]error // typed failure per shard
+	lowestFailed int           // lowest failed shard id, or -1
+
+	work      chan span
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+// --- shared bookkeeping ---
+
+// complete merges a shard's items and checkpoints it.
+func (c *coord) complete(sp span, items []json.RawMessage) {
+	copy(c.res.Items[sp.start:sp.start+sp.count], items)
+	c.mu.Lock()
+	c.res.Stats.Completed++
+	c.mu.Unlock()
+	// Journaling is best-effort: a failed append costs resume
+	// coverage, never this run's result.
+	_ = c.jl.append(journalShard{Shard: sp.id, Start: sp.start, Count: sp.count, Items: items})
+}
+
+// quarantine isolates a poison shard as a typed degradation.
+func (c *coord) quarantine(sp span, err error) {
+	var se *simerr.Error
+	if !errors.As(err, &se) {
+		se = simerr.New(simerr.ErrInternal, "shard", err.Error())
+	}
+	c.mu.Lock()
+	c.res.Stats.Quarantined = append(c.res.Stats.Quarantined,
+		Quarantine{Shard: sp.id, Start: sp.start, Count: sp.count, Err: se})
+	c.mu.Unlock()
+}
+
+// fail records a typed shard failure; the lowest-indexed one becomes
+// the grid's error and stops dispatch past it (the serial contract).
+func (c *coord) fail(sp span, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errs[sp.id] = err
+	if c.lowestFailed < 0 || sp.id < c.lowestFailed {
+		c.lowestFailed = sp.id
+	}
+}
+
+// skipAfterFailure reports whether sp sits beyond a failed shard: a
+// serial loop returning on first error would never have reached it.
+func (c *coord) skipAfterFailure(sp span) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lowestFailed >= 0 && sp.id > c.lowestFailed
+}
+
+// finalErr surfaces the lowest-indexed shard failure, if any.
+func (c *coord) finalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lowestFailed >= 0 {
+		return c.errs[c.lowestFailed]
+	}
+	return nil
+}
+
+// callTask runs the task for one span with panic containment: a
+// panicking task is a deterministic in-process fault, reported as
+// simerr.ErrInternal (and quarantined by the caller) rather than
+// crashing the coordinator.
+func (c *coord) callTask(sp span) (items []json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			items, err = nil, simerr.New(simerr.ErrInternal, "shard",
+				fmt.Sprintf("task %s panicked on shard %d: %v", c.taskName, sp.id, r))
+		}
+	}()
+	items, err = c.task(c.ctx, c.params, sp.start, sp.count)
+	if err == nil && len(items) != sp.count {
+		return nil, simerr.New(simerr.ErrInternal, "shard",
+			fmt.Sprintf("task %s returned %d items for %d-item shard %d", c.taskName, len(items), sp.count, sp.id))
+	}
+	return items, err
+}
+
+// --- in-process path (Spawn == nil, or spawn-failure degradation) ---
+
+// runLocal executes pending shards on sched.Map. Internal faults
+// (panics, item-count bugs) quarantine the shard — mirroring the
+// poison policy of the multiprocess path — while classified
+// simulation failures keep sched's lowest-index error contract.
+func (c *coord) runLocal(pending []span) error {
+	_, err := sched.Map(c.ctx, c.o.Procs, len(pending), func(k int) (struct{}, error) {
+		sp := pending[k]
+		items, err := c.callTask(sp)
+		switch {
+		case err == nil:
+			c.complete(sp, items)
+		case errors.Is(err, simerr.ErrInternal):
+			c.quarantine(sp, err)
+		default:
+			return struct{}{}, err
+		}
+		return struct{}{}, nil
+	})
+	return err
+}
+
+// --- multiprocess path ---
+
+// runProcs drives the pending shards through a pool of spawned worker
+// subprocesses.
+func (c *coord) runProcs(pending []span) error {
+	procs := sched.Workers(c.o.Procs)
+	if procs > len(pending) {
+		procs = len(pending)
+	}
+	c.mu.Lock()
+	c.res.Stats.Procs = procs
+	c.mu.Unlock()
+
+	c.work = make(chan span, len(pending))
+	c.done = make(chan struct{})
+	c.remaining.Store(int64(len(pending)))
+	for _, sp := range pending {
+		c.work <- sp
+	}
+	env := []string{HeartbeatEnv + "=" + c.o.HeartbeatEvery.String()}
+
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.workerLoop(env)
+		}()
+	}
+	wg.Wait()
+	return c.finalErr()
+}
+
+// markDone resolves one shard (completed, quarantined, failed, or
+// skipped); when none remain the pool shuts down.
+func (c *coord) markDone() {
+	if c.remaining.Add(-1) == 0 {
+		close(c.done)
+	}
+}
+
+// workerLoop is one pool slot: it claims shards and runs them on its
+// current subprocess, respawning after deaths and degrading to
+// in-process execution when spawning fails.
+func (c *coord) workerLoop(env []string) {
+	var conn *workerConn
+	defer func() {
+		if conn != nil {
+			conn.shutdown()
+		}
+	}()
+	for {
+		var sp span
+		select {
+		case <-c.done:
+			return
+		case sp = <-c.work:
+		}
+		// The claim must be resolved exactly once below.
+		if c.skipAfterFailure(sp) {
+			c.markDone()
+			continue
+		}
+		if c.ctx.Err() != nil {
+			c.fail(sp, sched.CtxErr(c.ctx))
+			c.markDone()
+			continue
+		}
+		if conn == nil {
+			conn = c.spawnWorker(env)
+			if conn == nil {
+				// Spawning unavailable: degrade this shard to
+				// in-process execution and try spawning again on the
+				// next claim.
+				c.runShardInProcess(sp)
+				continue
+			}
+		}
+		if !c.runShardOn(conn, sp) {
+			conn = nil
+		}
+	}
+}
+
+// runShardInProcess is the per-shard degradation path.
+func (c *coord) runShardInProcess(sp span) {
+	items, err := c.callTask(sp)
+	switch {
+	case err == nil:
+		c.complete(sp, items)
+	case errors.Is(err, simerr.ErrInternal):
+		c.quarantine(sp, err)
+	default:
+		c.fail(sp, err)
+	}
+	c.markDone()
+}
+
+// spawnWorker starts one subprocess and sends it the grid
+// description; nil means spawning is unavailable right now.
+func (c *coord) spawnWorker(env []string) *workerConn {
+	p, err := c.o.Spawn(c.ctx, env)
+	if err != nil {
+		c.mu.Lock()
+		c.res.Stats.Fallback = true
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Lock()
+	c.res.Stats.Spawned++
+	c.mu.Unlock()
+	conn := newWorkerConn(p)
+	if err := conn.fw.write(&frame{Type: frameGrid, Task: c.taskName, Params: c.params, N: c.n}); err != nil {
+		conn.p.Kill()
+		conn.reap()
+		return nil
+	}
+	return conn
+}
+
+// runShardOn executes one shard on a live worker. It returns false
+// when the worker is no longer usable (killed, crashed, or the run is
+// shutting down); the claimed shard is always resolved — completed,
+// re-queued with backoff, quarantined, or failed.
+func (c *coord) runShardOn(conn *workerConn, sp span) bool {
+	if err := conn.fw.write(&frame{Type: frameShard, Shard: sp.id, Start: sp.start, Count: sp.count}); err != nil {
+		c.workerDied(conn, sp, "shard assignment write failed")
+		return false
+	}
+	watchdog := time.NewTimer(c.o.HeartbeatTimeout)
+	defer watchdog.Stop()
+	var deadlineC <-chan time.Time
+	if c.o.ShardDeadline > 0 {
+		deadline := time.NewTimer(c.o.ShardDeadline)
+		defer deadline.Stop()
+		deadlineC = deadline.C
+	}
+	for {
+		select {
+		case f, ok := <-conn.frames:
+			if !ok {
+				c.workerDied(conn, sp, "worker stream ended mid-shard (crash or corrupted output)")
+				return false
+			}
+			// Any frame proves liveness; rearm the watchdog
+			// (stop-drain-reset, safe under pre-1.23 timer semantics).
+			if !watchdog.Stop() {
+				select {
+				case <-watchdog.C:
+				default:
+				}
+			}
+			watchdog.Reset(c.o.HeartbeatTimeout)
+			switch f.Type {
+			case frameHello, frameHeartbeat:
+			case frameResult:
+				if f.Shard != sp.id {
+					c.workerDied(conn, sp, fmt.Sprintf("result for shard %d while running shard %d", f.Shard, sp.id))
+					return false
+				}
+				c.finishShard(sp, f)
+				return true
+			}
+		case <-watchdog.C:
+			c.workerDied(conn, sp, fmt.Sprintf("no heartbeat within %s (hung worker)", c.o.HeartbeatTimeout))
+			return false
+		case <-deadlineC:
+			c.workerDied(conn, sp, fmt.Sprintf("shard exceeded its %s wall-clock deadline", c.o.ShardDeadline))
+			return false
+		case <-c.ctx.Done():
+			c.fail(sp, sched.CtxErr(c.ctx))
+			c.markDone()
+			conn.p.Kill()
+			conn.reap()
+			return false
+		}
+	}
+}
+
+// finishShard resolves a delivered result frame: items merge; a typed
+// worker-side failure either fails the grid (classified simulation
+// errors, budget, cancellation — the wire carries context.Cause's
+// classification out of the subprocess) or quarantines the shard
+// (internal faults: a panicking task is deterministic, retrying it
+// on a fresh worker would just kill that one too).
+func (c *coord) finishShard(sp span, f *frame) {
+	if f.Err != nil {
+		err := f.Err.fromWire()
+		if errors.Is(err, simerr.ErrInternal) {
+			c.quarantine(sp, err)
+		} else {
+			c.fail(sp, err)
+		}
+		c.markDone()
+		return
+	}
+	if len(f.Items) != sp.count {
+		c.quarantine(sp, simerr.New(simerr.ErrInternal, "shard",
+			fmt.Sprintf("worker delivered %d items for %d-item shard %d", len(f.Items), sp.count, sp.id)))
+		c.markDone()
+		return
+	}
+	c.complete(sp, f.Items)
+	c.markDone()
+}
+
+// workerDied handles a worker lost mid-shard: kill and reap it, then
+// classify by exit code — a typed exit (the CLI 0-5 scheme) becomes
+// the shard's failure; an unclassifiable death re-queues the shard
+// with backoff until the quarantine threshold.
+func (c *coord) workerDied(conn *workerConn, sp span, why string) {
+	conn.p.Kill()
+	code := conn.reap()
+	c.mu.Lock()
+	c.res.Stats.Deaths++
+	c.attempts[sp.id]++
+	deaths := c.attempts[sp.id]
+	c.mu.Unlock()
+
+	err := exitErr(code, fmt.Sprintf("shard %d attempt %d: %s (worker exit code %d)", sp.id, deaths, why, code))
+	if !errors.Is(err, simerr.ErrInternal) {
+		// The worker died announcing a classified failure (budget,
+		// cancellation, no-convergence): that is the shard's verdict,
+		// not a flaky process.
+		c.fail(sp, err)
+		c.markDone()
+		return
+	}
+	if deaths >= c.o.MaxAttempts {
+		c.quarantine(sp, simerr.New(simerr.ErrInternal, "shard",
+			fmt.Sprintf("poison shard %d killed %d workers; quarantined (last death: %s)", sp.id, deaths, why)))
+		c.markDone()
+		return
+	}
+	c.mu.Lock()
+	c.res.Stats.Retries++
+	c.mu.Unlock()
+	delay := backoff(c.o, sp.id, deaths)
+	time.AfterFunc(delay, func() {
+		select {
+		case c.work <- sp:
+		case <-c.done:
+			// The run failed or was cancelled while this shard waited
+			// out its backoff; nobody is left to claim it.
+		}
+	})
+}
+
+// backoff is capped exponential with deterministic jitter: attempts
+// on the same (seed, shard, attempt) always wait the same time, so
+// chaos runs are reproducible.
+func backoff(o Options, shard, attempt int) time.Duration {
+	d := o.BackoffBase << uint(attempt-1)
+	if d <= 0 || d > o.BackoffCap {
+		d = o.BackoffCap
+	}
+	span := uint64(o.BackoffBase/2) + 1
+	j := splitmix64(uint64(o.Seed)<<32 ^ uint64(shard)<<16 ^ uint64(attempt))
+	return d + time.Duration(j%span)
+}
+
+// splitmix64 is the standard 64-bit mixer (same recipe the sizing
+// search uses for per-restart seeds).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// workerConn couples a live subprocess with its framed streams; a
+// dedicated reader goroutine feeds frames so the coordinator can
+// select over liveness timers while reading.
+type workerConn struct {
+	p      Proc
+	fw     *frameWriter
+	frames chan *frame
+
+	reapOnce sync.Once
+	exitCode int
+}
+
+func newWorkerConn(p Proc) *workerConn {
+	wc := &workerConn{p: p, fw: newFrameWriter(p.Stdin()), frames: make(chan *frame, 8)}
+	go wc.readLoop()
+	return wc
+}
+
+func (wc *workerConn) readLoop() {
+	br := bufio.NewReader(wc.p.Stdout())
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			close(wc.frames)
+			return
+		}
+		wc.frames <- f
+	}
+}
+
+// reap drains the frame stream (unblocking the reader goroutine) and
+// waits for the exit code; safe to call repeatedly.
+func (wc *workerConn) reap() int {
+	wc.reapOnce.Do(func() {
+		for range wc.frames {
+		}
+		wc.exitCode = wc.p.Wait()
+	})
+	return wc.exitCode
+}
+
+// shutdown ends an idle worker at the end of a run.
+func (wc *workerConn) shutdown() {
+	_ = wc.fw.write(&frame{Type: frameQuit})
+	wc.p.Kill()
+	wc.reap()
+}

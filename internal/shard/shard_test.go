@@ -1,0 +1,608 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mtcmos/internal/faultinject"
+	"mtcmos/internal/sched"
+	"mtcmos/internal/simerr"
+)
+
+// TestMain doubles as the worker entry point: SelfSpawner re-executes
+// this test binary with WorkerEnv set, so the spawned copy serves the
+// shard protocol instead of running the test suite. This is the same
+// hook pattern the experiments and cli test packages use.
+func TestMain(m *testing.M) {
+	if os.Getenv(WorkerEnv) == "1" {
+		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// --- test tasks (registered in both coordinator and worker processes
+// via init, since the worker is this same binary) ---
+
+type squareParams struct {
+	Scale float64 `json:"scale"`
+}
+
+type erratParams struct {
+	FailAt []int  `json:"failAt"`
+	Kind   string `json:"kind"`
+}
+
+type sleepParams struct {
+	MS int `json:"ms"`
+}
+
+type panicParams struct {
+	At int `json:"at"`
+}
+
+func init() {
+	Register("test.square", func(ctx context.Context, params json.RawMessage, start, count int) ([]json.RawMessage, error) {
+		var p squareParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		items := make([]json.RawMessage, count)
+		for k := 0; k < count; k++ {
+			i := start + k
+			b, err := json.Marshal(struct {
+				I int     `json:"i"`
+				V float64 `json:"v"`
+			}{i, p.Scale * float64(i*i)})
+			if err != nil {
+				return nil, err
+			}
+			items[k] = b
+		}
+		return items, nil
+	})
+	Register("test.errat", func(ctx context.Context, params json.RawMessage, start, count int) ([]json.RawMessage, error) {
+		var p erratParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		kind := simerr.KindFromName(p.Kind)
+		if kind == nil {
+			kind = simerr.ErrNumerical
+		}
+		for _, at := range p.FailAt {
+			if at >= start && at < start+count {
+				return nil, simerr.New(kind, "test", fmt.Sprintf("injected failure at item %d", at))
+			}
+		}
+		items := make([]json.RawMessage, count)
+		for k := range items {
+			items[k] = json.RawMessage(fmt.Sprintf("%d", start+k))
+		}
+		return items, nil
+	})
+	Register("test.budget", func(ctx context.Context, params json.RawMessage, start, count int) ([]json.RawMessage, error) {
+		// A budget overrun inside the worker, classified the way the
+		// engines classify theirs: a context cause carrying
+		// simerr.ErrBudget, surfaced through sched.CtxErr. The wire
+		// must deliver the same kind to the coordinator.
+		wctx, cancel := context.WithTimeoutCause(ctx, time.Millisecond,
+			simerr.New(simerr.ErrBudget, "test", "per-shard budget exhausted"))
+		defer cancel()
+		<-wctx.Done()
+		return nil, sched.CtxErr(wctx)
+	})
+	Register("test.sleep", func(ctx context.Context, params json.RawMessage, start, count int) ([]json.RawMessage, error) {
+		var p sleepParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, sched.CtxErr(ctx)
+		case <-time.After(time.Duration(p.MS) * time.Millisecond):
+		}
+		items := make([]json.RawMessage, count)
+		for k := range items {
+			items[k] = json.RawMessage(fmt.Sprintf("%d", start+k))
+		}
+		return items, nil
+	})
+	Register("test.panic", func(ctx context.Context, params json.RawMessage, start, count int) ([]json.RawMessage, error) {
+		var p panicParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		if p.At >= start && p.At < start+count {
+			panic(fmt.Sprintf("deterministic panic at item %d", p.At))
+		}
+		items := make([]json.RawMessage, count)
+		for k := range items {
+			items[k] = json.RawMessage(fmt.Sprintf("%d", start+k))
+		}
+		return items, nil
+	})
+}
+
+// serialItems computes the reference result the way a plain loop
+// would: one in-process call covering the whole grid.
+func serialItems(t *testing.T, task string, params any, n int) []json.RawMessage {
+	t.Helper()
+	res, err := Run(context.Background(), task, params, n, Options{Shards: 1})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	return res.Items
+}
+
+func sameItems(t *testing.T, got, want []json.RawMessage, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d items, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("%s: item %d = %s, want %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 3}, {7, 7}, {5, 9}, {1, 1}, {100, 16}, {0, 4}} {
+		spans := geometry(tc.n, tc.k)
+		next := 0
+		for i, sp := range spans {
+			if sp.id != i || sp.start != next {
+				t.Fatalf("geometry(%d,%d): span %d = %+v, want contiguous start %d", tc.n, tc.k, i, sp, next)
+			}
+			if sp.count <= 0 && tc.n > 0 {
+				t.Fatalf("geometry(%d,%d): empty span %d", tc.n, tc.k, i)
+			}
+			next += sp.count
+		}
+		if tc.n > 0 && next != tc.n {
+			t.Fatalf("geometry(%d,%d): covers %d items", tc.n, tc.k, next)
+		}
+		if tc.k <= tc.n && tc.n > 0 && len(spans) != tc.k {
+			t.Fatalf("geometry(%d,%d): %d spans", tc.n, tc.k, len(spans))
+		}
+	}
+}
+
+func TestRunInProcessDeterministic(t *testing.T) {
+	const n = 47
+	params := squareParams{Scale: 1.5}
+	want := serialItems(t, "test.square", params, n)
+	for _, shards := range []int{2, 3, 7, n, n + 5} {
+		res, err := Run(context.Background(), "test.square", params, n,
+			Options{Shards: shards, Procs: 4})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		sameItems(t, res.Items, want, fmt.Sprintf("shards=%d", shards))
+	}
+}
+
+func TestRunSubprocessDeterministic(t *testing.T) {
+	const n = 30
+	params := squareParams{Scale: 0.25}
+	want := serialItems(t, "test.square", params, n)
+	for _, tc := range []struct{ shards, procs int }{{4, 1}, {6, 3}, {30, 4}} {
+		res, err := Run(context.Background(), "test.square", params, n,
+			Options{Shards: tc.shards, Procs: tc.procs, Spawn: SelfSpawner()})
+		if err != nil {
+			t.Fatalf("shards=%d procs=%d: %v", tc.shards, tc.procs, err)
+		}
+		sameItems(t, res.Items, want, fmt.Sprintf("shards=%d procs=%d", tc.shards, tc.procs))
+		if res.Stats.Spawned == 0 {
+			t.Fatalf("shards=%d procs=%d: no workers spawned", tc.shards, tc.procs)
+		}
+		if res.Stats.Fallback {
+			t.Fatalf("shards=%d procs=%d: unexpected in-process fallback", tc.shards, tc.procs)
+		}
+	}
+}
+
+func TestCrashedWorkersRetry(t *testing.T) {
+	// Every worker generation crashes serving its 3rd shard: the grid
+	// must still complete, byte-identical, on respawned workers.
+	t.Setenv(faultinject.WorkerFaultEnv, "crash;on=3")
+	const n = 32
+	params := squareParams{Scale: 2}
+	want := serialItems(t, "test.square", params, n)
+	res, err := Run(context.Background(), "test.square", params, n, Options{
+		Shards: 8, Procs: 2, Spawn: SelfSpawner(),
+		MaxAttempts: 6, BackoffBase: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sameItems(t, res.Items, want, "crash chaos")
+	if res.Stats.Deaths == 0 || res.Stats.Retries == 0 {
+		t.Fatalf("stats = %+v, want deaths and retries > 0", res.Stats)
+	}
+	if len(res.Stats.Quarantined) != 0 {
+		t.Fatalf("unexpected quarantine: %+v", res.Stats.Quarantined)
+	}
+}
+
+func TestHungWorkerWatchdog(t *testing.T) {
+	// Workers hang (heartbeats stop) serving their 2nd shard; the
+	// watchdog must kill them and re-queue the shard.
+	t.Setenv(faultinject.WorkerFaultEnv, "hang;on=2")
+	const n = 16
+	params := squareParams{Scale: 3}
+	want := serialItems(t, "test.square", params, n)
+	res, err := Run(context.Background(), "test.square", params, n, Options{
+		Shards: 4, Procs: 1, Spawn: SelfSpawner(),
+		MaxAttempts: 8, BackoffBase: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond,
+		HeartbeatEvery: 25 * time.Millisecond, HeartbeatTimeout: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sameItems(t, res.Items, want, "hang chaos")
+	if res.Stats.Deaths == 0 || res.Stats.Retries == 0 {
+		t.Fatalf("stats = %+v, want deaths and retries > 0", res.Stats)
+	}
+}
+
+func TestGarbageStreamRecovered(t *testing.T) {
+	// Workers corrupt their output stream serving their 2nd shard; the
+	// framed protocol must detect it as a death, not mis-parse.
+	t.Setenv(faultinject.WorkerFaultEnv, "garbage;on=2")
+	const n = 16
+	params := squareParams{Scale: 0.5}
+	want := serialItems(t, "test.square", params, n)
+	res, err := Run(context.Background(), "test.square", params, n, Options{
+		Shards: 4, Procs: 1, Spawn: SelfSpawner(),
+		MaxAttempts: 8, BackoffBase: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sameItems(t, res.Items, want, "garbage chaos")
+	if res.Stats.Deaths == 0 {
+		t.Fatalf("stats = %+v, want deaths > 0", res.Stats)
+	}
+}
+
+func TestPoisonShardQuarantined(t *testing.T) {
+	// Shard 2 kills every worker that touches it: after MaxAttempts
+	// deaths it must be quarantined — grid succeeds, its items nil,
+	// everything else intact.
+	t.Setenv(faultinject.WorkerFaultEnv, "crash;shard=2")
+	const n = 20
+	params := squareParams{Scale: 1}
+	want := serialItems(t, "test.square", params, n)
+	res, err := Run(context.Background(), "test.square", params, n, Options{
+		Shards: 5, Procs: 2, Spawn: SelfSpawner(),
+		MaxAttempts: 2, BackoffBase: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run: %v (quarantine must degrade, not fail)", err)
+	}
+	if len(res.Stats.Quarantined) != 1 {
+		t.Fatalf("quarantined = %+v, want exactly shard 2", res.Stats.Quarantined)
+	}
+	q := res.Stats.Quarantined[0]
+	if q.Shard != 2 || !errors.Is(q.Err, simerr.ErrInternal) {
+		t.Fatalf("quarantine = %+v, want shard 2 with internal kind", q)
+	}
+	for i, item := range res.Items {
+		inQ := i >= q.Start && i < q.Start+q.Count
+		switch {
+		case inQ && item != nil:
+			t.Fatalf("item %d inside quarantined shard is non-nil", i)
+		case !inQ && !bytes.Equal(item, want[i]):
+			t.Fatalf("item %d outside quarantine corrupted: %s", i, item)
+		}
+	}
+}
+
+func TestPanickingTaskQuarantinedInProcess(t *testing.T) {
+	const n = 12
+	res, err := Run(context.Background(), "test.panic", panicParams{At: 5}, n,
+		Options{Shards: 4, Procs: 2})
+	if err != nil {
+		t.Fatalf("run: %v (panic must quarantine, not fail)", err)
+	}
+	if len(res.Stats.Quarantined) != 1 {
+		t.Fatalf("quarantined = %+v, want the panicking shard", res.Stats.Quarantined)
+	}
+	q := res.Stats.Quarantined[0]
+	if !errors.Is(q.Err, simerr.ErrInternal) || !strings.Contains(q.Err.Error(), "panic") {
+		t.Fatalf("quarantine error = %v", q.Err)
+	}
+}
+
+func TestPanickingTaskQuarantinedSubprocess(t *testing.T) {
+	// The worker contains the panic and reports it as a typed internal
+	// fault on the result frame, so the coordinator quarantines the
+	// shard without burning retries (the panic is deterministic).
+	const n = 12
+	res, err := Run(context.Background(), "test.panic", panicParams{At: 5}, n,
+		Options{Shards: 4, Procs: 2, Spawn: SelfSpawner()})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Stats.Quarantined) != 1 || res.Stats.Deaths != 0 {
+		t.Fatalf("stats = %+v, want one quarantine and zero deaths", res.Stats)
+	}
+	if !errors.Is(res.Stats.Quarantined[0].Err, simerr.ErrInternal) {
+		t.Fatalf("quarantine error = %v", res.Stats.Quarantined[0].Err)
+	}
+}
+
+func TestWorkerBudgetPropagates(t *testing.T) {
+	// A budget overrun inside a worker subprocess — classified via
+	// context.Cause — must arrive at the coordinator as
+	// simerr.ErrBudget, not a generic failure.
+	_, err := Run(context.Background(), "test.budget", struct{}{}, 8,
+		Options{Shards: 4, Procs: 2, Spawn: SelfSpawner()})
+	if !errors.Is(err, simerr.ErrBudget) {
+		t.Fatalf("err = %v, want simerr.ErrBudget", err)
+	}
+}
+
+func TestCoordinatorBudgetKillsWorkers(t *testing.T) {
+	// The coordinator's own deadline fires mid-shard: workers are
+	// killed and the error classifies as a budget overrun.
+	ctx, cancel := context.WithTimeoutCause(context.Background(), 300*time.Millisecond,
+		simerr.New(simerr.ErrBudget, "test", "grid budget exhausted"))
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ctx, "test.sleep", sleepParams{MS: 20000}, 8,
+		Options{Shards: 4, Procs: 2, Spawn: SelfSpawner()})
+	if !errors.Is(err, simerr.ErrBudget) {
+		t.Fatalf("err = %v, want simerr.ErrBudget", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("run blocked %v after budget expiry", elapsed)
+	}
+}
+
+func TestLowestIndexedFailureWins(t *testing.T) {
+	// Failures land in shards 2 and 6 (8 shards x 4 items); whichever
+	// finishes first, the reported error must be shard 2's — the same
+	// contract sched.Map keeps in-process.
+	for name, spawn := range map[string]Spawner{"inprocess": nil, "subprocess": SelfSpawner()} {
+		t.Run(name, func(t *testing.T) {
+			_, err := Run(context.Background(), "test.errat",
+				erratParams{FailAt: []int{9, 25}, Kind: "numerical"}, 32,
+				Options{Shards: 8, Procs: 4, Spawn: spawn})
+			if !errors.Is(err, simerr.ErrNumerical) {
+				t.Fatalf("err = %v, want simerr.ErrNumerical", err)
+			}
+			if !strings.Contains(err.Error(), "item 9") {
+				t.Fatalf("err = %v, want the lowest-indexed failure (item 9)", err)
+			}
+		})
+	}
+}
+
+func TestJournalResume(t *testing.T) {
+	// Run 1: shard 2 is poison and gets quarantined — every other
+	// shard lands in the journal. Run 2 with the fault cleared resumes
+	// from the journal, recomputes only shard 2, and the merged result
+	// is byte-identical to a clean serial run. Passing a different
+	// shard count on resume must be overridden by the journal's pinned
+	// geometry.
+	const n = 20
+	params := squareParams{Scale: 4}
+	want := serialItems(t, "test.square", params, n)
+	journal := filepath.Join(t.TempDir(), "grid.journal")
+
+	t.Setenv(faultinject.WorkerFaultEnv, "crash;shard=2")
+	res1, err := Run(context.Background(), "test.square", params, n, Options{
+		Shards: 5, Procs: 2, Spawn: SelfSpawner(), Journal: journal,
+		MaxAttempts: 2, BackoffBase: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	if len(res1.Stats.Quarantined) != 1 {
+		t.Fatalf("run 1 quarantined = %+v", res1.Stats.Quarantined)
+	}
+
+	// A crash-truncated tail must not poison the resume.
+	f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"shard":9,"start":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	t.Setenv(faultinject.WorkerFaultEnv, "")
+	res2, err := Run(context.Background(), "test.square", params, n, Options{
+		Shards: 13, Procs: 2, Spawn: SelfSpawner(), Journal: journal,
+	})
+	if err != nil {
+		t.Fatalf("run 2 (resume): %v", err)
+	}
+	sameItems(t, res2.Items, want, "resumed grid")
+	if res2.Stats.Shards != 5 {
+		t.Fatalf("resume ignored journal geometry: shards = %d, want 5", res2.Stats.Shards)
+	}
+	if res2.Stats.Resumed != 4 {
+		t.Fatalf("resumed = %d, want 4 (all but the quarantined shard)", res2.Stats.Resumed)
+	}
+
+	// Run 3: everything journaled — nothing dispatches at all.
+	res3, err := Run(context.Background(), "test.square", params, n, Options{
+		Spawn: SelfSpawner(), Journal: journal,
+	})
+	if err != nil {
+		t.Fatalf("run 3 (full resume): %v", err)
+	}
+	sameItems(t, res3.Items, want, "fully resumed grid")
+	if res3.Stats.Resumed != 5 || res3.Stats.Spawned != 0 {
+		t.Fatalf("run 3 stats = %+v, want 5 resumed and 0 spawned", res3.Stats)
+	}
+}
+
+func TestJournalGridMismatchRefused(t *testing.T) {
+	const n = 10
+	journal := filepath.Join(t.TempDir(), "grid.journal")
+	if _, err := Run(context.Background(), "test.square", squareParams{Scale: 1}, n,
+		Options{Shards: 2, Journal: journal}); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	for name, run := range map[string]func() error{
+		"params": func() error {
+			_, err := Run(context.Background(), "test.square", squareParams{Scale: 2}, n,
+				Options{Shards: 2, Journal: journal})
+			return err
+		},
+		"n": func() error {
+			_, err := Run(context.Background(), "test.square", squareParams{Scale: 1}, n+1,
+				Options{Shards: 2, Journal: journal})
+			return err
+		},
+		"task": func() error {
+			_, err := Run(context.Background(), "test.errat", squareParams{Scale: 1}, n,
+				Options{Shards: 2, Journal: journal})
+			return err
+		},
+	} {
+		err := run()
+		if err == nil || !strings.Contains(err.Error(), "refusing to resume") {
+			t.Fatalf("%s mismatch: err = %v, want refusing-to-resume", name, err)
+		}
+	}
+}
+
+func TestJournalInteriorCorruptionFatal(t *testing.T) {
+	hdr, _ := json.Marshal(journalHeader{V: journalVersion, Task: "test.square", N: 4, Shards: 2, Params: json.RawMessage(`{}`)})
+	good, _ := json.Marshal(journalShard{Shard: 1, Start: 2, Count: 2, Items: []json.RawMessage{[]byte("1"), []byte("2")}})
+	body := string(hdr) + "\n" + `{"shard":0,"start":` + "\n" + string(good) + "\n"
+	if _, _, err := replayJournal([]byte(body)); err == nil {
+		t.Fatal("corrupt interior line accepted")
+	}
+	// The same corrupt line as the tail is tolerated.
+	body = string(hdr) + "\n" + string(good) + "\n" + `{"shard":0,"start":`
+	_, done, err := replayJournal([]byte(body))
+	if err != nil {
+		t.Fatalf("truncated tail rejected: %v", err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("done = %v, want the one complete shard", done)
+	}
+}
+
+func TestSpawnFailureFallsBackInProcess(t *testing.T) {
+	failing := func(ctx context.Context, env []string) (Proc, error) {
+		return nil, errors.New("spawning unavailable")
+	}
+	const n = 15
+	params := squareParams{Scale: 7}
+	want := serialItems(t, "test.square", params, n)
+	res, err := Run(context.Background(), "test.square", params, n,
+		Options{Shards: 5, Procs: 2, Spawn: failing})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sameItems(t, res.Items, want, "fallback")
+	if !res.Stats.Fallback || res.Stats.Spawned != 0 {
+		t.Fatalf("stats = %+v, want fallback with no spawns", res.Stats)
+	}
+}
+
+func TestRunUnknownTask(t *testing.T) {
+	if _, err := Run(context.Background(), "test.no-such-task", nil, 4, Options{}); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestExitErrMapping(t *testing.T) {
+	for code, want := range map[int]error{
+		3:  simerr.ErrNoConvergence,
+		4:  simerr.ErrBudget,
+		5:  simerr.ErrCancelled,
+		1:  simerr.ErrInternal,
+		-1: simerr.ErrInternal,
+	} {
+		if err := exitErr(code, "x"); !errors.Is(err, want) {
+			t.Fatalf("exitErr(%d) = %v, want %v", code, err, want)
+		}
+	}
+}
+
+func TestProtoRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	in := &frame{Type: frameResult, Shard: 3, Items: []json.RawMessage{[]byte(`{"a":1}`)},
+		Err: toWire(simerr.New(simerr.ErrBudget, "test", "over budget"))}
+	if err := fw.write(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Shard != in.Shard || len(out.Items) != 1 {
+		t.Fatalf("frame = %+v", out)
+	}
+	if err := out.Err.fromWire(); !errors.Is(err, simerr.ErrBudget) {
+		t.Fatalf("wire error = %v, want budget kind", err)
+	}
+	// Unknown wire kinds classify as internal faults.
+	if err := (&wireError{Kind: "martian", Msg: "m"}).fromWire(); !errors.Is(err, simerr.ErrInternal) {
+		t.Fatalf("unknown kind = %v, want internal", err)
+	}
+	// Garbage streams are protocol errors, not hangs or EOF.
+	if _, err := readFrame(strings.NewReader("\xff\xff\xff\xffgarbage")); err == nil {
+		t.Fatal("implausible frame length accepted")
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	o := Options{}.withDefaults()
+	if backoff(o, 3, 1) != backoff(o, 3, 1) {
+		t.Fatal("jitter not deterministic")
+	}
+	if backoff(o, 3, 1) == backoff(o, 4, 1) && backoff(o, 3, 2) == backoff(o, 4, 2) {
+		t.Fatal("jitter ignores the shard id")
+	}
+	if d := backoff(o, 0, 60); d > o.BackoffCap+o.BackoffBase {
+		t.Fatalf("backoff(attempt=60) = %v, exceeds cap", d)
+	}
+}
+
+// --- benchmarks (scripts/bench.sh parses these into BENCH_shard.json) ---
+
+func benchRun(b *testing.B, opts Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), "test.square", squareParams{Scale: 1.25}, 64, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardInProcess(b *testing.B) {
+	benchRun(b, Options{Shards: 8, Procs: 2})
+}
+
+func BenchmarkShardSubprocess(b *testing.B) {
+	benchRun(b, Options{Shards: 8, Procs: 2, Spawn: SelfSpawner()})
+}
+
+func BenchmarkShardRetryPath(b *testing.B) {
+	b.Setenv(faultinject.WorkerFaultEnv, "crash;on=3")
+	benchRun(b, Options{Shards: 8, Procs: 2, Spawn: SelfSpawner(),
+		MaxAttempts: 8, BackoffBase: time.Millisecond, BackoffCap: 10 * time.Millisecond})
+}

@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"context"
+	"io"
+	"os"
+	"os/exec"
+
+	"mtcmos/internal/simerr"
+)
+
+// Proc is one live worker subprocess as the coordinator sees it:
+// framed streams plus a kill switch. The concrete implementation
+// wraps os/exec; tests may substitute their own.
+type Proc interface {
+	// Stdin is the coordinator->worker stream.
+	Stdin() io.Writer
+	// Stdout is the worker->coordinator stream.
+	Stdout() io.Reader
+	// Kill terminates the worker immediately (SIGKILL); it must be
+	// safe to call more than once and after exit.
+	Kill()
+	// Wait reaps the process and returns its exit code, or -1 when
+	// the process died on a signal or the code is unknown. It must be
+	// called exactly once, after the streams are done.
+	Wait() int
+}
+
+// Spawner starts one worker subprocess; env entries are appended to
+// the coordinator's environment (heartbeat pacing etc.). A nil
+// Spawner in Options — or a Spawner that fails — degrades execution
+// to in-process sched.Map.
+type Spawner func(ctx context.Context, env []string) (Proc, error)
+
+// SelfSpawner re-executes the current binary as a worker: argv from
+// args (mtexp/mtsim pass "-worker"), plus the WorkerEnv marker for
+// binaries whose entry point dispatches on the environment instead
+// (the test binaries' TestMain hook). Worker stderr passes through to
+// the coordinator's stderr so crash diagnostics surface.
+func SelfSpawner(args ...string) Spawner {
+	return func(ctx context.Context, env []string) (Proc, error) {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(append(os.Environ(), WorkerEnv+"=1"), env...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			stdin.Close()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			stdin.Close()
+			return nil, err
+		}
+		return &procWorker{cmd: cmd, stdin: stdin, stdout: stdout}, nil
+	}
+}
+
+// procWorker adapts an exec.Cmd to Proc.
+type procWorker struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.Reader
+}
+
+func (p *procWorker) Stdin() io.Writer  { return p.stdin }
+func (p *procWorker) Stdout() io.Reader { return p.stdout }
+
+func (p *procWorker) Kill() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+	}
+}
+
+func (p *procWorker) Wait() int {
+	p.stdin.Close()
+	err := p.cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode() // -1 when signal-killed
+	}
+	return -1
+}
+
+// exitErr classifies a worker that died without delivering a result
+// by its exit code, mirroring the CLI's 0-5 scheme (internal/cli
+// ExitCode) so e.g. a worker that exited 4 reports a typed budget
+// overrun instead of a generic failure. Codes outside the scheme —
+// including signal deaths — classify as internal worker faults, which
+// the coordinator retries and eventually quarantines.
+func exitErr(code int, context string) *simerr.Error {
+	switch code {
+	case 3: // ExitNoConvergence
+		return simerr.New(simerr.ErrNoConvergence, "shard", context)
+	case 4: // ExitBudget
+		return simerr.New(simerr.ErrBudget, "shard", context)
+	case 5: // ExitCancelled
+		return simerr.New(simerr.ErrCancelled, "shard", context)
+	default:
+		return simerr.New(simerr.ErrInternal, "shard", context)
+	}
+}

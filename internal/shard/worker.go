@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"mtcmos/internal/faultinject"
+	"mtcmos/internal/simerr"
+)
+
+// HeartbeatEnv carries the coordinator's heartbeat interval to its
+// workers (a Go duration string); WorkerEnv marks a process as a
+// worker for binaries that re-exec themselves without a -worker flag
+// (the test binaries' TestMain hook).
+const (
+	HeartbeatEnv = "MTSHARD_HEARTBEAT"
+	WorkerEnv    = "MTSHARD_WORKER"
+)
+
+// defaultHeartbeat paces worker heartbeats when the coordinator does
+// not override it.
+const defaultHeartbeat = 500 * time.Millisecond
+
+// ServeWorker runs the worker side of the shard protocol on the given
+// streams until the coordinator sends quit or closes the stream:
+// receive the grid description, then serve shard assignments, sending
+// heartbeats from a side goroutine while each shard computes so the
+// coordinator can tell "slow" from "dead". mtexp/mtsim enter it via
+// their -worker flag with stdin/stdout; the coordinator owns process
+// lifetime, so a SIGKILL at any point is safe.
+//
+// The process-level fault harness (faultinject.WorkerFaultEnv) hooks
+// in here: an armed spec makes the worker crash, hang, or write
+// garbage at a deterministic point, which is how the chaos tests
+// prove the coordinator's recovery ladder.
+func ServeWorker(ctx context.Context, in io.Reader, out io.Writer) error {
+	fault, err := faultinject.ParseWorkerFault(os.Getenv(faultinject.WorkerFaultEnv))
+	if err != nil {
+		return err
+	}
+	hb := defaultHeartbeat
+	if s := os.Getenv(HeartbeatEnv); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			hb = d
+		}
+	}
+
+	fw := newFrameWriter(out)
+	br := bufio.NewReader(in)
+	if err := fw.write(&frame{Type: frameHello}); err != nil {
+		return err
+	}
+
+	var task Task
+	var taskErr error
+	var params []byte
+	served := 0
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // coordinator closed the stream: clean exit
+			}
+			return err
+		}
+		switch f.Type {
+		case frameGrid:
+			task, taskErr = lookup(f.Task)
+			params = f.Params
+		case frameQuit:
+			return nil
+		case frameShard:
+			served++
+			if fault.Fire(f.Shard, served) {
+				applyWorkerFault(fault.Mode, fw)
+			}
+			items, err := runShard(ctx, task, taskErr, params, f, fw, hb)
+			res := &frame{Type: frameResult, Shard: f.Shard, Items: items, Err: toWire(err)}
+			if err := fw.write(res); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runShard computes one assignment with a heartbeat ticker alive for
+// its duration.
+func runShard(ctx context.Context, task Task, taskErr error, params []byte, f *frame, fw *frameWriter, hb time.Duration) ([]json.RawMessage, error) {
+	if taskErr != nil {
+		return nil, simerr.New(simerr.ErrInternal, "shard", taskErr.Error())
+	}
+	if task == nil {
+		return nil, simerr.New(simerr.ErrInternal, "shard", "shard assigned before grid description")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				// A failed heartbeat means the coordinator is gone; the
+				// compute loop will fail on the result write.
+				_ = fw.write(&frame{Type: frameHeartbeat, Shard: f.Shard})
+			}
+		}
+	}()
+	var items []json.RawMessage
+	var err error
+	func() {
+		// A panicking task is contained here and reported as a typed
+		// internal fault on the result frame: cheaper for the
+		// coordinator than letting the whole worker crash (no respawn,
+		// immediate quarantine instead of retries that would panic
+		// again).
+		defer func() {
+			if r := recover(); r != nil {
+				items, err = nil, simerr.New(simerr.ErrInternal, "shard",
+					fmt.Sprintf("task panicked on shard %d: %v", f.Shard, r))
+			}
+		}()
+		items, err = task(ctx, params, f.Start, f.Count)
+	}()
+	close(stop)
+	wg.Wait()
+	if err == nil && len(items) != f.Count {
+		err = simerr.New(simerr.ErrInternal, "shard",
+			fmt.Sprintf("task returned %d items for a %d-item shard", len(items), f.Count))
+		items = nil
+	}
+	return items, err
+}
+
+// applyWorkerFault executes an armed process-level fault. crash and
+// garbage never return; hang blocks forever (the coordinator's
+// heartbeat watchdog reclaims the shard by killing the process).
+func applyWorkerFault(mode faultinject.WorkerFaultMode, fw *frameWriter) {
+	switch mode {
+	case faultinject.WorkerCrash:
+		// SIGKILL ourselves: no result frame, no classifiable exit
+		// status — exactly what an OOM kill or hardware fault looks
+		// like from the coordinator's side.
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			_ = p.Kill()
+		}
+		os.Exit(1) // unreachable on unix; portability fallback
+	case faultinject.WorkerHang:
+		// Heartbeats for this shard never start. A sleeping loop, not
+		// select{}: an empty select with every goroutine idle trips the
+		// runtime's deadlock detector and exits — a crash, not a hang.
+		for {
+			time.Sleep(time.Hour)
+		}
+	case faultinject.WorkerGarbage:
+		fw.mu.Lock()
+		_, _ = fw.w.WriteString("\xff\xfenot a frame: simulated corrupted worker output\xba\xad")
+		_ = fw.w.Flush()
+		fw.mu.Unlock()
+		os.Exit(1)
+	}
+}

@@ -2,7 +2,7 @@
 // simulation engines (internal/spice, internal/core) and everything
 // that drives them (sizing searches, experiments, the CLI).
 //
-// Every runtime simulation failure is classified into one of four
+// Every runtime simulation failure is classified into one of five
 // kinds, each a sentinel error usable with errors.Is:
 //
 //   - ErrNoConvergence: the solver exhausted its convergence-recovery
@@ -13,7 +13,10 @@
 //   - ErrBudget: a caller-imposed budget (steps, events, device
 //     evaluations, wall clock) ran out;
 //   - ErrCancelled: the run's context was cancelled (Ctrl-C, parent
-//     deadline).
+//     deadline);
+//   - ErrInternal: the machinery around a run failed rather than the
+//     simulation itself — a panicking sweep item, a crashed or hung
+//     shard worker subprocess, a garbled worker protocol frame.
 //
 // Failures are reported as *Error values wrapping the sentinel and
 // carrying diagnostics: the offending node or device, the simulated
@@ -28,13 +31,14 @@ import (
 	"fmt"
 )
 
-// The four failure kinds. Match with errors.Is against a returned
+// The five failure kinds. Match with errors.Is against a returned
 // error; the concrete value is always a *Error wrapping one of these.
 var (
 	ErrNoConvergence = errors.New("no convergence")
 	ErrNumerical     = errors.New("numerical fault")
 	ErrBudget        = errors.New("budget exhausted")
 	ErrCancelled     = errors.New("cancelled")
+	ErrInternal      = errors.New("internal fault")
 )
 
 // Error is a classified simulation failure with diagnostics.
@@ -80,7 +84,7 @@ func New(kind error, op, msg string) *Error {
 // Kind returns the taxonomy sentinel err belongs to, or nil if err is
 // not a classified simulation failure.
 func Kind(err error) error {
-	for _, k := range []error{ErrNoConvergence, ErrNumerical, ErrBudget, ErrCancelled} {
+	for _, k := range []error{ErrNoConvergence, ErrNumerical, ErrBudget, ErrCancelled, ErrInternal} {
 		if errors.Is(err, k) {
 			return k
 		}
@@ -89,10 +93,48 @@ func Kind(err error) error {
 }
 
 // IsRecoverable reports whether err is a per-simulation failure a
-// caller may reasonably degrade around (convergence, numerical, or
-// budget), as opposed to a cancellation that must propagate.
+// caller may reasonably degrade around (convergence, numerical,
+// budget, or an internal fault such as a crashed worker), as opposed
+// to a cancellation that must propagate.
 func IsRecoverable(err error) bool {
 	return errors.Is(err, ErrNoConvergence) ||
 		errors.Is(err, ErrNumerical) ||
-		errors.Is(err, ErrBudget)
+		errors.Is(err, ErrBudget) ||
+		errors.Is(err, ErrInternal)
+}
+
+// kindNames maps each sentinel onto its stable wire name, used by the
+// shard-worker protocol to carry classified failures across process
+// boundaries (internal/shard).
+var kindNames = []struct {
+	kind error
+	name string
+}{
+	{ErrNoConvergence, "no-convergence"},
+	{ErrNumerical, "numerical"},
+	{ErrBudget, "budget"},
+	{ErrCancelled, "cancelled"},
+	{ErrInternal, "internal"},
+}
+
+// KindName returns the stable wire name of err's taxonomy kind, or ""
+// when err is not a classified simulation failure.
+func KindName(err error) string {
+	for _, kn := range kindNames {
+		if errors.Is(err, kn.kind) {
+			return kn.name
+		}
+	}
+	return ""
+}
+
+// KindFromName is the inverse of KindName: it returns the sentinel for
+// a wire name, or nil for an unknown or empty name.
+func KindFromName(name string) error {
+	for _, kn := range kindNames {
+		if kn.name == name {
+			return kn.kind
+		}
+	}
+	return nil
 }

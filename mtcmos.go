@@ -39,6 +39,7 @@
 package mtcmos
 
 import (
+	"context"
 	"io"
 
 	"mtcmos/internal/circuit"
@@ -53,6 +54,7 @@ import (
 	"mtcmos/internal/report"
 	"mtcmos/internal/sca"
 	"mtcmos/internal/sched"
+	"mtcmos/internal/shard"
 	"mtcmos/internal/simerr"
 	"mtcmos/internal/sizing"
 	"mtcmos/internal/spice"
@@ -652,6 +654,58 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentOutput, error) {
 		return nil, err
 	}
 	return e.Run(cfg)
+}
+
+// --- Sharded execution ---
+
+// ShardTask computes one index-contiguous slice of an independent-run
+// grid; see RegisterShardTask. Tasks must be pure functions of
+// (params, index) so sharded output is byte-identical to serial.
+type ShardTask = shard.Task
+
+// ShardOptions tunes a sharded grid run: shard/worker-pool geometry,
+// retry backoff, heartbeat watchdog, quarantine threshold, and the
+// checkpoint journal (see DESIGN.md §12).
+type ShardOptions = shard.Options
+
+// ShardRunner bundles ShardOptions for config structs
+// (ExperimentConfig.Shard) and remembers the last run's stats.
+type ShardRunner = shard.Runner
+
+// ShardStats summarizes one sharded run: retries, worker deaths,
+// resumed and quarantined shards.
+type ShardStats = shard.Stats
+
+// ShardResult is a merged grid: items in index order, nil where a
+// quarantined shard's results would be.
+type ShardResult = shard.Result
+
+// ShardQuarantine is one isolated poison shard and the typed error
+// that got it quarantined.
+type ShardQuarantine = shard.Quarantine
+
+// ShardSpawner starts worker subprocesses for a sharded run; nil
+// degrades to in-process execution.
+type ShardSpawner = shard.Spawner
+
+// RegisterShardTask installs a grid task under a stable name, in both
+// coordinator and worker binaries (call from an init function).
+func RegisterShardTask(name string, t ShardTask) { shard.Register(name, t) }
+
+// RunSharded executes a registered grid task over n items on the
+// fault-tolerant shard executor and returns the index-ordered merge.
+func RunSharded(ctx context.Context, task string, params any, n int, opts ShardOptions) (*ShardResult, error) {
+	return shard.Run(ctx, task, params, n, opts)
+}
+
+// SelfShardSpawner spawns workers by re-executing the current binary
+// with the given arguments (mtexp/mtsim pass "-worker").
+func SelfShardSpawner(args ...string) ShardSpawner { return shard.SelfSpawner(args...) }
+
+// ServeShardWorker runs the worker side of the shard protocol on the
+// given streams until the coordinator disconnects.
+func ServeShardWorker(ctx context.Context, in io.Reader, out io.Writer) error {
+	return shard.ServeWorker(ctx, in, out)
 }
 
 // --- Reporting and waveforms ---

@@ -57,6 +57,15 @@ go test -race -timeout "$CHECK_TIMEOUT" -count=1 \
     ./internal/sizing/ ./internal/experiments/ ./internal/vectors/ ./internal/cli/ \
     ./internal/sca/ .
 
+echo "== shard chaos + resume gate (-race) =="
+# The multi-process shard executor under injected worker faults:
+# crashed/hung/garbage workers are retried, poison shards quarantine,
+# journaled runs resume, and rendered output stays byte-identical to
+# the serial in-process run throughout (DESIGN.md §12).
+go test -race -timeout "$CHECK_TIMEOUT" -count=1 \
+    -run 'TestRunSubprocessDeterministic|TestCrashedWorkersRetry|TestHungWorkerWatchdog|TestGarbageStreamRecovered|TestPoisonShard|TestPanickingTask|TestWorkerBudgetPropagates|TestCoordinatorBudgetKillsWorkers|TestLowestIndexedFailureWins|TestJournal|TestSpawnFailureFallsBackInProcess|TestFig14ShardedChaosByteIdentical|TestFig14PoisonShardDegrades|TestSpeedupSharded|TestSimSharded|TestSimResumeWorkflow|TestExpSharded|TestExpShardStatsUnderTime|TestExpResumeSingleExperimentOnly' \
+    ./internal/shard/ ./internal/experiments/ ./internal/cli/
+
 echo "== prove gate (-race) =="
 # The path-condition prover over the example decks on the parallel
 # executor: witnesses, MT023, and MT019 suppression must hold under
