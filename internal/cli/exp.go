@@ -24,7 +24,7 @@ func Exp(args []string, w io.Writer) error {
 
 // ExpContext is Exp under a caller context: cancelling ctx aborts the
 // running experiment between simulator steps.
-func ExpContext(ctx context.Context, args []string, w io.Writer) error {
+func ExpContext(ctx context.Context, args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("mtexp", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
@@ -42,6 +42,8 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) error {
 		shards  = fs.Int("shards", 0, "split big vector grids over N shards on worker subprocesses (0 = in-process); output is identical for any value")
 		resume  = fs.String("resume", "", "checkpoint sharded grids to this journal and resume from it if it exists (implies sharded execution)")
 		worker  = fs.Bool("worker", false, "run as a shard worker subprocess (internal; speaks the shard protocol on stdin/stdout)")
+		solverF = fs.String("solver", "auto", "reference-engine equation solver for DC analyses: auto | dense | sparse; output is byte-identical for any value")
+		profF   = addProfileFlags(fs)
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -53,6 +55,15 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) error {
 		// covers deaths without a result frame.
 		return shard.ServeWorker(ctx, os.Stdin, w)
 	}
+	solver, err := mtcmos.ParseSolver(*solverF)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	prof, err := profF.start()
+	if err != nil {
+		return err
+	}
+	defer prof.stop(&err)
 	ctx, cancel := budgetCtx(ctx, *timeout)
 	defer cancel()
 
@@ -72,6 +83,7 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) error {
 		Seed:           *seed,
 		Ctx:            ctx,
 		Workers:        *jobs,
+		Solver:         solver,
 	}
 	var runner *shard.Runner
 	if *shards > 0 || *resume != "" {

@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profFlags registers the shared -cpuprofile/-memprofile flags on a
+// command's flag set; every binary (mtsim, mtsize, mtexp) gets the
+// same pair so `go tool pprof` workflows carry across tools.
+type profFlags struct {
+	cpu, mem *string
+}
+
+func addProfileFlags(fs *flag.FlagSet) profFlags {
+	return profFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// profiles is the in-flight profiling state started by start(); stop
+// finalizes it.
+type profiles struct {
+	cpu     *os.File
+	memPath string
+}
+
+// start opens the requested profiles. CPU profiling begins
+// immediately; the heap profile is captured at stop.
+func (pf profFlags) start() (*profiles, error) {
+	p := &profiles{memPath: *pf.mem}
+	if *pf.cpu != "" {
+		f, err := os.Create(*pf.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// stop ends CPU profiling and writes the heap profile. A profile that
+// fails to write fails the command — but only if the command itself
+// succeeded, so the original error always wins: defer p.stop(&err).
+func (p *profiles) stop(errp *error) {
+	var first error
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		first = p.cpu.Close()
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err == nil {
+			runtime.GC() // get up-to-date live-object statistics
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil && *errp == nil {
+		*errp = first
+	}
+}

@@ -25,7 +25,7 @@ func Sim(args []string, w io.Writer) error {
 // SimContext is Sim under a caller context: cancelling ctx aborts the
 // simulation between solver steps with a partial-result error that
 // maps to ExitCancelled.
-func SimContext(ctx context.Context, args []string, w io.Writer) error {
+func SimContext(ctx context.Context, args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("mtsim", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
@@ -51,6 +51,8 @@ func SimContext(ctx context.Context, args []string, w io.Writer) error {
 		shards  = fs.Int("shards", 0, "split a -wl sweep over N shards on worker subprocesses (0 = in-process); output is identical for any value")
 		resume  = fs.String("resume", "", "checkpoint a sharded sweep to this journal and resume from it if it exists (implies sharded execution)")
 		worker  = fs.Bool("worker", false, "run as a shard worker subprocess (internal; speaks the shard protocol on stdin/stdout)")
+		solverF = fs.String("solver", "auto", "reference-engine equation solver: auto | dense | sparse (spice engine and -netlist runs)")
+		profF   = addProfileFlags(fs)
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -58,11 +60,20 @@ func SimContext(ctx context.Context, args []string, w io.Writer) error {
 	if *worker {
 		return shard.ServeWorker(ctx, os.Stdin, w)
 	}
+	solver, err := mtcmos.ParseSolver(*solverF)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	prof, err := profF.start()
+	if err != nil {
+		return err
+	}
+	defer prof.stop(&err)
 	ctx, cancel := budgetCtx(ctx, *timeout)
 	defer cancel()
 
 	if *netFile != "" {
-		return runNetlist(ctx, w, *netFile, *techF, *tstop, *traceS, *plot, *nolint, *maxStep)
+		return runNetlist(ctx, w, *netFile, *techF, *tstop, *traceS, *plot, *nolint, *maxStep, solver)
 	}
 
 	var wls []float64
@@ -148,6 +159,7 @@ func SimContext(ctx context.Context, args []string, w io.Writer) error {
 		}
 		ropts := mtcmos.SpiceOptions{Options: mtcmos.EngineOptions{
 			TStop: ts, SampleDT: 20e-12, Ctx: ctx, MaxSteps: *maxStep,
+			Solver: solver,
 		}}
 		if *traceS != "" {
 			ropts.RecordNets = strings.Split(*traceS, ",")
@@ -496,7 +508,7 @@ func printSpice(w io.Writer, c *mtcmos.Circuit, res *mtcmos.SpiceResult, outs []
 	}
 }
 
-func runNetlist(ctx context.Context, w io.Writer, path, techF, tstop, traced string, plot, nolint bool, maxSteps int) error {
+func runNetlist(ctx context.Context, w io.Writer, path, techF, tstop, traced string, plot, nolint bool, maxSteps int, solver mtcmos.Solver) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -523,7 +535,7 @@ func runNetlist(ctx context.Context, w io.Writer, path, techF, tstop, traced str
 		}
 		ts = v
 	}
-	opts := mtcmos.EngineOptions{TStop: ts, SampleDT: 20e-12, Ctx: ctx, MaxSteps: maxSteps}
+	opts := mtcmos.EngineOptions{TStop: ts, SampleDT: 20e-12, Ctx: ctx, MaxSteps: maxSteps, Solver: solver}
 	if traced != "" {
 		opts.Record = strings.Split(traced, ",")
 	}

@@ -18,7 +18,7 @@ func Size(args []string, w io.Writer) error {
 
 // SizeContext is Size under a caller context: cancelling ctx aborts
 // the sizing search between simulator steps (exit code ExitCancelled).
-func SizeContext(ctx context.Context, args []string, w io.Writer) error {
+func SizeContext(ctx context.Context, args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("mtsize", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
@@ -34,10 +34,22 @@ func SizeContext(ctx context.Context, args []string, w io.Writer) error {
 		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole search (0 = unlimited; overruns exit 4)")
 		maxStep = fs.Int("max-steps", 0, "cap switch-level events per simulation; 0 = unlimited")
 		jobs    = fs.Int("j", 0, "parallel workers for per-transition sweeps (0 = one per CPU, 1 = serial); results are identical for any value")
+		standby = fs.Bool("standby", false, "verify the chosen size with a reference-engine standby DC analysis (leakage reduction, virtual-ground float)")
+		solverF = fs.String("solver", "auto", "reference-engine equation solver for -standby: auto | dense | sparse")
+		profF   = addProfileFlags(fs)
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	solver, err := mtcmos.ParseSolver(*solverF)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	prof, err := profF.start()
+	if err != nil {
+		return err
+	}
+	defer prof.stop(&err)
 	ctx, cancel := budgetCtx(ctx, *timeout)
 	defer cancel()
 	est := *estF
@@ -136,6 +148,30 @@ func SizeContext(ctx context.Context, args []string, w io.Writer) error {
 			dt.WL, ps.LeakageMTCMOS*1e9, ps.LeakageCMOS*1e9, ps.LeakageReduction)
 		fmt.Fprintf(w, "sleep-gate switching energy %.4g fJ; break-even idle %.4g us\n",
 			ps.SleepSwitchEnergy*1e15, ps.BreakEvenIdle*1e6)
+	}
+
+	if *standby {
+		// Verify the sized device in sleep mode with the reference
+		// engine's full-Newton DC analysis (the analytic power summary
+		// above is a series-leakage model; this solves the network).
+		wl := 0.0
+		switch {
+		case dt != nil:
+			wl = dt.WL
+		case pk != nil:
+			wl = pk.WL
+		default:
+			return fmt.Errorf("-standby needs a sized device; include the delay or peak estimator")
+		}
+		c.SleepWL = wl
+		sb, err := mtcmos.StandbyWith(c, trs[0].Old, solver)
+		if err != nil {
+			return fmt.Errorf("standby: %w", err)
+		}
+		fmt.Fprintf(w, "\nstandby check at W/L=%.1f (%s solver): vgnd floats to %.3g V\n",
+			wl, solver, sb.VGndFloat)
+		fmt.Fprintf(w, "standby %.4g fA vs active %.4g nA: %.3gx reduction\n",
+			sb.Standby*1e15, sb.Active*1e9, sb.Reduction)
 	}
 	return nil
 }

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"mtcmos/internal/spice"
+)
+
+// TestExperimentsSolverInvariant renders every registered experiment
+// under each solver-kernel choice and requires byte-identical output:
+// Config.Solver reaches only the DC analyses, whose dense and sparse
+// kernels polish to the same root (internal/spice op.go), so -solver
+// on mtexp is a pure speed knob. Small configuration keeps the full
+// registry sweep test-sized.
+func TestExperimentsSolverInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	render := func(id string, solver spice.Solver) string {
+		cfg := Config{Fast: true, MultiplierBits: 4, AdderBits: 2, Solver: solver}
+		e, err := Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s (%v): %v", id, solver, err)
+		}
+		return outputKey(out)
+	}
+	for _, e := range Registry() {
+		t.Run(e.ID, func(t *testing.T) {
+			if e.ID == "speedup" {
+				// Its runtime table reports measured wall-clock, which
+				// differs between any two runs of the same config; a
+				// solver comparison there would only compare noise.
+				t.Skip("reports measured wall-clock")
+			}
+			auto := render(e.ID, spice.SolverAuto)
+			for _, solver := range []spice.Solver{spice.SolverDense, spice.SolverSparse} {
+				if got := render(e.ID, solver); got != auto {
+					t.Errorf("%s renders differently under %v:\n%s\nvs auto:\n%s",
+						e.ID, solver, got, auto)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"mtcmos/internal/simerr"
+	"mtcmos/internal/spice"
+)
+
+// These tests rerun the recovery-ladder proofs on the transient
+// full-Newton sparse path (Options.Solver = SolverSparse): the ladder
+// enters the matrix solver as an omega-damped update vector, a gmin
+// diagonal stamp and ramped source values, so every rung must rescue
+// its seeded failure exactly as it does on the relaxation path.
+
+func TestBaselineConvergesSparseNewton(t *testing.T) {
+	res, err := runWith(t, New(), spice.Options{Solver: spice.SolverSparse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery.Rescued != 0 {
+		t.Errorf("clean run must not need rescue, stats %+v", res.Recovery)
+	}
+	if v := res.Trace("out").At(2.5e-9); v > 0.6 {
+		t.Errorf("final V(out) = %g, inverter must have switched low", v)
+	}
+}
+
+// TestEachRungRescuesSparseNewton seeds a stuck-iteration fault that
+// clears only at a given rung, with the sparse Newton kernel solving
+// every attempt. The alternating bias shifts the stamped residual by
+// ±Magnitude between Newton iterations, so the update vector never
+// settles below VTol until the rung that clears the fault.
+func TestEachRungRescuesSparseNewton(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault Fault
+		check func(t *testing.T, st spice.RecoveryStats)
+	}{
+		// One failed Newton attempt evaluates the target device once
+		// per iteration (one stamp pass each), so a 60-iteration
+		// attempt burns 60 hits: Count 75 fully poisons the first
+		// attempt and expires a few iterations into the next step,
+		// keeping the single seeded failure a back-off-only rescue
+		// (the relaxation variant needs Count 300 for the same effect
+		// because each sweep re-evaluates the device four times).
+		{"backoff", Fault{
+			Kind: Stuck, Device: "mn", Start: 1.1e-9, Count: 75,
+			ClearAtRung: spice.RungBackoff,
+		}, func(t *testing.T, st spice.RecoveryStats) {
+			if st.Backoffs == 0 {
+				t.Errorf("back-off must fire, stats %+v", st)
+			}
+			if st.Dampings+st.GminSteps+st.SourceRamps != 0 {
+				t.Errorf("higher rungs must not fire, stats %+v", st)
+			}
+		}},
+		{"damping", Fault{
+			Kind: Stuck, Device: "mn", Start: 1.1e-9, End: 1.11e-9,
+			ClearAtRung: spice.RungDamping,
+		}, func(t *testing.T, st spice.RecoveryStats) {
+			if st.Dampings == 0 || st.Rescued == 0 {
+				t.Errorf("damping must rescue, stats %+v", st)
+			}
+			if st.GminSteps+st.SourceRamps != 0 {
+				t.Errorf("higher rungs must not fire, stats %+v", st)
+			}
+		}},
+		{"gmin", Fault{
+			Kind: Stuck, Device: "mn", Start: 1.1e-9, End: 1.11e-9,
+			ClearAtRung: spice.RungGmin,
+		}, func(t *testing.T, st spice.RecoveryStats) {
+			if st.GminSteps == 0 || st.Rescued == 0 {
+				t.Errorf("gmin stepping must rescue, stats %+v", st)
+			}
+			if st.SourceRamps != 0 {
+				t.Errorf("source ramp must not fire, stats %+v", st)
+			}
+		}},
+		{"source-ramp", Fault{
+			Kind: Stuck, Device: "mn", Start: 1.1e-9, End: 1.11e-9,
+			ClearAtRung: spice.RungSourceRamp,
+		}, func(t *testing.T, st spice.RecoveryStats) {
+			if st.SourceRamps == 0 || st.Rescued == 0 {
+				t.Errorf("source ramping must rescue, stats %+v", st)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := New(tc.fault)
+			res, err := runWith(t, inj, spice.Options{Solver: spice.SolverSparse})
+			if err != nil {
+				t.Fatalf("run must be rescued by %v, got %v", tc.fault.ClearAtRung, err)
+			}
+			if inj.Hits(0) == 0 {
+				t.Fatal("fault never perturbed an evaluation")
+			}
+			tc.check(t, res.Recovery)
+			if v := res.Trace("out").At(2.5e-9); v > 0.6 {
+				t.Errorf("final V(out) = %g, rescued run lost the waveform", v)
+			}
+		})
+	}
+}
+
+// TestNaNFailsFastSparseNewton: injected NaN poisons the stamped
+// residual, the solved update goes non-finite, and the per-update
+// guard must fail fast with the node named — same contract as the
+// relaxation path.
+func TestNaNFailsFastSparseNewton(t *testing.T) {
+	inj := New(Fault{Kind: NaN, Device: "mn", Start: 1.2e-9})
+	res, err := runWith(t, inj, spice.Options{Solver: spice.SolverSparse})
+	if !errors.Is(err, simerr.ErrNumerical) {
+		t.Fatalf("want ErrNumerical, got %v", err)
+	}
+	var se *simerr.Error
+	if !errors.As(err, &se) {
+		t.Fatalf("error must be a *simerr.Error, got %T", err)
+	}
+	if se.Node != "out" {
+		t.Errorf("error must name the poisoned node, got %q", se.Node)
+	}
+	if res == nil || res.Trace("out").Len() < 2 {
+		t.Fatal("partial result must carry the pre-failure waveform")
+	}
+}

@@ -1,0 +1,97 @@
+package mosfet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestIdsDerivMatchesNumeric checks the analytic partials against
+// central differences of Ids across all model regions: weak inversion,
+// triode, saturation, vds < 0 (terminal exchange), with and without
+// body effect, in both technologies. Points landing within a few h of
+// a branch kink (vov = 0, vds = vov, vds = 0) are skipped: the model
+// is continuous but not differentiable there, and the stamp convention
+// picks one side.
+func TestIdsDerivMatchesNumeric(t *testing.T) {
+	techs := []Tech{Tech07(), Tech03()}
+	rng := rand.New(rand.NewSource(7))
+	const h = 1e-6
+	for ti := range techs {
+		tech := &techs[ti]
+		devs := []Device{
+			NewNMOS(tech, 1.4),
+			NewPMOS(tech, 2.8),
+			NewSleepNMOS(tech, 10),
+		}
+		for di, d := range devs {
+			checked := 0
+			for n := 0; n < 4000; n++ {
+				vgs := (rng.Float64()*2 - 0.5) * tech.Vdd
+				vds := (rng.Float64()*2.4 - 1.2) * tech.Vdd
+				vsb := rng.Float64() * 0.8 * tech.Vdd
+				if nearKink(d, vgs, vds, vsb, 8*h) {
+					continue
+				}
+				ids, gm, gds, gmb := d.IdsDeriv(vgs, vds, vsb)
+				if got := d.Ids(vgs, vds, vsb); got != ids {
+					t.Fatalf("tech %d dev %d: IdsDeriv current %g != Ids %g at (%g,%g,%g)",
+						ti, di, ids, got, vgs, vds, vsb)
+				}
+				ngm := (d.Ids(vgs+h, vds, vsb) - d.Ids(vgs-h, vds, vsb)) / (2 * h)
+				ngds := (d.Ids(vgs, vds+h, vsb) - d.Ids(vgs, vds-h, vsb)) / (2 * h)
+				ngmb := (d.Ids(vgs, vds, vsb+h) - d.Ids(vgs, vds, vsb-h)) / (2 * h)
+				for _, c := range []struct {
+					name     string
+					ana, num float64
+				}{{"gm", gm, ngm}, {"gds", gds, ngds}, {"gmb", gmb, ngmb}} {
+					// Relative tolerance scaled to the largest conductance
+					// at the point; central differences are O(h^2).
+					scale := math.Max(math.Abs(c.num), math.Max(math.Abs(gm), math.Abs(gds)))
+					tol := 1e-4*scale + 1e-12
+					if math.Abs(c.ana-c.num) > tol {
+						t.Errorf("tech %d dev %d %s at (vgs=%g vds=%g vsb=%g): analytic %g vs numeric %g",
+							ti, di, c.name, vgs, vds, vsb, c.ana, c.num)
+					}
+				}
+				checked++
+			}
+			if checked < 1000 {
+				t.Fatalf("tech %d dev %d: only %d points checked; kink filter too aggressive", ti, di, checked)
+			}
+		}
+	}
+}
+
+// nearKink reports whether the operating point sits within eps of a
+// model branch boundary, evaluated in the exchanged frame for vds < 0
+// exactly as Ids does.
+func nearKink(d Device, vgs, vds, vsb, eps float64) bool {
+	if math.Abs(vds) < eps {
+		return true
+	}
+	if vds < 0 {
+		vgs, vds, vsb = vgs-vds, -vds, vsb+vds
+	}
+	vov := vgs - d.VtBody(vsb)
+	return math.Abs(vov) < eps || math.Abs(vds-vov) < eps || math.Abs(vsb) < eps
+}
+
+// TestIdsDerivSignConventions pins the stamp-facing sign conventions:
+// gm and gds are non-negative in forward conduction, and gmb is
+// non-positive (body effect only ever weakens the device).
+func TestIdsDerivSignConventions(t *testing.T) {
+	tech := Tech07()
+	d := NewNMOS(&tech, 2)
+	for _, p := range [][3]float64{
+		{1.2, 1.2, 0}, {1.2, 0.2, 0}, {0.3, 1.2, 0.4}, {1.0, 0.6, 0.5},
+	} {
+		_, gm, gds, gmb := d.IdsDeriv(p[0], p[1], p[2])
+		if gm < 0 || gds < 0 {
+			t.Errorf("at %v: gm=%g gds=%g must be non-negative", p, gm, gds)
+		}
+		if gmb > 0 {
+			t.Errorf("at %v: gmb=%g must be non-positive", p, gmb)
+		}
+	}
+}

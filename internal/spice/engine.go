@@ -76,6 +76,12 @@ type Options struct {
 	// Intercept, when non-nil, observes and may replace every MOS
 	// current evaluation (fault injection; see internal/faultinject).
 	Intercept Intercept
+
+	// Solver selects the linear kernel behind the full-Newton solvers
+	// (see stamp.go). SolverAuto keeps the per-node relaxation for
+	// transient steps and picks dense/sparse by circuit size for DC;
+	// SolverDense and SolverSparse force a matrix kernel everywhere.
+	Solver Solver
 }
 
 func (o *Options) withDefaults() Options {
@@ -218,6 +224,12 @@ type Engine struct {
 	order []int32 // free-node relaxation order
 
 	pool sync.Pool // *runState: recycled per-run solver vectors
+
+	// Sparse analytic-Jacobian solver context (stamp.go), built lazily
+	// on first use so relaxation-only runs never pay the ordering cost;
+	// the symbolic factorization is then shared by every solve.
+	sparseOnce sync.Once
+	sp         *sparseCtx
 }
 
 // Compile builds a simulation engine from a flattened netlist.

@@ -118,6 +118,10 @@ type runState struct {
 	// Device-evaluation interception (fault injection) for this run.
 	icept Intercept
 	einfo EvalInfo
+
+	// Full-Newton step-solver workspaces (newton.go), allocated on
+	// first use when Options.Solver selects a matrix kernel.
+	nw *newtonWork
 }
 
 // attempt parameterizes one candidate solve of a single timestep.
@@ -196,6 +200,9 @@ func (e *Engine) attemptStep(o *Options, st *runState, a attempt) sweepOut {
 		st.vtrial[s.node] = target
 	}
 	st.einfo = EvalInfo{T: tNew, Dt: a.dt, Rung: a.rung}
+	if o.Solver != SolverAuto {
+		return e.solveNewton(o, st, a, o.Solver)
+	}
 	return e.solveSweeps(o, st, a)
 }
 

@@ -1,0 +1,162 @@
+package spice
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mtcmos/internal/circuit"
+	"mtcmos/internal/circuits"
+	"mtcmos/internal/netlist"
+)
+
+// compareOP solves the DC operating point with the dense oracle and
+// the sparse analytic kernel and requires the solutions to agree far
+// below rendering granularity: both kernels polish the final gmin
+// stage to a stationary point, so they must land on the same root.
+func compareOP(t *testing.T, e *Engine, seed map[string]float64) {
+	t.Helper()
+	vd, sd, err := e.OperatingPointStats(seed, 0, SolverDense)
+	if err != nil {
+		t.Fatalf("dense: %v", err)
+	}
+	vs, ss, err := e.OperatingPointStats(seed, 0, SolverSparse)
+	if err != nil {
+		t.Fatalf("sparse: %v", err)
+	}
+	if sd.Solver != SolverDense || ss.Solver != SolverSparse {
+		t.Fatalf("stats solvers: dense=%v sparse=%v", sd.Solver, ss.Solver)
+	}
+	if ss.Factorizations == 0 || ss.Evals == 0 {
+		t.Fatalf("sparse stats empty: %+v", ss)
+	}
+	for i, name := range e.names {
+		if d := math.Abs(vd[i] - vs[i]); d > 1e-9 {
+			t.Errorf("node %s: dense %.15g vs sparse %.15g (|d|=%g)", name, vd[i], vs[i], d)
+		}
+	}
+	// Supply currents are the quantities experiments render (leakage
+	// down to femtoamps): require tight relative agreement.
+	for _, s := range e.srcs {
+		if s.node == groundIdx {
+			continue
+		}
+		name := e.names[s.node]
+		id, _ := e.SupplyCurrent(vd, name)
+		is, _ := e.SupplyCurrent(vs, name)
+		if d := math.Abs(id - is); d > 1e-6*math.Abs(id)+1e-21 {
+			t.Errorf("supply %s: dense %.12g vs sparse %.12g", name, id, is)
+		}
+	}
+}
+
+// TestOperatingPointSparseMatchesDenseDecks runs the equivalence check
+// on every deck shipped under examples/decks.
+func TestOperatingPointSparseMatchesDenseDecks(t *testing.T) {
+	decks, err := filepath.Glob("../../examples/decks/*.sp")
+	if err != nil || len(decks) == 0 {
+		t.Fatalf("no example decks found: %v", err)
+	}
+	for _, path := range decks {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			text, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nl, err := netlist.ParseString(string(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := nl.Flatten()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := Compile(f, tech07())
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareOP(t, e, nil)
+		})
+	}
+}
+
+// TestOperatingPointSparseMatchesDenseRandom sweeps randomized MTCMOS
+// circuits: generated adder blocks of random width, sleep sizing and
+// input vector, plus randomized variants of the mixed-element stamp
+// deck. Convergence-safe by construction (real logic topologies), yet
+// random enough to walk the stamp code through every element kind and
+// operating region.
+func TestOperatingPointSparseMatchesDenseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		bits := 1 + rng.Intn(3)
+		ad := circuits.RippleCarryAdder(tech07(), bits, (5+20*rng.Float64())*1e-15)
+		ad.SleepWL = 4 + 30*rng.Float64()
+		max := uint64(1)<<uint(bits) - 1
+		inputs := ad.Inputs(rng.Uint64()&max, rng.Uint64()&max, rng.Intn(2) == 0)
+		nl, err := ad.Circuit.Netlist(circuit.Stimulus{Old: inputs, New: inputs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := nl.Flatten()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Compile(f, ad.Tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := map[string]float64{}
+		for _, name := range e.names {
+			if rng.Intn(2) == 0 {
+				seed[name] = rng.Float64() * ad.Tech.Vdd
+			}
+		}
+		compareOP(t, e, seed)
+	}
+}
+
+// TestOperatingPointAutoSelectsBySize pins the auto policy: small
+// circuits stay on the dense oracle, large ones move to the sparse
+// kernel.
+func TestOperatingPointAutoSelectsBySize(t *testing.T) {
+	small, err := Compile(flatten(t, stampDeck), tech07())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := small.OperatingPointStats(nil, 0, SolverAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.order) < autoSparseNodes && st.Solver != SolverDense {
+		t.Errorf("small circuit (%d free nodes) picked %v", len(small.order), st.Solver)
+	}
+
+	ad := circuits.RippleCarryAdder(tech07(), 4, 20e-15)
+	ad.SleepWL = 20
+	inputs := ad.Inputs(9, 6, false)
+	nl, err := ad.Circuit.Netlist(circuit.Stimulus{Old: inputs, New: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := nl.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Compile(f, ad.Tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.order) < autoSparseNodes {
+		t.Skipf("adder only has %d free nodes", len(big.order))
+	}
+	_, st, err = big.OperatingPointStats(nil, 0, SolverAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solver != SolverSparse || st.FellBack {
+		t.Errorf("large circuit (%d free nodes): solver %v fellBack=%v", len(big.order), st.Solver, st.FellBack)
+	}
+}

@@ -1,0 +1,183 @@
+package spice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSystem builds a random circuit-shaped system: structurally
+// symmetric sparse pattern, diagonally loaded (every row carries a
+// conductance-like diagonal), plus a few asymmetric gm-style couplings.
+func randSystem(rng *rand.Rand, n int) (rows [][]int32, vals map[[2]int32]float64) {
+	rows = make([][]int32, n)
+	vals = map[[2]int32]float64{}
+	put := func(r, c int32, v float64) {
+		rows[r] = append(rows[r], c)
+		vals[[2]int32{r, c}] += v
+	}
+	for i := 0; i < n; i++ {
+		put(int32(i), int32(i), 1e-6+rng.Float64())
+	}
+	for k := 0; k < 3*n; k++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		g := rng.Float64() * 0.5
+		// Conductance-style symmetric stamp.
+		put(a, b, -g)
+		put(b, a, -g)
+		put(a, a, g)
+		put(b, b, g)
+	}
+	for k := 0; k < n/2; k++ {
+		// gm-style one-way coupling (row depends on a gate column).
+		r, c := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if r != c {
+			put(r, c, (rng.Float64()-0.5)*0.3)
+		}
+	}
+	return rows, vals
+}
+
+func denseFrom(n int, vals map[[2]int32]float64) [][]float64 {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for rc, v := range vals {
+		d[rc[0]][rc[1]] = v
+	}
+	return d
+}
+
+func TestSparseLUMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(40)
+		rows, vals := randSystem(rng, n)
+		sym := newSparseSym(rows)
+		num := sym.newNum()
+
+		aval := make([]float64, len(sym.ai))
+		for rc, v := range vals {
+			s := sym.slot(rc[0], rc[1])
+			if s < 0 {
+				t.Fatalf("trial %d: entry (%d,%d) missing from pattern", trial, rc[0], rc[1])
+			}
+			aval[s] = v
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*2 - 1
+		}
+
+		sym.refactor(num, aval)
+		got := make([]float64, n)
+		sym.solve(num, b, got)
+
+		dm := denseFrom(n, vals)
+		bd := append([]float64(nil), b...)
+		want, err := solveDense(dm, bd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d n=%d: x[%d] sparse %g vs dense %g", trial, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSparseLURefactorReuse re-stamps new values into the same pattern
+// and solves again: the symbolic structure must be reusable across
+// numeric refactorizations (the whole point of the kernel).
+func TestSparseLURefactorReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 25
+	rows, vals := randSystem(rng, n)
+	sym := newSparseSym(rows)
+	num := sym.newNum()
+	aval := make([]float64, len(sym.ai))
+	for pass := 0; pass < 5; pass++ {
+		for rc := range vals {
+			vals[rc] = rng.Float64()*2 - 1
+		}
+		// Keep rows diagonally loaded so static pivoting stays honest.
+		for i := 0; i < n; i++ {
+			vals[[2]int32{int32(i), int32(i)}] = 1 + rng.Float64()
+		}
+		for i := range aval {
+			aval[i] = 0
+		}
+		for rc, v := range vals {
+			aval[sym.slot(rc[0], rc[1])] = v
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		sym.refactor(num, aval)
+		got := make([]float64, n)
+		sym.solve(num, b, got)
+		want, err := solveDense(denseFrom(n, vals), append([]float64(nil), b...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("pass %d: x[%d] sparse %g vs dense %g", pass, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSparseLUIsolatedUnknown checks the zero-pivot patch: a row with
+// no entries at all (structurally isolated unknown) must come back as
+// a zero update, exactly like solveDense's fallback, without failing
+// the factorization.
+func TestSparseLUIsolatedUnknown(t *testing.T) {
+	rows := [][]int32{
+		{0, 2},
+		nil, // isolated: only the injected diagonal, value 0
+		{0, 2},
+	}
+	sym := newSparseSym(rows)
+	num := sym.newNum()
+	aval := make([]float64, len(sym.ai))
+	aval[sym.slot(0, 0)] = 2
+	aval[sym.slot(0, 2)] = -1
+	aval[sym.slot(2, 0)] = -1
+	aval[sym.slot(2, 2)] = 2
+	sym.refactor(num, aval)
+	b := []float64{1, 5, 1}
+	got := make([]float64, 3)
+	sym.solve(num, b, got)
+	if got[1] != 0 {
+		t.Errorf("isolated unknown must solve to 0, got %g", got[1])
+	}
+	if math.Abs(got[0]-1) > 1e-12 || math.Abs(got[2]-1) > 1e-12 {
+		t.Errorf("coupled unknowns wrong: %v", got)
+	}
+}
+
+// TestSparseOrderingDeterministic pins determinism: the same pattern
+// must produce the same elimination order every time (ties break to
+// the lowest index), since rendered experiment output depends on it
+// being reproducible.
+func TestSparseOrderingDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows, _ := randSystem(rng, 30)
+	a := newSparseSym(rows)
+	b := newSparseSym(rows)
+	for i := range a.perm {
+		if a.perm[i] != b.perm[i] {
+			t.Fatalf("orderings differ at %d: %d vs %d", i, a.perm[i], b.perm[i])
+		}
+	}
+	if len(a.fi) != len(b.fi) {
+		t.Fatalf("fill differs: %d vs %d", len(a.fi), len(b.fi))
+	}
+}

@@ -33,6 +33,14 @@ type StandbyResult struct {
 // paper-scale circuits (tree, adders); the dense solve grows cubically
 // with node count.
 func Standby(c *circuit.Circuit, inputs map[string]bool) (*StandbyResult, error) {
+	return StandbyWith(c, inputs, SolverAuto)
+}
+
+// StandbyWith is Standby with an explicit linear-kernel choice for the
+// DC solves: dense, sparse, or size-based auto. The warm-up transient
+// always uses the relaxation solver; only the Newton operating-point
+// analysis is affected.
+func StandbyWith(c *circuit.Circuit, inputs map[string]bool, solver Solver) (*StandbyResult, error) {
 	if c.SleepWL <= 0 {
 		return nil, fmt.Errorf("spice: standby analysis needs a sleep device")
 	}
@@ -72,7 +80,7 @@ func Standby(c *circuit.Circuit, inputs map[string]bool) (*StandbyResult, error)
 		for _, name := range e.names {
 			warm[name] = res.Traces[name].Final()
 		}
-		v, err := e.OperatingPoint(warm, 0)
+		v, err := e.OperatingPointWith(warm, 0, solver)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -249,6 +249,31 @@ func Standby(c *Circuit, inputs map[string]bool) (*StandbyResult, error) {
 	return spice.Standby(c, inputs)
 }
 
+// StandbyWith is Standby with an explicit solver-kernel choice for the
+// DC analysis.
+func StandbyWith(c *Circuit, inputs map[string]bool, solver Solver) (*StandbyResult, error) {
+	return spice.StandbyWith(c, inputs, solver)
+}
+
+// Solver selects the reference engine's equation-solver kernel: the
+// analytic-stamp sparse Newton kernel, the numeric-probe dense oracle,
+// or size-based auto selection (EngineOptions.Solver for transients,
+// StandbyWith for DC analyses; -solver on the command-line tools).
+type Solver = spice.Solver
+
+// The solver kernels. SolverAuto picks by circuit size (and keeps the
+// relaxation solver for transients); SolverDense and SolverSparse
+// force a matrix kernel.
+const (
+	SolverAuto   = spice.SolverAuto
+	SolverDense  = spice.SolverDense
+	SolverSparse = spice.SolverSparse
+)
+
+// ParseSolver parses a -solver flag value: "auto" (or empty), "dense"
+// or "sparse".
+func ParseSolver(s string) (Solver, error) { return spice.ParseSolver(s) }
+
 // Netlist is a parsed SPICE-dialect deck; see ParseNetlist.
 type Netlist = netlist.Netlist
 
