@@ -1,0 +1,99 @@
+// Command mtworkd is the shard worker daemon: it accepts coordinator
+// connections (mtexp/mtsim -hosts) and runs their shards on this
+// machine, one worker subprocess per session, bounded by -slots.
+// It registers the same task set as the coordinators — the handshake
+// verifies that by digest, so a stale daemon is refused by name
+// instead of failing mid-run.
+//
+// Usage:
+//
+//	mtworkd                          # listen on :9123, GOMAXPROCS slots
+//	mtworkd -listen :7000 -slots 4
+//	mtworkd -auth $SECRET            # require the shared secret
+//	mtworkd -version
+//
+// The daemon holds no state: killing it mid-run is safe (coordinators
+// re-queue the dropped shards elsewhere or degrade to local
+// execution), and a restarted daemon serves new sessions immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+
+	"mtcmos/internal/buildinfo"
+	"mtcmos/internal/shard"
+	shardnet "mtcmos/internal/shard/net"
+
+	// Registers the shard task set: cli.sweep directly, the
+	// experiment grids transitively. Coordinators and this daemon
+	// must agree on it — see shard.RegistryDigest.
+	_ "mtcmos/internal/cli"
+)
+
+func main() {
+	if os.Getenv(shard.WorkerEnv) == "1" {
+		// Re-executed by our own Server as a worker subprocess: serve
+		// the frame protocol on stdio instead of daemonizing.
+		if err := shard.ServeWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mtworkd worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mtworkd", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", ":9123", "address to accept coordinator connections on")
+		slots   = fs.Int("slots", runtime.GOMAXPROCS(0), "concurrent worker subprocesses; further attaches are rejected busy")
+		auth    = fs.String("auth", os.Getenv("MTWORKD_AUTH"), "shared secret coordinators must present (default $MTWORKD_AUTH)")
+		quiet   = fs.Bool("q", false, "suppress per-session log lines")
+		version = fs.Bool("version", false, "print build identity and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Println(buildinfo.String("mtworkd"))
+		return 0
+	}
+
+	logger := log.New(os.Stderr, "mtworkd: ", log.LstdFlags)
+	s := &shardnet.Server{Slots: *slots, Auth: *auth}
+	if !*quiet {
+		s.Logf = logger.Printf
+	}
+	addr, err := s.Listen(*listen)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	logger.Printf("%s listening on %s: %d slots, tasks [%s], registry digest %.12s, auth %s",
+		buildinfo.String("mtworkd"), addr, *slots,
+		strings.Join(shard.Tasks(), " "), shard.RegistryDigest(),
+		map[bool]string{true: "required", false: "off"}[*auth != ""])
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		logger.Print("shutting down")
+		s.Close()
+	}()
+
+	if err := s.Serve(); err != nil {
+		logger.Print(err)
+		return 1
+	}
+	return 0
+}

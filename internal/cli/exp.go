@@ -41,12 +41,19 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) (err error) {
 		jobs    = fs.Int("j", 0, "parallel sweep workers (0 = one per CPU, 1 = serial); results are identical for any value")
 		shards  = fs.Int("shards", 0, "split big vector grids over N shards on worker subprocesses (0 = in-process); output is identical for any value")
 		resume  = fs.String("resume", "", "checkpoint sharded grids to this journal and resume from it if it exists (implies sharded execution)")
+		hosts   = fs.String("hosts", "", "run shards on remote mtworkd daemons: comma-separated host:port list, or @file with one per line (implies sharded execution); output is identical to a local run")
+		authF   = fs.String("auth", os.Getenv("MTWORKD_AUTH"), "shared secret for -hosts daemons started with mtworkd -auth (default $MTWORKD_AUTH)")
 		worker  = fs.Bool("worker", false, "run as a shard worker subprocess (internal; speaks the shard protocol on stdin/stdout)")
 		solverF = fs.String("solver", "auto", "reference-engine equation solver for DC analyses: auto | dense | sparse; output is byte-identical for any value")
+		version = versionFlag(fs)
 		profF   = addProfileFlags(fs)
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *version {
+		printVersion(w, "mtexp")
+		return nil
 	}
 	if *worker {
 		// Spawned by a coordinating mtexp: serve shard assignments on
@@ -86,14 +93,23 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) (err error) {
 		Solver:         solver,
 	}
 	var runner *shard.Runner
-	if *shards > 0 || *resume != "" {
-		runner = &shard.Runner{Opts: shard.Options{
+	if *shards > 0 || *resume != "" || *hosts != "" {
+		opts := shard.Options{
 			Shards:  *shards,
 			Procs:   *jobs,
 			Spawn:   shard.SelfSpawner("-worker"),
 			Journal: *resume,
 			Seed:    *seed,
-		}}
+		}
+		if *hosts != "" {
+			// Remote execution; the local subprocess Spawn stays as the
+			// fallback rung when hosts are down or busy.
+			opts.Transport, err = hostsTransport(*hosts, *authF)
+			if err != nil {
+				return err
+			}
+		}
+		runner = &shard.Runner{Opts: opts}
 		cfg.Shard = runner
 	}
 
@@ -149,6 +165,13 @@ func ExpContext(ctx context.Context, args []string, w io.Writer) (err error) {
 				if st := runner.LastStats(); st.Shards > 0 {
 					fmt.Fprintf(w, "(shards: %d total, %d resumed, %d spawned, %d retries, %d worker deaths, %d quarantined)\n",
 						st.Shards, st.Resumed, st.Spawned, st.Retries, st.Deaths, len(st.Quarantined))
+					if strings.HasPrefix(st.Transport, "tcp:") {
+						note := ""
+						if st.RemoteFallback {
+							note = "; some shards fell back to local subprocesses"
+						}
+						fmt.Fprintf(w, "(transport: %s, %d remote workers%s)\n", st.Transport, st.Remote, note)
+					}
 				}
 			}
 		}

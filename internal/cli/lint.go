@@ -32,9 +32,14 @@ func Lint(args []string, w io.Writer) error {
 		workersF = fs.Int("j", 1, "lint decks on N parallel workers (0 = one per CPU); output is byte-identical to -j 1")
 		werrorF  = fs.Bool("werror", false, "treat warnings as errors (nonzero exit), for CI gates")
 		rulesF   = fs.Bool("rules", false, "list every rule (code, severity, description) and exit")
+		version  = versionFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		printVersion(w, "mtlint")
+		return nil
 	}
 	if *rulesF {
 		for _, r := range lint.Rules() {

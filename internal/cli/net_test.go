@@ -1,0 +1,183 @@
+package cli
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mtcmos/internal/faultinject"
+	"mtcmos/internal/shard"
+	shardnet "mtcmos/internal/shard/net"
+)
+
+// These tests drive the full cross-host path end to end through the
+// rendered CLI output: an in-process shardnet.Server stands in for
+// mtworkd (same code the daemon wraps), its workers are re-executed
+// copies of this test binary (the TestMain hook in shard_test.go),
+// and mtexp/mtsim connect via -hosts exactly as a user would.
+
+// startDaemon runs a loopback worker daemon for the test's lifetime.
+func startDaemon(t *testing.T, s *shardnet.Server) string {
+	t.Helper()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	t.Cleanup(func() {
+		s.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return addr.String()
+}
+
+// TestExpHostsFig14ByteIdentical: the acceptance gate — fig14 over a
+// loopback daemon renders byte-identically to the in-process and
+// subprocess paths.
+func TestExpHostsFig14ByteIdentical(t *testing.T) {
+	run := func(extra ...string) string {
+		var buf bytes.Buffer
+		args := append([]string{"-e", "fig14", "-fast", "-adder", "2"}, extra...)
+		if err := Exp(args, &buf); err != nil {
+			t.Fatalf("mtexp %v: %v", args, err)
+		}
+		return buf.String()
+	}
+	serial := run("-j", "1")
+	if got := run("-shards", "4", "-j", "2"); got != serial {
+		t.Errorf("subprocess output diverged from serial:\n%s\nvs\n%s", got, serial)
+	}
+	addr := startDaemon(t, &shardnet.Server{Slots: 4})
+	if got := run("-shards", "4", "-j", "2", "-hosts", addr); got != serial {
+		t.Errorf("-hosts output diverged from serial:\n%s\nvs\n%s", got, serial)
+	}
+}
+
+// TestExpHostsChaosAndResume: the daemon's workers crash mid-shard,
+// the run checkpoints to a journal over TCP, and a second run against
+// the same host set resumes it — output byte-identical throughout.
+func TestExpHostsChaosAndResume(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp([]string{"-e", "fig14", "-fast", "-adder", "2", "-j", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	serial := buf.String()
+
+	addr := startDaemon(t, &shardnet.Server{Slots: 4})
+	journal := filepath.Join(t.TempDir(), "fig14.journal")
+	// One worker loop (-j 1) keeps the chaos deterministic: every
+	// fresh session completes exactly one shard before the fault kills
+	// it, so each shard dies at most once and never quarantines.
+	args := []string{"-e", "fig14", "-fast", "-adder", "2", "-shards", "4", "-j", "1",
+		"-hosts", addr, "-resume", journal}
+
+	// Run 1 under crash chaos: every bridged worker dies serving its
+	// 2nd shard; connection drops re-queue onto fresh sessions.
+	t.Setenv(faultinject.WorkerFaultEnv, "crash;on=2")
+	buf.Reset()
+	if err := Exp(args, &buf); err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if buf.String() != serial {
+		t.Errorf("chaos -hosts output diverged from serial:\n%s\nvs\n%s", buf.String(), serial)
+	}
+
+	// Run 2 resumes the journal against the same host set.
+	t.Setenv(faultinject.WorkerFaultEnv, "")
+	buf.Reset()
+	if err := Exp(args, &buf); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if buf.String() != serial {
+		t.Errorf("resumed -hosts output diverged:\n%s\nvs\n%s", buf.String(), serial)
+	}
+}
+
+// TestExpResumeRefusesTransportSwitch: a journal written by a local
+// sharded run refuses -resume against a remote host set, and names
+// both transports in the error.
+func TestExpResumeRefusesTransportSwitch(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "fig14.journal")
+	var buf bytes.Buffer
+	if err := Exp([]string{"-e", "fig14", "-fast", "-adder", "2", "-shards", "4", "-resume", journal}, &buf); err != nil {
+		t.Fatalf("local seed run: %v", err)
+	}
+	addr := startDaemon(t, &shardnet.Server{Slots: 2})
+	buf.Reset()
+	err := Exp([]string{"-e", "fig14", "-fast", "-adder", "2", "-shards", "4",
+		"-hosts", addr, "-resume", journal}, &buf)
+	if err == nil {
+		t.Fatal("remote resume of a local journal accepted")
+	}
+	for _, want := range []string{"refusing to resume", "subprocess", "tcp:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("err = %v, missing %q", err, want)
+		}
+	}
+}
+
+// TestSimHostsSweepDaemonLost: mtsim -hosts with the daemon shut down
+// mid-sweep — dropped shards must re-queue onto the local subprocess
+// rung and the table must not change.
+func TestSimHostsSweepDaemonLost(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Sim([]string{"-circuit", "tree", "-wl", "0,2,4,8,12,20", "-j", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	serial := buf.String()
+
+	daemon := &shardnet.Server{Slots: 2}
+	addr := startDaemon(t, daemon)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		daemon.Close()
+	}()
+	buf.Reset()
+	if err := Sim([]string{"-circuit", "tree", "-wl", "0,2,4,8,12,20",
+		"-shards", "6", "-j", "2", "-hosts", addr}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serial {
+		t.Errorf("daemon-lost sweep diverged from serial:\n%s\nvs\n%s", buf.String(), serial)
+	}
+}
+
+// TestExpHostsBadSpecUsageError: a malformed -hosts value is a usage
+// error (exit 2), not a runtime failure.
+func TestExpHostsBadSpecUsageError(t *testing.T) {
+	var buf bytes.Buffer
+	err := Exp([]string{"-e", "fig14", "-fast", "-adder", "2", "-hosts", "no-port-here"}, &buf)
+	if err == nil || ExitCode(err) != ExitUsage {
+		t.Fatalf("err = %v (exit %d), want usage error", err, ExitCode(err))
+	}
+}
+
+// TestVersionFlagAllTools: every tool prints its build identity and
+// exits cleanly.
+func TestVersionFlagAllTools(t *testing.T) {
+	for name, run := range map[string]func([]string, *bytes.Buffer) error{
+		"mtexp":  func(a []string, b *bytes.Buffer) error { return Exp(a, b) },
+		"mtsim":  func(a []string, b *bytes.Buffer) error { return Sim(a, b) },
+		"mtsize": func(a []string, b *bytes.Buffer) error { return Size(a, b) },
+		"mtlint": func(a []string, b *bytes.Buffer) error { return Lint(a, b) },
+	} {
+		var buf bytes.Buffer
+		if err := run([]string{"-version"}, &buf); err != nil {
+			t.Fatalf("%s -version: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), name+" ") || !strings.Contains(buf.String(), "rev ") {
+			t.Fatalf("%s -version output %q missing tool name or revision", name, buf.String())
+		}
+	}
+	// The worker transport kind never leaks into -version output, but
+	// the registry digest the handshake checks must be stable across
+	// the tools: they all link the same task set.
+	if len(shard.Tasks()) == 0 {
+		t.Fatal("no shard tasks registered in the cli test binary")
+	}
+}

@@ -50,12 +50,19 @@ func SimContext(ctx context.Context, args []string, w io.Writer) (err error) {
 		maxStep = fs.Int("max-steps", 0, "cap accepted timesteps (spice) / events (vbs); 0 = unlimited, overruns exit 4")
 		shards  = fs.Int("shards", 0, "split a -wl sweep over N shards on worker subprocesses (0 = in-process); output is identical for any value")
 		resume  = fs.String("resume", "", "checkpoint a sharded sweep to this journal and resume from it if it exists (implies sharded execution)")
+		hosts   = fs.String("hosts", "", "run sweep shards on remote mtworkd daemons: comma-separated host:port list, or @file with one per line (implies sharded execution); output is identical to a local run")
+		authF   = fs.String("auth", os.Getenv("MTWORKD_AUTH"), "shared secret for -hosts daemons started with mtworkd -auth (default $MTWORKD_AUTH)")
 		worker  = fs.Bool("worker", false, "run as a shard worker subprocess (internal; speaks the shard protocol on stdin/stdout)")
 		solverF = fs.String("solver", "auto", "reference-engine equation solver: auto | dense | sparse (spice engine and -netlist runs)")
+		version = versionFlag(fs)
 		profF   = addProfileFlags(fs)
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *version {
+		printVersion(w, "mtsim")
+		return nil
 	}
 	if *worker {
 		return shard.ServeWorker(ctx, os.Stdin, w)
@@ -107,15 +114,22 @@ func SimContext(ctx context.Context, args []string, w io.Writer) (err error) {
 			MaxStep: *maxStep, Workers: *jobs,
 		}
 		var runner *shard.Runner
-		if *shards > 0 || *resume != "" {
-			runner = &shard.Runner{Opts: shard.Options{
+		if *shards > 0 || *resume != "" || *hosts != "" {
+			opts := shard.Options{
 				Shards:  *shards,
 				Procs:   *jobs,
 				Spawn:   shard.SelfSpawner("-worker"),
 				Journal: *resume,
-			}}
-			// The subprocess pool is the parallelism; each worker
-			// computes its shard serially.
+			}
+			if *hosts != "" {
+				opts.Transport, err = hostsTransport(*hosts, *authF)
+				if err != nil {
+					return err
+				}
+			}
+			runner = &shard.Runner{Opts: opts}
+			// The worker pool is the parallelism; each worker computes
+			// its shard serially.
 			p.Workers = 1
 		}
 		return runSweep(ctx, w, p, runner)

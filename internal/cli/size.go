@@ -36,10 +36,15 @@ func SizeContext(ctx context.Context, args []string, w io.Writer) (err error) {
 		jobs    = fs.Int("j", 0, "parallel workers for per-transition sweeps (0 = one per CPU, 1 = serial); results are identical for any value")
 		standby = fs.Bool("standby", false, "verify the chosen size with a reference-engine standby DC analysis (leakage reduction, virtual-ground float)")
 		solverF = fs.String("solver", "auto", "reference-engine equation solver for -standby: auto | dense | sparse")
+		version = versionFlag(fs)
 		profF   = addProfileFlags(fs)
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *version {
+		printVersion(w, "mtsize")
+		return nil
 	}
 	solver, err := mtcmos.ParseSolver(*solverF)
 	if err != nil {

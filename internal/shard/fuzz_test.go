@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// frameBytes encodes a valid frame for use as a fuzz seed.
+func frameBytes(t testing.TB, f *frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, f); err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrame hammers the length-prefixed decoder with arbitrary
+// byte streams. The contract under fuzz: never panic, never allocate
+// proportionally to a hostile length prefix, and classify every
+// failure as either a typed protocol error (ErrProto) or a plain
+// stream-death error (EOF / unexpected EOF).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(frameBytes(f, &frame{Type: frameHello}))
+	f.Add(frameBytes(f, &frame{Type: frameResult, Shard: 3, Items: []json.RawMessage{json.RawMessage(`{"x":1}`)}}))
+	f.Add([]byte{})                                                                 // clean EOF
+	f.Add([]byte{0, 0})                                                             // truncated header
+	f.Add([]byte{0, 0, 0, 0})                                                       // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'a'})                                      // 4 GiB claim, 1-byte stream
+	f.Add([]byte{0, 0, 0, 5, '{', '}'})                                             // truncated body
+	f.Add([]byte{0, 0, 0, 2, 'h', 'i'})                                             // non-JSON body
+	f.Add(append([]byte{0x04, 0x00, 0x00, 0x01}, bytes.Repeat([]byte{'x'}, 64)...)) // > MaxFrame claim
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &meteredReader{r: bytes.NewReader(data)}
+		var fr frame
+		err := DecodeFrame(r, &fr)
+		if err == nil {
+			return
+		}
+		switch {
+		case errors.Is(err, ErrProto):
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		default:
+			t.Fatalf("DecodeFrame(%q) = %v: neither ErrProto nor an EOF", data, err)
+		}
+		// Bounded allocation: the decoder may read at most the header
+		// plus what the stream actually holds — a hostile prefix must
+		// not drive reads (and hence buffering) past the input.
+		if r.n > int64(len(data)) {
+			t.Fatalf("decoder consumed %d bytes from a %d-byte input", r.n, len(data))
+		}
+	})
+}
+
+// meteredReader counts bytes handed out, to bound decoder consumption.
+type meteredReader struct {
+	r io.Reader
+	n int64
+}
+
+func (m *meteredReader) Read(p []byte) (int, error) {
+	n, err := m.r.Read(p)
+	m.n += int64(n)
+	return n, err
+}
+
+func TestEncodeFrameRefusesOversize(t *testing.T) {
+	huge := &frame{Type: frameResult, Items: []json.RawMessage{json.RawMessage(`"` + strings.Repeat("x", MaxFrame) + `"`)}}
+	err := EncodeFrame(io.Discard, huge)
+	if !errors.Is(err, ErrProto) {
+		t.Fatalf("EncodeFrame(oversize) = %v, want ErrProto", err)
+	}
+}
+
+func TestDecodeFrameRefusesOversizeClaim(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	buf.WriteString("tiny")
+	var fr frame
+	err := DecodeFrame(&buf, &fr)
+	if !errors.Is(err, ErrProto) {
+		t.Fatalf("DecodeFrame(oversize claim) = %v, want ErrProto", err)
+	}
+}
+
+func TestDecodeFrameRoundTrip(t *testing.T) {
+	want := &frame{Type: frameResult, Shard: 7, Items: []json.RawMessage{json.RawMessage(`1`), json.RawMessage(`2`)}}
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	var got frame
+	if err := DecodeFrame(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || got.Shard != want.Shard || len(got.Items) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}

@@ -20,21 +20,28 @@ import (
 // only for the work it had not yet finished. A truncated final line —
 // the signature of a crash mid-append — is ignored, not an error.
 //
-// The header pins the grid identity (task, params, n) and geometry
-// (shard count): resuming under a different flag combination would
-// silently misalign item indices, so a mismatch is a hard error and
-// the geometry of a resumed run always comes from the journal.
+// The header pins the grid identity (task, params, n), geometry
+// (shard count), and the transport kind: resuming under a different
+// flag combination would silently misalign item indices, so a
+// mismatch is a hard error and the geometry of a resumed run always
+// comes from the journal. The transport kind includes the sorted host
+// set for the network transport, so a journal written against one
+// cluster refuses to resume against another (or against a local run),
+// where silent mixing could mask a misconfigured -hosts flag.
 
-// journalVersion guards the on-disk format.
-const journalVersion = 1
+// journalVersion guards the on-disk format. v2 added the transport
+// field; v1 journals predate cross-host execution and refuse with a
+// version error rather than guessing their transport.
+const journalVersion = 2
 
 // journalHeader is the first line of a journal.
 type journalHeader struct {
-	V      int             `json:"v"`
-	Task   string          `json:"task"`
-	Params json.RawMessage `json:"params"`
-	N      int             `json:"n"`
-	Shards int             `json:"shards"`
+	V         int             `json:"v"`
+	Task      string          `json:"task"`
+	Params    json.RawMessage `json:"params"`
+	N         int             `json:"n"`
+	Shards    int             `json:"shards"`
+	Transport string          `json:"transport"`
 }
 
 // journalShard is one completed-shard line.
@@ -53,10 +60,12 @@ type journal struct {
 
 // openJournal opens (or creates) the checkpoint at path for the given
 // grid and returns the journal plus the completions already recorded.
-// An existing journal must describe the same grid; its shard count
-// overrides geometry (so a resumed run cannot change it). shards is
-// the caller's intended shard count, used when creating a fresh file.
-func openJournal(path, task string, params json.RawMessage, n, shards int) (*journal, map[int]journalShard, int, error) {
+// An existing journal must describe the same grid and the same
+// transport; its shard count overrides geometry (so a resumed run
+// cannot change it). shards is the caller's intended shard count,
+// used when creating a fresh file; kind is the transport identity
+// (Transport.Kind or KindInProcess).
+func openJournal(path, task string, params json.RawMessage, n, shards int, kind string) (*journal, map[int]journalShard, int, error) {
 	data, err := os.ReadFile(path)
 	switch {
 	case err == nil && len(bytes.TrimSpace(data)) > 0:
@@ -66,6 +75,9 @@ func openJournal(path, task string, params json.RawMessage, n, shards int) (*jou
 		}
 		if hdr.Task != task || hdr.N != n || !bytes.Equal(hdr.Params, params) {
 			return nil, nil, 0, fmt.Errorf("shard: journal %s describes a different grid (task %q n=%d); refusing to resume", path, hdr.Task, hdr.N)
+		}
+		if hdr.Transport != kind {
+			return nil, nil, 0, fmt.Errorf("shard: journal %s was written by a %q-transport run; this run uses %q — refusing to resume across transports or host sets", path, hdr.Transport, kind)
 		}
 		j, err := compactJournal(path, hdr, done)
 		if err != nil {
@@ -78,7 +90,7 @@ func openJournal(path, task string, params json.RawMessage, n, shards int) (*jou
 			return nil, nil, 0, err
 		}
 		j := &journal{f: f}
-		if err := j.append(journalHeader{V: journalVersion, Task: task, Params: params, N: n, Shards: shards}); err != nil {
+		if err := j.append(journalHeader{V: journalVersion, Task: task, Params: params, N: n, Shards: shards, Transport: kind}); err != nil {
 			f.Close()
 			return nil, nil, 0, err
 		}
@@ -130,7 +142,7 @@ func compactJournal(path string, hdr journalHeader, done map[int]journalShard) (
 // mid-append); malformed interior lines are not.
 func replayJournal(data []byte) (journalHeader, map[int]journalShard, error) {
 	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 1<<16), maxFrame)
+	sc.Buffer(make([]byte, 0, 1<<16), MaxFrame)
 	var hdr journalHeader
 	if !sc.Scan() {
 		return hdr, nil, fmt.Errorf("missing header: %v", sc.Err())

@@ -1,0 +1,58 @@
+package shardnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+// ParseHosts resolves a -hosts flag value into a host:port list. The
+// spec is either a comma-separated list ("a:9123,b:9123") or "@path"
+// naming a file with one host:port per line; blank lines and
+// #-comments are ignored. Entries are validated (host and port both
+// present) and deduplicated preserving first occurrence.
+func ParseHosts(spec string) ([]string, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("shardnet: empty host list")
+	}
+	var fields []string
+	if rest, ok := strings.CutPrefix(spec, "@"); ok {
+		data, err := os.ReadFile(rest)
+		if err != nil {
+			return nil, fmt.Errorf("shardnet: hosts file: %w", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			fields = append(fields, line)
+		}
+	} else {
+		fields = strings.Split(spec, ",")
+	}
+	var hosts []string
+	seen := make(map[string]bool)
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		host, port, err := net.SplitHostPort(f)
+		if err != nil {
+			return nil, fmt.Errorf("shardnet: bad host %q: %w", f, err)
+		}
+		if host == "" || port == "" {
+			return nil, fmt.Errorf("shardnet: bad host %q: need host:port", f)
+		}
+		if !seen[f] {
+			seen[f] = true
+			hosts = append(hosts, f)
+		}
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("shardnet: host list %q holds no hosts", spec)
+	}
+	return hosts, nil
+}

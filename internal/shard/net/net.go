@@ -1,0 +1,80 @@
+// Package shardnet carries the shard frame protocol over TCP, taking
+// the coordinator's worker pool cross-host. It supplies both halves:
+// Transport (the coordinator side — implements shard.Transport, dials
+// mtworkd daemons and accounts per-host slots) and Server (the daemon
+// side — accepts coordinator connections and bridges each session to
+// a local worker subprocess).
+//
+// The data plane is exactly the subprocess wire format — the same
+// length-prefixed JSON frames, the same MaxFrame cap — so the
+// coordinator's heartbeat watchdog, retry/backoff, quarantine, and
+// typed-error machinery work unchanged; a dropped connection is
+// indistinguishable from a worker crash, and is handled identically.
+// The only additions are a one-round handshake before frames flow and
+// an exit frame after the bridged worker dies (TCP cannot observe a
+// remote exit status the way os/exec can).
+//
+// Handshake (all messages use the frame codec):
+//
+//	daemon -> coordinator: {proto, rev, digest, nonce, slots, auth}
+//	coordinator -> daemon: {proto, rev, digest, mac?, env}
+//	daemon -> coordinator: {ok} | {busy} | {err}
+//
+// A protocol-version or task-registry-digest mismatch is permanent —
+// the two binaries were built differently — so it wraps
+// shard.ErrTransport and fails the grid with both revisions named.
+// "busy" (all slots taken) and unreachable hosts are transient: the
+// coordinator penalizes the host and degrades down its ladder
+// (another host, then a local subprocess, then in-process).
+package shardnet
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// ProtocolVersion guards the handshake and frame protocol. Bump it on
+// any wire-visible change; mismatched peers refuse each other by
+// version instead of mis-parsing.
+const ProtocolVersion = 1
+
+// helloMsg is the daemon's opening message.
+type helloMsg struct {
+	Proto  int    `json:"proto"`
+	Rev    string `json:"rev"`    // buildinfo revision, named in mismatch errors
+	Digest string `json:"digest"` // shard.RegistryDigest of the daemon's task set
+	Nonce  string `json:"nonce"`  // per-session challenge for the auth MAC
+	Slots  int    `json:"slots"`  // concurrent-worker capacity, for coordinator slot accounting
+	Auth   bool   `json:"auth"`   // daemon requires a shared-secret MAC
+}
+
+// attachMsg is the coordinator's reply claiming a worker slot.
+type attachMsg struct {
+	Proto  int      `json:"proto"`
+	Rev    string   `json:"rev"`
+	Digest string   `json:"digest"`
+	MAC    string   `json:"mac,omitempty"` // sessionMAC(secret, nonce)
+	Env    []string `json:"env,omitempty"` // allowlisted worker env (heartbeat pacing)
+}
+
+// attachReply accepts or rejects the attach.
+type attachReply struct {
+	OK   bool   `json:"ok"`
+	Busy bool   `json:"busy,omitempty"` // transient: all slots taken
+	Err  string `json:"err,omitempty"`  // permanent: version/digest/auth mismatch
+}
+
+// sessionMAC authenticates an attach against the daemon's nonce:
+// hex(HMAC-SHA256(secret, nonce)). The secret never crosses the wire,
+// and a captured MAC replays against no other session.
+func sessionMAC(secret, nonce string) string {
+	m := hmac.New(sha256.New, []byte(secret))
+	m.Write([]byte(nonce))
+	return hex.EncodeToString(m.Sum(nil))
+}
+
+// macEqual compares MACs in constant time.
+func macEqual(a, b string) bool {
+	return hmac.Equal([]byte(a), []byte(b))
+}

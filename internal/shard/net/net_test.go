@@ -1,0 +1,486 @@
+package shardnet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mtcmos/internal/faultinject"
+	"mtcmos/internal/shard"
+	"mtcmos/internal/simerr"
+)
+
+// exitEnv makes the re-executed binary exit immediately with the
+// given code instead of serving — a stand-in for a worker that dies
+// announcing a typed CLI exit status (budget = 4 etc.).
+const exitEnv = "MTSHARDNET_EXIT"
+
+// TestMain doubles as the worker entry point (same hook pattern as
+// the shard package): a daemon's SelfSpawner re-executes this binary,
+// and the copy serves the shard protocol instead of the test suite.
+func TestMain(m *testing.M) {
+	if s := os.Getenv(exitEnv); s != "" {
+		code, _ := strconv.Atoi(s)
+		os.Exit(code)
+	}
+	if os.Getenv(shard.WorkerEnv) == "1" {
+		if err := shard.ServeWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "shardnet worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+type squareParams struct {
+	Scale float64 `json:"scale"`
+}
+
+func init() {
+	shard.Register("nettest.square", func(ctx context.Context, params json.RawMessage, start, count int) ([]json.RawMessage, error) {
+		var p squareParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		items := make([]json.RawMessage, count)
+		for k := 0; k < count; k++ {
+			i := start + k
+			b, err := json.Marshal(struct {
+				I int     `json:"i"`
+				V float64 `json:"v"`
+			}{i, p.Scale * float64(i*i)})
+			if err != nil {
+				return nil, err
+			}
+			items[k] = b
+		}
+		return items, nil
+	})
+}
+
+// startServer runs a loopback daemon for the test's lifetime and
+// returns its host:port.
+func startServer(t testing.TB, s *Server) string {
+	t.Helper()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	t.Cleanup(func() {
+		s.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return addr.String()
+}
+
+func newTransport(t testing.TB, cfg Config, hosts ...string) *Transport {
+	t.Helper()
+	tr, err := NewTransport(hosts, cfg)
+	if err != nil {
+		t.Fatalf("NewTransport: %v", err)
+	}
+	return tr
+}
+
+// fastCfg keeps penalty-box and dial waits short so degradation tests
+// finish quickly.
+func fastCfg() Config {
+	return Config{DialTimeout: 500 * time.Millisecond, ProbeEvery: 50 * time.Millisecond}
+}
+
+func serialItems(t *testing.T, params any, n int) []json.RawMessage {
+	t.Helper()
+	res, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{Shards: 1})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	return res.Items
+}
+
+func sameItems(t *testing.T, got, want []json.RawMessage, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d items, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("%s: item %d = %s, want %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoopbackDeterministic(t *testing.T) {
+	const n = 30
+	params := squareParams{Scale: 1.5}
+	want := serialItems(t, params, n)
+	for _, tc := range []struct{ shards, procs int }{{4, 1}, {6, 3}, {30, 4}} {
+		// A fresh daemon per shape: sessions from the previous shape may
+		// still be unwinding and holding slots, and a "busy" here would
+		// (correctly) degrade instead of running remote.
+		addr := startServer(t, &Server{Slots: 4})
+		res, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+			Shards: tc.shards, Procs: tc.procs,
+			Transport: newTransport(t, fastCfg(), addr),
+		})
+		if err != nil {
+			t.Fatalf("shards=%d procs=%d: %v", tc.shards, tc.procs, err)
+		}
+		sameItems(t, res.Items, want, fmt.Sprintf("shards=%d procs=%d", tc.shards, tc.procs))
+		if res.Stats.Remote == 0 {
+			t.Fatalf("shards=%d procs=%d: no remote workers (stats %+v)", tc.shards, tc.procs, res.Stats)
+		}
+		if res.Stats.RemoteFallback || res.Stats.Fallback {
+			t.Fatalf("shards=%d procs=%d: unexpected fallback (stats %+v)", tc.shards, tc.procs, res.Stats)
+		}
+		if want := "tcp:" + addr; res.Stats.Transport != want {
+			t.Fatalf("transport = %q, want %q", res.Stats.Transport, want)
+		}
+	}
+}
+
+func TestCrashChaosOverTCP(t *testing.T) {
+	// Every bridged worker SIGKILLs itself serving its 2nd shard; the
+	// connection drop must look exactly like a local worker crash:
+	// re-attach, re-queue, byte-identical merge.
+	t.Setenv(faultinject.WorkerFaultEnv, "crash;on=2")
+	const n = 32
+	params := squareParams{Scale: 2}
+	want := serialItems(t, params, n)
+	addr := startServer(t, &Server{Slots: 4})
+	res, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+		Shards: 8, Procs: 2,
+		Transport:   newTransport(t, fastCfg(), addr),
+		MaxAttempts: 6, BackoffBase: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sameItems(t, res.Items, want, "tcp crash chaos")
+	if res.Stats.Deaths == 0 || res.Stats.Retries == 0 {
+		t.Fatalf("stats = %+v, want deaths and retries > 0", res.Stats)
+	}
+}
+
+func TestDaemonKilledMidShardRecovers(t *testing.T) {
+	// One daemon is shut down mid-grid (killing its bridged workers);
+	// a second stays alive. Every dropped shard must re-queue and the
+	// merged output stay byte-identical.
+	const n = 48
+	params := squareParams{Scale: 3}
+	want := serialItems(t, params, n)
+	victim := &Server{Slots: 2}
+	addrV := startServer(t, victim)
+	addrS := startServer(t, &Server{Slots: 2})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		victim.Close()
+	}()
+	res, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+		Shards: 16, Procs: 4,
+		Transport:   newTransport(t, fastCfg(), addrV, addrS),
+		MaxAttempts: 8, BackoffBase: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sameItems(t, res.Items, want, "daemon killed mid-grid")
+}
+
+func TestAllHostsDownDegradesToLocalSubprocess(t *testing.T) {
+	// Reserve a port nobody is serving.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	const n = 20
+	params := squareParams{Scale: 5}
+	want := serialItems(t, params, n)
+	res, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+		Shards: 4, Procs: 2,
+		Transport: newTransport(t, fastCfg(), dead),
+		Spawn:     shard.SelfSpawner(),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sameItems(t, res.Items, want, "remote down, local subprocess")
+	if !res.Stats.RemoteFallback || res.Stats.Remote != 0 {
+		t.Fatalf("stats = %+v, want RemoteFallback and no remote workers", res.Stats)
+	}
+}
+
+func TestAllHostsDownDegradesInProcess(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	const n = 20
+	params := squareParams{Scale: 6}
+	want := serialItems(t, params, n)
+	res, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+		Shards: 4, Procs: 2,
+		Transport: newTransport(t, fastCfg(), dead),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sameItems(t, res.Items, want, "remote down, in-process")
+	if !res.Stats.Fallback {
+		t.Fatalf("stats = %+v, want in-process fallback", res.Stats)
+	}
+}
+
+func TestAuth(t *testing.T) {
+	const secret = "sizing-cluster-secret"
+	addr := startServer(t, &Server{Slots: 2, Auth: secret})
+	const n = 12
+	params := squareParams{Scale: 0.5}
+	want := serialItems(t, params, n)
+
+	cfgOK := fastCfg()
+	cfgOK.Auth = secret
+	res, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+		Shards: 3, Procs: 2,
+		Transport: newTransport(t, cfgOK, addr),
+	})
+	if err != nil {
+		t.Fatalf("authenticated run: %v", err)
+	}
+	sameItems(t, res.Items, want, "authenticated")
+
+	for name, auth := range map[string]string{"wrong secret": "not-it", "missing secret": ""} {
+		cfg := fastCfg()
+		cfg.Auth = auth
+		_, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+			Shards: 3, Procs: 2,
+			Transport: newTransport(t, cfg, addr),
+		})
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	addr := startServer(t, &Server{Slots: 2, helloProto: ProtocolVersion + 1, helloRev: "cafecafecafe"})
+	_, err := shard.Run(context.Background(), "nettest.square", squareParams{Scale: 1}, 8, shard.Options{
+		Shards: 2, Procs: 1,
+		Transport: newTransport(t, fastCfg(), addr),
+	})
+	if err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+	for _, want := range []string{"protocol", "cafecafecafe"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("err = %v, missing %q", err, want)
+		}
+	}
+}
+
+func TestHandshakeDigestMismatch(t *testing.T) {
+	addr := startServer(t, &Server{Slots: 2, helloDigest: "deadbeef", helloRev: "cafecafecafe"})
+	_, err := shard.Run(context.Background(), "nettest.square", squareParams{Scale: 1}, 8, shard.Options{
+		Shards: 2, Procs: 1,
+		Transport: newTransport(t, fastCfg(), addr),
+	})
+	if err == nil {
+		t.Fatal("digest mismatch accepted")
+	}
+	for _, want := range []string{"task registry differs", "cafecafecafe"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("err = %v, missing %q", err, want)
+		}
+	}
+}
+
+func TestMismatchDoesNotDegrade(t *testing.T) {
+	// A handshake rejection is a misconfiguration, not an outage: even
+	// with a local Spawn fallback available the grid must fail rather
+	// than silently run locally.
+	addr := startServer(t, &Server{Slots: 2, helloDigest: "deadbeef"})
+	_, err := shard.Run(context.Background(), "nettest.square", squareParams{Scale: 1}, 8, shard.Options{
+		Shards: 2, Procs: 1,
+		Transport: newTransport(t, fastCfg(), addr),
+		Spawn:     shard.SelfSpawner(),
+	})
+	if err == nil {
+		t.Fatal("digest mismatch degraded to local execution")
+	}
+}
+
+func TestSlotsBusySpillsOver(t *testing.T) {
+	// One-slot daemon, multi-proc coordinator: excess attaches get
+	// "busy" and must spill to the local subprocess rung without
+	// deadlocking or corrupting the merge.
+	const n = 24
+	params := squareParams{Scale: 1.25}
+	want := serialItems(t, params, n)
+	addr := startServer(t, &Server{Slots: 1})
+	res, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+		Shards: 8, Procs: 4,
+		Transport: newTransport(t, fastCfg(), addr),
+		Spawn:     shard.SelfSpawner(),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sameItems(t, res.Items, want, "busy spillover")
+	if res.Stats.Remote == 0 {
+		t.Fatalf("stats = %+v, want at least one remote worker", res.Stats)
+	}
+}
+
+func TestRemoteExitCodePropagates(t *testing.T) {
+	// The bridged worker dies with CLI exit code 4 (budget) before
+	// delivering a result; the daemon's exit frame must carry the code
+	// across the wire so the coordinator reports a typed budget error,
+	// exactly as the subprocess transport would.
+	addr := startServer(t, &Server{Slots: 2, Spawn: shard.SelfSpawner()})
+	t.Setenv(exitEnv, "4") // inherited by the daemon's spawned workers
+	_, err := shard.Run(context.Background(), "nettest.square", squareParams{Scale: 1}, 8, shard.Options{
+		Shards: 2, Procs: 1,
+		Transport:   newTransport(t, fastCfg(), addr),
+		MaxAttempts: 3, BackoffBase: 2 * time.Millisecond, BackoffCap: 10 * time.Millisecond,
+	})
+	if !errors.Is(err, simerr.ErrBudget) {
+		t.Fatalf("err = %v, want simerr.ErrBudget from the remote exit code", err)
+	}
+}
+
+func TestJournalPinsTransportKind(t *testing.T) {
+	const n = 12
+	params := squareParams{Scale: 2.5}
+	journal := filepath.Join(t.TempDir(), "grid.journal")
+	addr := startServer(t, &Server{Slots: 2})
+
+	if _, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+		Shards: 3, Procs: 1, Journal: journal,
+		Transport: newTransport(t, fastCfg(), addr),
+	}); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+
+	// Same journal, local subprocess run: refused.
+	_, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+		Shards: 3, Procs: 1, Journal: journal, Spawn: shard.SelfSpawner(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "refusing to resume") {
+		t.Fatalf("local resume of a tcp journal: err = %v, want refusal", err)
+	}
+
+	// Same journal, different host set: refused (Kind embeds hosts).
+	addr2 := startServer(t, &Server{Slots: 2})
+	_, err = shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+		Shards: 3, Procs: 1, Journal: journal,
+		Transport: newTransport(t, fastCfg(), addr, addr2),
+	})
+	if err == nil || !strings.Contains(err.Error(), "refusing to resume") {
+		t.Fatalf("different-hosts resume: err = %v, want refusal", err)
+	}
+
+	// Same journal, same host set: resumes cleanly with zero work left.
+	res, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+		Shards: 3, Procs: 1, Journal: journal,
+		Transport: newTransport(t, fastCfg(), addr),
+	})
+	if err != nil {
+		t.Fatalf("same-hosts resume: %v", err)
+	}
+	if res.Stats.Resumed != 3 || res.Stats.Spawned != 0 {
+		t.Fatalf("stats = %+v, want everything resumed, nothing spawned", res.Stats)
+	}
+}
+
+func TestParseHosts(t *testing.T) {
+	got, err := ParseHosts("a:1, b:2,a:1 ,c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a:1", "b:2", "c:3"}; !equalStrings(got, want) {
+		t.Fatalf("ParseHosts = %v, want %v", got, want)
+	}
+
+	file := filepath.Join(t.TempDir(), "hosts")
+	if err := os.WriteFile(file, []byte("# sizing cluster\nrack1:9123\n\nrack2:9123 # spare\nrack1:9123\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ParseHosts("@" + file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"rack1:9123", "rack2:9123"}; !equalStrings(got, want) {
+		t.Fatalf("ParseHosts(@file) = %v, want %v", got, want)
+	}
+
+	for _, bad := range []string{"", "   ", "no-port", "a:1,:2", "@/no/such/hosts-file"} {
+		if _, err := ParseHosts(bad); err == nil {
+			t.Fatalf("ParseHosts(%q) accepted", bad)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKindSortsHosts(t *testing.T) {
+	tr := newTransport(t, Config{}, "b:2", "a:1")
+	if tr.Kind() != "tcp:a:1,b:2" {
+		t.Fatalf("Kind = %q", tr.Kind())
+	}
+}
+
+// BenchmarkShardLoopbackTCP mirrors the shard package's
+// BenchmarkShardInProcess/Subprocess shapes so scripts/bench.sh can
+// report the loopback-TCP overhead against the same grid.
+func BenchmarkShardLoopbackTCP(b *testing.B) {
+	const n = 64
+	params := squareParams{Scale: 1.25}
+	s := &Server{Slots: 4}
+	addr := startServer(b, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := NewTransport([]string{addr}, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := shard.Run(context.Background(), "nettest.square", params, n, shard.Options{
+			Shards: 8, Procs: 2, Transport: tr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Items) != n {
+			b.Fatalf("items = %d", len(res.Items))
+		}
+	}
+}

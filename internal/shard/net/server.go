@@ -1,0 +1,270 @@
+package shardnet
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"mtcmos/internal/buildinfo"
+	"mtcmos/internal/shard"
+)
+
+// Server is the daemon side (mtworkd): it accepts coordinator
+// connections, runs the handshake, and bridges each accepted session
+// to a local worker subprocess — the same stdin/stdout worker the
+// subprocess transport spawns, so process isolation, SIGKILL-able
+// hung workers, and the fault-injection harness all behave
+// identically whether the coordinator is local or remote. When the
+// coordinator drops the connection (its heartbeat watchdog fired, or
+// it was killed), the bridge kills the worker; when the worker dies,
+// the bridge reports its exit code in an exit frame and closes the
+// session.
+type Server struct {
+	// Slots bounds concurrent worker sessions (default: GOMAXPROCS).
+	// Attaches beyond it are rejected "busy" — a transient signal the
+	// coordinator maps to its degradation ladder.
+	Slots int
+	// Auth, when non-empty, requires coordinators to present a MAC
+	// over the session nonce keyed with the same secret.
+	Auth string
+	// Spawn starts one worker subprocess per session (default:
+	// shard.SelfSpawner() — re-exec this binary, which must dispatch
+	// on shard.WorkerEnv). If spawning fails the session degrades to
+	// an in-process shard.ServeWorker so the shard still completes.
+	Spawn shard.Spawner
+	// Logf, when set, receives one line per session event.
+	Logf func(format string, args ...any)
+
+	// Test seams: report a different protocol version / registry
+	// digest / revision in the hello, to exercise mismatch handling.
+	helloProto  int
+	helloDigest string
+	helloRev    string
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	sem    chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Listen binds addr (e.g. ":9123") without serving yet; the returned
+// address carries the kernel-chosen port when addr ends in ":0".
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		ln.Close()
+		return nil, fmt.Errorf("shardnet: server closed")
+	}
+	s.ln = ln
+	slots := s.Slots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	s.sem = make(chan struct{}, slots)
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	return ln.Addr(), nil
+}
+
+// Serve accepts sessions until Close; it returns nil on a clean
+// shutdown.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return fmt.Errorf("shardnet: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.session(conn)
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops accepting, kills live sessions (dropping a session's
+// connection kills its bridged worker), and waits for them to unwind.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln, cancel := s.ln, s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// session runs one coordinator connection: handshake, slot claim,
+// bridge, exit report.
+func (s *Server) session(conn net.Conn) {
+	defer conn.Close()
+	env, ok := s.accept(conn)
+	if !ok {
+		return
+	}
+	defer func() { <-s.sem }()
+	s.logf("session %s: attached", conn.RemoteAddr())
+	s.bridge(conn, env)
+}
+
+// accept runs the server side of the handshake. It claims a slot on
+// success; rejections (version, digest, auth) are permanent errors on
+// the reply, a full house is a transient "busy".
+func (s *Server) accept(conn net.Conn) ([]string, bool) {
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return nil, false
+	}
+	var nb [16]byte
+	if _, err := rand.Read(nb[:]); err != nil {
+		return nil, false
+	}
+	nonce := hex.EncodeToString(nb[:])
+	hello := helloMsg{
+		Proto:  ProtocolVersion,
+		Rev:    buildinfo.Revision(),
+		Digest: shard.RegistryDigest(),
+		Nonce:  nonce,
+		Slots:  cap(s.sem),
+		Auth:   s.Auth != "",
+	}
+	if s.helloProto != 0 {
+		hello.Proto = s.helloProto
+	}
+	if s.helloDigest != "" {
+		hello.Digest = s.helloDigest
+	}
+	if s.helloRev != "" {
+		hello.Rev = s.helloRev
+	}
+	if err := shard.EncodeFrame(conn, &hello); err != nil {
+		return nil, false
+	}
+	var att attachMsg
+	if err := shard.DecodeFrame(conn, &att); err != nil {
+		s.logf("session %s: bad attach: %v", conn.RemoteAddr(), err)
+		return nil, false
+	}
+	reject := func(msg string) {
+		s.logf("session %s: rejected: %s", conn.RemoteAddr(), msg)
+		_ = shard.EncodeFrame(conn, &attachReply{Err: msg})
+	}
+	if att.Proto != ProtocolVersion {
+		reject(fmt.Sprintf("protocol v%d (coordinator rev %s) != daemon v%d", att.Proto, att.Rev, ProtocolVersion))
+		return nil, false
+	}
+	if att.Digest != shard.RegistryDigest() {
+		reject(fmt.Sprintf("task-registry digest mismatch (coordinator rev %s)", att.Rev))
+		return nil, false
+	}
+	if s.Auth != "" && !macEqual(att.MAC, sessionMAC(s.Auth, nonce)) {
+		reject("auth failed")
+		return nil, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.logf("session %s: busy (%d slots)", conn.RemoteAddr(), cap(s.sem))
+		_ = shard.EncodeFrame(conn, &attachReply{Busy: true})
+		return nil, false
+	}
+	if err := shard.EncodeFrame(conn, &attachReply{OK: true}); err != nil {
+		<-s.sem
+		return nil, false
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		<-s.sem
+		return nil, false
+	}
+	return allowedEnv(att.Env), true
+}
+
+// bridge couples the session to a worker subprocess: raw byte copies
+// both ways (the frames need no re-parsing), then an exit frame with
+// the worker's status. A dropped connection kills the worker; a dead
+// worker ends the session. If spawning fails, the shard still runs —
+// in-process, inside the daemon — as the last rung of the ladder.
+func (s *Server) bridge(conn net.Conn, env []string) {
+	spawn := s.Spawn
+	if spawn == nil {
+		spawn = shard.SelfSpawner()
+	}
+	p, err := spawn(s.ctx, env)
+	if err != nil {
+		s.logf("session %s: spawn failed (%v); serving in-process", conn.RemoteAddr(), err)
+		_ = shard.ServeWorker(s.ctx, conn, conn)
+		_ = shard.WriteExitFrame(conn, 0)
+		return
+	}
+	go func() {
+		// Coordinator -> worker. The copy ends when the coordinator
+		// closes the connection (or the worker dies and its stdin pipe
+		// breaks); either way the worker must not outlive the session.
+		_, _ = io.Copy(p.Stdin(), conn)
+		p.Kill()
+	}()
+	stop := make(chan struct{})
+	go func() {
+		// A dying server takes its sessions with it.
+		select {
+		case <-s.ctx.Done():
+			p.Kill()
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	_, _ = io.Copy(conn, p.Stdout())
+	code := p.Wait()
+	close(stop)
+	_ = shard.WriteExitFrame(conn, code)
+	s.logf("session %s: worker exited %d", conn.RemoteAddr(), code)
+}

@@ -1,0 +1,309 @@
+package shardnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mtcmos/internal/buildinfo"
+	"mtcmos/internal/shard"
+)
+
+// Config tunes the coordinator-side transport. The zero value works.
+type Config struct {
+	// Auth is the shared secret for daemons started with -auth; empty
+	// means unauthenticated (a daemon that requires auth then rejects
+	// the handshake permanently).
+	Auth string
+	// DialTimeout bounds the TCP connect per attempt (default 3s).
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds the hello/attach/reply round (default 5s).
+	HandshakeTimeout time.Duration
+	// ProbeEvery is how long an unreachable host sits out before the
+	// transport retries it (default 1s). Busy hosts sit out a fraction
+	// of this; handshake-rejected hosts a multiple.
+	ProbeEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = time.Second
+	}
+	return c
+}
+
+// Transport implements shard.Transport over TCP: each Connect dials
+// one mtworkd daemon, runs the handshake, and hands the coordinator a
+// shard.Proc whose streams are the connection. Host selection is
+// least-loaded (by this coordinator's own inflight count) with
+// lowest-index tie-break; hosts that fail transiently are penalized
+// briefly and retried, hosts that reject the handshake are out for
+// much longer and remembered, so Connect can distinguish "everything
+// is down" (transient — the coordinator degrades to local execution)
+// from "everything rejected us" (permanent — the grid fails with the
+// handshake error).
+type Transport struct {
+	cfg   Config
+	kind  string
+	hosts []*hostState
+
+	mu sync.Mutex
+}
+
+// hostState is the transport's per-host book-keeping; guarded by
+// Transport.mu.
+type hostState struct {
+	addr      string
+	inflight  int       // live workers this coordinator holds there
+	capacity  int       // daemon's advertised slots; 0 until first hello
+	notBefore time.Time // penalty box: no attempts before this
+	fatal     error     // last permanent handshake rejection, if any
+}
+
+// NewTransport builds a transport over the given host:port set (see
+// ParseHosts for flag syntax).
+func NewTransport(hosts []string, cfg Config) (*Transport, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("shardnet: no hosts")
+	}
+	t := &Transport{cfg: cfg.withDefaults()}
+	for _, h := range hosts {
+		t.hosts = append(t.hosts, &hostState{addr: h})
+	}
+	sorted := append([]string(nil), hosts...)
+	sort.Strings(sorted)
+	t.kind = "tcp:" + strings.Join(sorted, ",")
+	return t, nil
+}
+
+// Kind identifies this transport — "tcp:" plus the sorted host set —
+// and is pinned into checkpoint journals, so a journal resumes only
+// against the same cluster.
+func (t *Transport) Kind() string { return t.kind }
+
+// Connect attaches one remote worker, trying hosts in least-loaded
+// order. The error wraps shard.ErrTransport only when every host has
+// permanently rejected the handshake; transient exhaustion (all hosts
+// down, busy, or cooling off) returns a plain error so the
+// coordinator can degrade to local execution.
+func (t *Transport) Connect(ctx context.Context, env []string) (shard.Proc, error) {
+	var lastTransient error
+	tried := make(map[string]bool)
+	for {
+		h := t.pick(tried)
+		if h == nil {
+			break
+		}
+		tried[h.addr] = true
+		p, err := t.attach(ctx, h, env)
+		if err == nil {
+			return p, nil
+		}
+		if errors.Is(err, shard.ErrTransport) {
+			t.penalize(h, 10*t.cfg.ProbeEvery, err)
+			continue
+		}
+		lastTransient = err
+		if errors.Is(err, errBusy) {
+			t.penalize(h, t.cfg.ProbeEvery/10, nil)
+		} else {
+			t.penalize(h, t.cfg.ProbeEvery, nil)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if lastTransient == nil {
+		if fatal := t.allFatal(); fatal != nil {
+			return nil, fatal
+		}
+		lastTransient = fmt.Errorf("shardnet: all hosts cooling off or at capacity")
+	}
+	return nil, lastTransient
+}
+
+// errBusy marks a daemon whose slots were all taken — transient, with
+// a short penalty.
+var errBusy = errors.New("shardnet: daemon busy")
+
+// pick returns the untried host with the fewest inflight workers
+// (lowest index on ties) that is out of its penalty box and under its
+// advertised capacity; nil when none qualifies.
+func (t *Transport) pick(tried map[string]bool) *hostState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	var best *hostState
+	for _, h := range t.hosts {
+		if tried[h.addr] || now.Before(h.notBefore) {
+			continue
+		}
+		if h.capacity > 0 && h.inflight >= h.capacity {
+			continue
+		}
+		if best == nil || h.inflight < best.inflight {
+			best = h
+		}
+	}
+	if best != nil {
+		best.inflight++ // reserved; released by tcpProc or penalize
+	}
+	return best
+}
+
+// penalize returns a reserved slot and benches the host; a non-nil
+// fatal error is remembered for allFatal.
+func (t *Transport) penalize(h *hostState, d time.Duration, fatal error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h.inflight--
+	h.notBefore = time.Now().Add(d)
+	if fatal != nil {
+		h.fatal = fatal
+	}
+}
+
+// allFatal reports the first recorded rejection when every host has
+// permanently rejected the handshake.
+func (t *Transport) allFatal() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for _, h := range t.hosts {
+		if h.fatal == nil {
+			return nil
+		}
+		if first == nil {
+			first = h.fatal
+		}
+	}
+	return first
+}
+
+// release hands a finished worker's slot back.
+func (t *Transport) release(h *hostState) {
+	t.mu.Lock()
+	h.inflight--
+	t.mu.Unlock()
+}
+
+// attach dials one host and runs the handshake; the returned Proc
+// owns the connection.
+func (t *Transport) attach(ctx context.Context, h *hostState, env []string) (shard.Proc, error) {
+	d := net.Dialer{Timeout: t.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", h.addr)
+	if err != nil {
+		return nil, fmt.Errorf("shardnet: dial %s: %w", h.addr, err)
+	}
+	if err := t.handshake(conn, h, env); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &tcpProc{conn: conn, tr: t, host: h}, nil
+}
+
+// handshake runs the coordinator side of the attach round. Mismatch
+// errors wrap shard.ErrTransport and name both revisions, so the
+// operator sees which binary is stale instead of "something differs".
+func (t *Transport) handshake(conn net.Conn, h *hostState, env []string) error {
+	deadline := time.Now().Add(t.cfg.HandshakeTimeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return err
+	}
+	var hello helloMsg
+	if err := shard.DecodeFrame(conn, &hello); err != nil {
+		return fmt.Errorf("shardnet: %s: reading hello: %w", h.addr, err)
+	}
+	rev := buildinfo.Revision()
+	if hello.Proto != ProtocolVersion {
+		return fmt.Errorf("%w: %s speaks protocol v%d (daemon rev %s), this coordinator v%d (rev %s) — rebuild the older binary",
+			shard.ErrTransport, h.addr, hello.Proto, hello.Rev, ProtocolVersion, rev)
+	}
+	digest := shard.RegistryDigest()
+	if hello.Digest != digest {
+		return fmt.Errorf("%w: %s task registry differs (daemon rev %s, digest %.12s; coordinator rev %s, digest %.12s) — both sides must register the same task set",
+			shard.ErrTransport, h.addr, hello.Rev, hello.Digest, rev, digest)
+	}
+	if hello.Auth && t.cfg.Auth == "" {
+		return fmt.Errorf("%w: %s (rev %s) requires a shared secret; pass -auth", shard.ErrTransport, h.addr, hello.Rev)
+	}
+	att := attachMsg{Proto: ProtocolVersion, Rev: rev, Digest: digest, Env: allowedEnv(env)}
+	if t.cfg.Auth != "" {
+		att.MAC = sessionMAC(t.cfg.Auth, hello.Nonce)
+	}
+	if err := shard.EncodeFrame(conn, &att); err != nil {
+		return fmt.Errorf("shardnet: %s: sending attach: %w", h.addr, err)
+	}
+	var reply attachReply
+	if err := shard.DecodeFrame(conn, &reply); err != nil {
+		return fmt.Errorf("shardnet: %s: reading attach reply: %w", h.addr, err)
+	}
+	switch {
+	case reply.OK:
+	case reply.Busy:
+		return fmt.Errorf("%w: %s", errBusy, h.addr)
+	default:
+		return fmt.Errorf("%w: %s (rev %s): %s", shard.ErrTransport, h.addr, hello.Rev, reply.Err)
+	}
+	t.mu.Lock()
+	if hello.Slots > 0 {
+		h.capacity = hello.Slots
+	}
+	t.mu.Unlock()
+	return conn.SetDeadline(time.Time{})
+}
+
+// allowedEnv filters the coordinator's worker env down to what may
+// cross the wire: only heartbeat pacing. Nothing else — in particular
+// not the fault-injection harness, which chaos tests arm in the
+// daemon's own environment.
+func allowedEnv(env []string) []string {
+	var out []string
+	for _, e := range env {
+		if strings.HasPrefix(e, shard.HeartbeatEnv+"=") {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// tcpProc adapts an attached connection to shard.Proc. Kill closes
+// the connection — the daemon kills its bridged worker when the
+// stream drops — and Wait reports -1 (TCP carries no exit status; the
+// daemon's exit frame, intercepted by the coordinator, substitutes
+// the real code).
+type tcpProc struct {
+	conn net.Conn
+	tr   *Transport
+	host *hostState
+	once sync.Once
+}
+
+func (p *tcpProc) Stdin() io.Writer  { return p.conn }
+func (p *tcpProc) Stdout() io.Reader { return p.conn }
+
+func (p *tcpProc) Kill() { p.done() }
+
+func (p *tcpProc) Wait() int {
+	p.done()
+	return -1
+}
+
+func (p *tcpProc) done() {
+	p.once.Do(func() {
+		p.conn.Close()
+		p.tr.release(p.host)
+	})
+}

@@ -2,8 +2,10 @@ package shard
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -11,14 +13,15 @@ import (
 	"mtcmos/internal/simerr"
 )
 
-// The coordinator and its worker subprocesses speak length-prefixed
-// JSON frames over the worker's stdin/stdout: a 4-byte big-endian
-// payload length followed by one JSON-encoded frame. The prefix makes
-// framing self-describing — a worker that writes anything else onto
-// the stream (a stray print, the garbage-output fault) produces an
-// implausible length or an unmarshalable payload, which the reader
-// reports as a protocol error and the coordinator treats as a worker
-// death rather than hanging or mis-parsing.
+// The coordinator and its workers speak length-prefixed JSON frames —
+// a 4-byte big-endian payload length followed by one JSON-encoded
+// frame — over the worker's stdin/stdout (subprocess transport) or a
+// TCP connection bridged by mtworkd (internal/shard/net). The prefix
+// makes framing self-describing: a worker that writes anything else
+// onto the stream (a stray print, the garbage-output fault) produces
+// an implausible length or an unmarshalable payload, which the reader
+// reports as a typed protocol error and the coordinator treats as a
+// worker death rather than hanging or mis-parsing.
 //
 // Coordinator -> worker:
 //
@@ -31,15 +34,26 @@ import (
 //	{"type":"hello"}                                 after startup
 //	{"type":"heartbeat","shard":id}                  while computing
 //	{"type":"result","shard":id,"items":[...],"err":{...}}
+//	{"type":"exit","code":N}                         bridge-only: the
+//	    remote worker's exit status, written by mtworkd just before it
+//	    closes the connection (the subprocess transport reads the exit
+//	    status from the process itself)
 //
 // Errors cross the boundary as their simerr wire name plus message,
-// so a budget overrun inside a subprocess reports simerr.ErrBudget at
+// so a budget overrun inside a worker reports simerr.ErrBudget at
 // the coordinator, not a generic failure.
 
-// maxFrame bounds a frame payload; anything larger is treated as a
-// corrupted stream. Shard results carry at most a few thousand small
-// JSON items, far below this.
-const maxFrame = 64 << 20
+// ErrProto marks a framing violation: an implausible length prefix,
+// an oversized payload, or an unmarshalable body. It is distinct from
+// plain I/O errors (EOF, reset) so callers and the fuzz harness can
+// tell "the stream died" from "the stream carried garbage".
+var ErrProto = errors.New("shard: protocol error")
+
+// MaxFrame bounds a frame payload on every transport — the same cap
+// is enforced by the encoder, the decoder, and the journal replayer.
+// Anything larger is treated as a corrupted stream. Shard results
+// carry at most a few thousand small JSON items, far below this.
+const MaxFrame = 64 << 20
 
 // Frame types.
 const (
@@ -49,6 +63,7 @@ const (
 	frameHello     = "hello"
 	frameHeartbeat = "heartbeat"
 	frameResult    = "result"
+	frameExit      = "exit"
 )
 
 // frame is one protocol message in either direction; unused fields
@@ -63,9 +78,10 @@ type frame struct {
 	Count  int               `json:"count,omitempty"`
 	Items  []json.RawMessage `json:"items,omitempty"`
 	Err    *wireError        `json:"err,omitempty"`
+	Code   int               `json:"code,omitempty"`
 }
 
-// wireError carries a classified failure across the process boundary:
+// wireError carries a classified failure across the worker boundary:
 // the simerr kind's stable wire name plus the message.
 type wireError struct {
 	Kind string `json:"kind,omitempty"`
@@ -93,6 +109,64 @@ func (we *wireError) fromWire() error {
 	return simerr.New(simerr.ErrInternal, "shard", we.Msg)
 }
 
+// EncodeFrame writes one length-prefixed JSON frame carrying v. The
+// MaxFrame cap is enforced on the way out too, so an oversized
+// payload is a typed local error instead of a peer-side stream kill.
+// Exported for internal/shard/net, which reuses the codec for its
+// handshake messages.
+func EncodeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: refusing to write %d-byte frame (cap %d)", ErrProto, len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// DecodeFrame reads one length-prefixed JSON frame into v. A
+// malformed length or payload is an ErrProto (corrupted or garbage
+// stream), distinct from a clean EOF. Allocation is bounded by the
+// bytes actually received, never by a hostile length prefix alone:
+// the body is streamed into a growing buffer, so a claimed 64 MB
+// frame backed by a 10-byte stream costs 10 bytes plus the copy
+// chunk, not 64 MB.
+func DecodeFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return fmt.Errorf("%w: implausible frame length %d (corrupted stream)", ErrProto, n)
+	}
+	var body bytes.Buffer
+	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body.Bytes(), v); err != nil {
+		return fmt.Errorf("%w: unmarshalable frame (corrupted stream): %v", ErrProto, err)
+	}
+	return nil
+}
+
+// WriteExitFrame reports a bridged worker's exit code to the
+// coordinator just before the stream closes. Only the TCP bridge
+// (mtworkd) sends it — the subprocess transport reads the exit status
+// from the process — and the coordinator uses it to keep the typed
+// exit-code classification (budget = 4, cancelled = 5, ...) across
+// hosts.
+func WriteExitFrame(w io.Writer, code int) error {
+	return EncodeFrame(w, &frame{Type: frameExit, Code: code})
+}
+
 // frameWriter serializes frame writes from multiple goroutines (the
 // worker's heartbeat ticker runs beside its compute loop) and flushes
 // per frame so the peer sees every message promptly.
@@ -106,42 +180,19 @@ func newFrameWriter(w io.Writer) *frameWriter {
 }
 
 func (fw *frameWriter) write(f *frame) error {
-	body, err := json.Marshal(f)
-	if err != nil {
-		return err
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
-	if _, err := fw.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := fw.w.Write(body); err != nil {
+	if err := EncodeFrame(fw.w, f); err != nil {
 		return err
 	}
 	return fw.w.Flush()
 }
 
-// readFrame reads one frame; a malformed length or payload is a
-// protocol error (corrupted or garbage stream), distinct from a clean
-// EOF.
+// readFrame reads one protocol frame.
 func readFrame(r io.Reader) (*frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 || n > maxFrame {
-		return nil, fmt.Errorf("shard: implausible frame length %d (corrupted stream)", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
-	}
 	var f frame
-	if err := json.Unmarshal(body, &f); err != nil {
-		return nil, fmt.Errorf("shard: unmarshalable frame (corrupted stream): %v", err)
+	if err := DecodeFrame(r, &f); err != nil {
+		return nil, err
 	}
 	return &f, nil
 }

@@ -2,9 +2,12 @@ package shard
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -60,4 +63,21 @@ func taskNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Tasks lists the registered task names, sorted.
+func Tasks() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return taskNames()
+}
+
+// RegistryDigest fingerprints the task registry: the hex SHA-256 of
+// the sorted task names, newline-joined. The network transport
+// exchanges it in its handshake so a coordinator and an mtworkd built
+// with different task sets fail fast with a named mismatch instead of
+// an "unknown task" error deep into a run.
+func RegistryDigest() string {
+	sum := sha256.Sum256([]byte(strings.Join(Tasks(), "\n")))
+	return hex.EncodeToString(sum[:])
 }

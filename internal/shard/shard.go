@@ -46,13 +46,21 @@ type Options struct {
 	// in-process execution). A resumed run always takes the shard
 	// count pinned in its journal.
 	Shards int
-	// Procs bounds the worker-subprocess pool (in-process fallback:
-	// the sched.Map pool); 0 means one per CPU.
+	// Procs bounds the worker pool (in-process fallback: the
+	// sched.Map pool); 0 means one per CPU.
 	Procs int
-	// Spawn starts worker subprocesses; nil executes every shard
+	// Spawn starts worker subprocesses. With no Transport it is the
+	// primary path (wrapped in SpawnTransport); alongside a Transport
+	// it is the local fallback rung when every remote host is
+	// unreachable. nil without a Transport executes every shard
 	// in-process on sched.Map (the degradation path, and the default
 	// for plain single-process runs).
 	Spawn Spawner
+	// Transport, when non-nil, attaches workers over it (the network
+	// transport in internal/shard/net) instead of spawning local
+	// subprocesses; the degradation ladder is then
+	// remote -> local subprocess (Spawn) -> in-process.
+	Transport Transport
 	// Journal, when non-empty, checkpoints completed shards to this
 	// JSONL file and resumes from it if it already exists.
 	Journal string
@@ -112,9 +120,17 @@ type Stats struct {
 	Resumed   int // shards skipped because the journal had them
 	Retries   int // shard attempts re-queued after a worker death
 	Deaths    int // workers killed or crashed mid-shard
-	Spawned   int // worker subprocesses started
-	// Fallback is set when spawning was unavailable and shards
-	// degraded to in-process execution.
+	Spawned   int // workers started (local subprocesses + remote attachments)
+	Remote    int // of Spawned, workers attached over the network transport
+	// Transport is the kind string the run executed (and journaled)
+	// under: "inprocess", "subprocess", or the network transport's
+	// host-set identity.
+	Transport string
+	// RemoteFallback is set when the network transport had no
+	// reachable host and shards degraded to local subprocesses.
+	RemoteFallback bool
+	// Fallback is set when worker attachment was unavailable outright
+	// and shards degraded to in-process execution.
 	Fallback bool
 	// Quarantined lists poison shards, ordered by shard id.
 	Quarantined []Quarantine
@@ -156,10 +172,13 @@ func (r *Runner) LastStats() Stats {
 	return r.last
 }
 
-// Multiprocess reports whether the runner spawns worker subprocesses
+// Multiprocess reports whether the runner places shards outside the
+// coordinating process — worker subprocesses or remote hosts —
 // (callers use it to decide how much parallelism to put inside the
 // task itself).
-func (r *Runner) Multiprocess() bool { return r != nil && r.Opts.Spawn != nil }
+func (r *Runner) Multiprocess() bool {
+	return r != nil && (r.Opts.Spawn != nil || r.Opts.Transport != nil)
+}
 
 // span is one shard's index range.
 type span struct {
@@ -207,9 +226,26 @@ func Run(ctx context.Context, taskName string, params any, n int, opts Options) 
 	}
 	o := opts.withDefaults()
 
+	// Resolve the transport ladder up front: an explicit Transport is
+	// primary with Spawn as its local fallback rung; a bare Spawn is
+	// the classic subprocess path; neither means in-process. The kind
+	// string is pinned into the journal so resumes cannot mix
+	// transports or host sets.
+	tr := o.Transport
+	var fallback Spawner
+	if tr != nil {
+		fallback = o.Spawn
+	} else if o.Spawn != nil {
+		tr = SpawnTransport(o.Spawn)
+	}
+	kind := KindInProcess
+	if tr != nil {
+		kind = tr.Kind()
+	}
+
 	nShards := o.Shards
 	if nShards <= 0 {
-		if o.Spawn == nil {
+		if tr == nil {
 			nShards = 1
 		} else {
 			nShards = 4 * sched.Workers(o.Procs)
@@ -218,10 +254,11 @@ func Run(ctx context.Context, taskName string, params any, n int, opts Options) 
 
 	res := &Result{Items: make([]json.RawMessage, n)}
 	st := &res.Stats
+	st.Transport = kind
 	var jl *journal
 	var done map[int]journalShard
 	if o.Journal != "" {
-		jl, done, nShards, err = openJournal(o.Journal, taskName, raw, n, nShards)
+		jl, done, nShards, err = openJournal(o.Journal, taskName, raw, n, nShards, kind)
 		if err != nil {
 			return nil, err
 		}
@@ -247,12 +284,13 @@ func Run(ctx context.Context, taskName string, params any, n int, opts Options) 
 	}
 
 	c := &coord{
-		ctx: ctx, o: o, task: task, taskName: taskName, params: raw,
+		ctx: ctx, o: o, tr: tr, fallback: fallback,
+		task: task, taskName: taskName, params: raw,
 		n: n, res: res, jl: jl,
 		attempts: make(map[int]int), errs: make(map[int]error),
 		lowestFailed: -1,
 	}
-	if o.Spawn == nil {
+	if tr == nil {
 		err = c.runLocal(pending)
 	} else {
 		err = c.runProcs(pending)
@@ -265,6 +303,8 @@ func Run(ctx context.Context, taskName string, params any, n int, opts Options) 
 type coord struct {
 	ctx      context.Context
 	o        Options
+	tr       Transport // nil = in-process
+	fallback Spawner   // local-subprocess rung under a remote transport
 	task     Task
 	taskName string
 	params   json.RawMessage
@@ -420,8 +460,9 @@ func (c *coord) markDone() {
 }
 
 // workerLoop is one pool slot: it claims shards and runs them on its
-// current subprocess, respawning after deaths and degrading to
-// in-process execution when spawning fails.
+// current worker, reattaching after deaths and walking the
+// degradation ladder (remote -> local subprocess -> in-process) when
+// attachment fails.
 func (c *coord) workerLoop(env []string) {
 	var conn *workerConn
 	defer func() {
@@ -447,10 +488,20 @@ func (c *coord) workerLoop(env []string) {
 			continue
 		}
 		if conn == nil {
-			conn = c.spawnWorker(env)
+			var fatal error
+			conn, fatal = c.connectWorker(env)
+			if fatal != nil {
+				// Handshake rejection (protocol / registry / auth
+				// mismatch): degrading would hide a misconfigured
+				// cluster, so the shard — and with it the grid — fails
+				// with the handshake error.
+				c.fail(sp, simerr.New(simerr.ErrInternal, "shard", fatal.Error()))
+				c.markDone()
+				continue
+			}
 			if conn == nil {
-				// Spawning unavailable: degrade this shard to
-				// in-process execution and try spawning again on the
+				// Attachment unavailable: degrade this shard to
+				// in-process execution and try attaching again on the
 				// next claim.
 				c.runShardInProcess(sp)
 				continue
@@ -476,26 +527,52 @@ func (c *coord) runShardInProcess(sp span) {
 	c.markDone()
 }
 
-// spawnWorker starts one subprocess and sends it the grid
-// description; nil means spawning is unavailable right now.
-func (c *coord) spawnWorker(env []string) *workerConn {
-	p, err := c.o.Spawn(c.ctx, env)
-	if err != nil {
+// connectWorker attaches one worker over the active transport and
+// sends it the grid description. Contract: a non-nil error is a
+// permanent handshake rejection (wraps ErrTransport) and must fail
+// the claimed shard; (nil, nil) means attachment is transiently
+// unavailable after walking the whole degradation ladder, and the
+// caller runs the shard in-process instead.
+func (c *coord) connectWorker(env []string) (*workerConn, error) {
+	remote := c.o.Transport != nil
+	p, err := c.tr.Connect(c.ctx, env)
+	switch {
+	case err == nil:
+		c.mu.Lock()
+		c.res.Stats.Spawned++
+		if remote {
+			c.res.Stats.Remote++
+		}
+		c.mu.Unlock()
+	case errors.Is(err, ErrTransport):
+		return nil, err
+	case c.fallback != nil:
+		// Remote hosts unreachable or at capacity: degrade to a local
+		// subprocess so the grid still makes progress.
+		p, err = c.fallback(c.ctx, env)
+		if err != nil {
+			c.mu.Lock()
+			c.res.Stats.Fallback = true
+			c.mu.Unlock()
+			return nil, nil
+		}
+		c.mu.Lock()
+		c.res.Stats.Spawned++
+		c.res.Stats.RemoteFallback = true
+		c.mu.Unlock()
+	default:
 		c.mu.Lock()
 		c.res.Stats.Fallback = true
 		c.mu.Unlock()
-		return nil
+		return nil, nil
 	}
-	c.mu.Lock()
-	c.res.Stats.Spawned++
-	c.mu.Unlock()
 	conn := newWorkerConn(p)
 	if err := conn.fw.write(&frame{Type: frameGrid, Task: c.taskName, Params: c.params, N: c.n}); err != nil {
 		conn.p.Kill()
 		conn.reap()
-		return nil
+		return nil, nil
 	}
-	return conn
+	return conn, nil
 }
 
 // runShardOn executes one shard on a live worker. It returns false
@@ -648,13 +725,18 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// workerConn couples a live subprocess with its framed streams; a
+// workerConn couples a live worker link with its framed streams; a
 // dedicated reader goroutine feeds frames so the coordinator can
 // select over liveness timers while reading.
 type workerConn struct {
 	p      Proc
 	fw     *frameWriter
 	frames chan *frame
+
+	// wireExit is the exit code carried by a bridge's exit frame (TCP
+	// transport only). Written by readLoop strictly before it closes
+	// frames, so any reader that drained the channel sees it.
+	wireExit *int
 
 	reapOnce sync.Once
 	exitCode int
@@ -674,17 +756,30 @@ func (wc *workerConn) readLoop() {
 			close(wc.frames)
 			return
 		}
+		if f.Type == frameExit {
+			// The mtworkd bridge announcing its worker's exit status;
+			// kept aside for reap, not surfaced as a protocol frame.
+			code := f.Code
+			wc.wireExit = &code
+			continue
+		}
 		wc.frames <- f
 	}
 }
 
 // reap drains the frame stream (unblocking the reader goroutine) and
-// waits for the exit code; safe to call repeatedly.
+// waits for the exit code; safe to call repeatedly. When the
+// transport cannot observe the process exit itself (a TCP link
+// reports -1), the bridge's exit frame — if one arrived — supplies
+// the code, keeping typed exit classification across hosts.
 func (wc *workerConn) reap() int {
 	wc.reapOnce.Do(func() {
 		for range wc.frames {
 		}
 		wc.exitCode = wc.p.Wait()
+		if wc.exitCode < 0 && wc.wireExit != nil {
+			wc.exitCode = *wc.wireExit
+		}
 	})
 	return wc.exitCode
 }

@@ -477,6 +477,13 @@ func TestJournalGridMismatchRefused(t *testing.T) {
 				Options{Shards: 2, Journal: journal})
 			return err
 		},
+		"transport": func() error {
+			// The seed journal was written in-process; resuming it over
+			// the subprocess transport must refuse.
+			_, err := Run(context.Background(), "test.square", squareParams{Scale: 1}, n,
+				Options{Shards: 2, Journal: journal, Spawn: SelfSpawner()})
+			return err
+		},
 	} {
 		err := run()
 		if err == nil || !strings.Contains(err.Error(), "refusing to resume") {

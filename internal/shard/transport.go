@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"context"
+	"errors"
+)
+
+// Transport kinds pinned into checkpoint journals. The network
+// transport (internal/shard/net) uses "tcp:" plus its sorted host
+// set, so a journal written against one cluster refuses to resume
+// against another.
+const (
+	KindInProcess  = "inprocess"
+	KindSubprocess = "subprocess"
+)
+
+// Transport attaches worker links for the coordinator: the subprocess
+// path spawns and pipes, the network path dials an mtworkd daemon.
+// Whatever the medium, the coordinator sees the same thing — a framed
+// stream plus a kill switch (Proc) — so heartbeat watchdogs, retry,
+// backoff, and quarantine work identically across transports, and a
+// connection drop is indistinguishable from (and handled exactly
+// like) a worker crash.
+type Transport interface {
+	// Connect attaches one worker. env entries parameterize the worker
+	// (heartbeat pacing); remote transports forward an allowlisted
+	// subset through their handshake. Errors are transient (host down,
+	// slots busy — the coordinator degrades to its fallback ladder)
+	// unless they wrap ErrTransport.
+	Connect(ctx context.Context, env []string) (Proc, error)
+	// Kind is the transport's stable identity string, pinned into the
+	// checkpoint journal so -resume cannot silently mix transports or
+	// host sets.
+	Kind() string
+}
+
+// ErrTransport marks a permanent transport rejection — protocol
+// version, task-registry digest, or auth mismatch in the handshake.
+// Unlike an unreachable host, this cannot be fixed by falling back to
+// local execution without surprising the user, so the coordinator
+// fails the grid with the handshake error instead of degrading.
+var ErrTransport = errors.New("shard: transport handshake rejected")
+
+// SpawnTransport adapts a Spawner to the Transport interface: the
+// original stdin/stdout subprocess path, unchanged.
+func SpawnTransport(s Spawner) Transport { return spawnTransport{s} }
+
+type spawnTransport struct{ s Spawner }
+
+func (t spawnTransport) Connect(ctx context.Context, env []string) (Proc, error) {
+	return t.s(ctx, env)
+}
+
+func (t spawnTransport) Kind() string { return KindSubprocess }

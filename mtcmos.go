@@ -55,6 +55,7 @@ import (
 	"mtcmos/internal/sca"
 	"mtcmos/internal/sched"
 	"mtcmos/internal/shard"
+	shardnet "mtcmos/internal/shard/net"
 	"mtcmos/internal/simerr"
 	"mtcmos/internal/sizing"
 	"mtcmos/internal/spice"
@@ -732,6 +733,32 @@ func SelfShardSpawner(args ...string) ShardSpawner { return shard.SelfSpawner(ar
 func ServeShardWorker(ctx context.Context, in io.Reader, out io.Writer) error {
 	return shard.ServeWorker(ctx, in, out)
 }
+
+// ShardTransport attaches workers for a sharded run; set
+// ShardOptions.Transport to run shards remotely (TCPShardTransport)
+// while keeping ShardOptions.Spawn as the local fallback rung.
+type ShardTransport = shard.Transport
+
+// ShardDaemon is the worker-daemon half of the TCP transport (what
+// cmd/mtworkd wraps): it accepts coordinator connections and runs
+// their shards in bounded worker-subprocess slots.
+type ShardDaemon = shardnet.Server
+
+// ShardTransportConfig tunes TCPShardTransport (shared-secret auth,
+// dial/handshake timeouts, host probe pacing); the zero value works.
+type ShardTransportConfig = shardnet.Config
+
+// TCPShardTransport dials mtworkd daemons on the given host:port set
+// and runs shards there; output stays byte-identical to a local run.
+// A protocol/task-registry/auth mismatch fails the run; unreachable
+// or busy hosts degrade to ShardOptions.Spawn, then in-process.
+func TCPShardTransport(hosts []string, cfg ShardTransportConfig) (ShardTransport, error) {
+	return shardnet.NewTransport(hosts, cfg)
+}
+
+// ParseShardHosts resolves a host-list spec — "a:9123,b:9123" or
+// "@file" with one host:port per line — for TCPShardTransport.
+func ParseShardHosts(spec string) ([]string, error) { return shardnet.ParseHosts(spec) }
 
 // --- Reporting and waveforms ---
 

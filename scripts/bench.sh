@@ -169,6 +169,46 @@ END {
 
 echo "wrote $SOUT"
 
+NOUT="BENCH_net.json"
+netout=$( (go test -run '^$' \
+    -bench 'BenchmarkShardInProcess$|BenchmarkShardSubprocess$' \
+    -benchtime "${BENCH_TIME}" -timeout 30m ./internal/shard
+           go test -run '^$' \
+    -bench 'BenchmarkShardLoopbackTCP$' \
+    -benchtime "${BENCH_TIME}" -timeout 30m ./internal/shard/net) | tee /dev/stderr)
+
+# The same 64-item grid at shards=8/procs=2 on all three transports;
+# loopback TCP adds the handshake plus daemon bridging on top of the
+# subprocess cost, an upper bound on the per-worker network overhead
+# (real clusters add wire latency but amortize it over bigger shards).
+printf '%s\n' "$netout" | awk -v btime="$BENCH_TIME" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""
+    for (i = 2; i <= NF; i++) if ($(i+1) == "ns/op") { ns = $i; break }
+    if (ns == "") next
+    n++
+    bench[n] = name
+    bns[n] = ns
+    if (name == "BenchmarkShardInProcess") base = ns
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"benchtime\": \"%s\",\n", btime
+    printf "  \"note\": \"same grid in-process, on worker subprocesses, and over loopback TCP to an in-process worker daemon; overhead is vs in-process on this machine\",\n"
+    printf "  \"transports\": [\n"
+    for (i = 1; i <= n; i++) {
+        ov = (base > 0) ? bns[i] / base : 0
+        printf "    {\"bench\": \"%s\", \"ns_per_op\": %s, \"overhead_vs_inprocess\": %.2f}%s\n", bench[i], bns[i], ov, (i < n ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' > "$NOUT"
+
+echo "wrote $NOUT"
+
 KOUT="BENCH_kernel.json"
 kernelout=$(go test -run '^$' \
     -bench 'BenchmarkKernel' \

@@ -66,6 +66,16 @@ go test -race -timeout "$CHECK_TIMEOUT" -count=1 \
     -run 'TestRunSubprocessDeterministic|TestCrashedWorkersRetry|TestHungWorkerWatchdog|TestGarbageStreamRecovered|TestPoisonShard|TestPanickingTask|TestWorkerBudgetPropagates|TestCoordinatorBudgetKillsWorkers|TestLowestIndexedFailureWins|TestJournal|TestSpawnFailureFallsBackInProcess|TestFig14ShardedChaosByteIdentical|TestFig14PoisonShardDegrades|TestSpeedupSharded|TestSimSharded|TestSimResumeWorkflow|TestExpSharded|TestExpShardStatsUnderTime|TestExpResumeSingleExperimentOnly' \
     ./internal/shard/ ./internal/experiments/ ./internal/cli/
 
+echo "== tcp transport chaos + resume gate (-race) =="
+# The cross-host path (DESIGN.md §14): loopback mtworkd daemons under
+# killed-daemon and crashed-worker chaos, handshake-mismatch refusal,
+# remote exit-code propagation, transport-pinned journals, and the
+# frame-decoder contract — rendered output stays byte-identical to
+# local runs throughout.
+go test -race -timeout "$CHECK_TIMEOUT" -count=1 \
+    -run 'TestLoopbackDeterministic|TestCrashChaosOverTCP|TestDaemonKilledMidShardRecovers|TestAllHostsDown|TestAuth|TestHandshake|TestMismatchDoesNotDegrade|TestSlotsBusySpillsOver|TestRemoteExitCodePropagates|TestJournalPinsTransportKind|TestParseHosts|TestKindSortsHosts|TestExpHosts|TestSimHosts|TestExpResumeRefusesTransportSwitch|TestVersionFlagAllTools|TestEncodeFrameRefusesOversize|TestDecodeFrame' \
+    ./internal/shard/ ./internal/shard/net/ ./internal/cli/
+
 echo "== prove gate (-race) =="
 # The path-condition prover over the example decks on the parallel
 # executor: witnesses, MT023, and MT019 suppression must hold under
